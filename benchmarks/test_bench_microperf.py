@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not a paper artefact — these track the cost of the building blocks the
+experiments lean on (engine ticks, regression fits, NSGA-II
+generations, metric aggregation), so performance regressions in the
+substrate are caught the same way behavioural ones are.
+"""
+
+import numpy as np
+
+from repro import FlowBuilder
+from repro.cloud import SimCloudWatch
+from repro.dependency import fit_linear
+from repro.optimization import NSGA2, NSGA2Config, FunctionalProblem
+from repro.workload import ConstantRate
+
+
+def test_perf_simulation_hour(benchmark):
+    """One simulated hour of the full three-layer pipeline (3600 ticks)."""
+
+    def run():
+        manager = (
+            FlowBuilder("perf", seed=1)
+            .workload(ConstantRate(1000))
+            .control_all(style="adaptive")
+            .build()
+        )
+        return manager.run(3600).duration_seconds
+
+    assert benchmark(run) == 3600
+
+
+def test_perf_regression_fit(benchmark):
+    """OLS with full inference on a 10k-point workload log."""
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1e5, size=10_000)
+    y = 2e-4 * x + 4.8 + rng.normal(0, 0.5, size=10_000)
+
+    result = benchmark(fit_linear, x, y)
+    assert result.r > 0.99
+
+
+def test_perf_nsga2_generations(benchmark):
+    """Fifty NSGA-II generations on the 3-objective share problem shape."""
+    problem = FunctionalProblem(
+        objectives=[
+            lambda x: -float(x[0]) / 32,
+            lambda x: -float(x[1]) / 16,
+            lambda x: -float(x[2]) / 2000,
+        ],
+        lower=[1.0, 1.0, 1.0],
+        upper=[32.0, 16.0, 2000.0],
+        constraints=[lambda x: 0.015 * x[0] + 0.1 * x[1] + 0.00065 * x[2] - 1.5],
+        integer=True,
+    )
+
+    def run():
+        return NSGA2(problem, NSGA2Config(population_size=40, generations=50), seed=0).run()
+
+    result = benchmark(run)
+    assert result.evaluations == 40 + 40 * 50
+
+
+def test_perf_metric_aggregation(benchmark):
+    """Aggregating an hour of 1-second datapoints into minute averages."""
+    cw = SimCloudWatch()
+    for t in range(1, 3601):
+        cw.put_metric_data("NS", "M", float(t % 100), t)
+
+    def aggregate():
+        return cw.get_metric_statistics("NS", "M", 0, 3600, period=60)
+
+    datapoints = benchmark(aggregate)
+    assert len(datapoints) == 60

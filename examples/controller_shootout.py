@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Controller shoot-out (paper Sec. 3.3).
+
+Drives the same flash-crowd workload with all four controller designs —
+Flower's adaptive multi-stage-gain controller (Eq. 6-7 with memory),
+the fixed-gain baseline [12], the quasi-adaptive baseline [14], and a
+rule-based threshold autoscaler [1] — and compares SLO compliance,
+settling time, throttling and cost.
+
+Run with:  python examples/controller_shootout.py
+"""
+
+from repro import FlowBuilder, LayerKind
+from repro.analysis import ComparisonReport, settling_time, slo_violation_rate
+from repro.workload import ConstantRate, FlashCrowdRate
+
+DURATION = 2 * 3600
+CROWD_AT = 1800
+SLO = 85.0
+STYLES = ("adaptive", "fixed", "quasi", "rule")
+
+
+def workload():
+    return ConstantRate(700.0) + FlashCrowdRate(
+        peak=2200.0, at=CROWD_AT, rise_seconds=120, decay_seconds=1500
+    )
+
+
+def run(style: str):
+    manager = (
+        FlowBuilder(f"shootout-{style}", seed=5)
+        .ingestion(shards=1)
+        .analytics(vms=1)
+        .storage(write_units=200)
+        .workload(workload())
+        .control_all(style=style, reference=60.0, period=60)
+        .build()
+    )
+    result = manager.run(DURATION)
+    util = result.utilization_trace(LayerKind.INGESTION)
+    settle = settling_time(util, 0.0, SLO, start=CROWD_AT, hold_seconds=300)
+    return {
+        "SLO violations %": 100.0 * slo_violation_rate(util, "<=", SLO),
+        "settling s": float(settle) if settle is not None else None,
+        "throttled records": sum(result.throttle_trace(LayerKind.INGESTION).values),
+        "cost $": result.total_cost,
+    }
+
+
+def main() -> None:
+    columns = ["SLO violations %", "settling s", "throttled records", "cost $"]
+    report = ComparisonReport(
+        f"Flash crowd at t={CROWD_AT}s (700 -> ~2900 rec/s), SLO util <= {SLO:.0f}%",
+        columns,
+    )
+    for style in STYLES:
+        print(f"running {style} ...")
+        outcome = run(style)
+        report.add_row(style, [outcome[c] for c in columns])
+    print()
+    print(report.render())
+    print(f"\nbest on SLO violations: {report.best_row('SLO violations %')}")
+    print(f"best on settling time:  {report.best_row('settling s')}")
+
+
+if __name__ == "__main__":
+    main()

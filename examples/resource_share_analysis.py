@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Resource share analysis (paper Sec. 3.2, Fig. 4).
+
+Answers the paper's question: "Given the budget and estimated
+dependencies between workloads, what would be the maximum share of
+resources for each layer in a data analytics flow?"
+
+Shows three variants:
+  * the paper's own example constraints (5*r_A >= r_I, 2*r_A <= r_I,
+    2*r_I <= r_S);
+  * constraints derived from a *fitted* regression dependency;
+  * how the front shifts when the budget doubles.
+
+Run with:  python examples/resource_share_analysis.py
+"""
+
+from repro import LayerKind, clickstream_flow_spec
+from repro.dependency import fit_linear
+from repro.dependency.analyzer import DependencyModel, MetricRef
+from repro.optimization import ResourceShareAnalyzer, ShareConstraint
+
+
+def paper_example():
+    print("=" * 72)
+    print("Fig. 4 — the paper's example constraints, budget $1.50/hour")
+    print("=" * 72)
+    constraints = [
+        ShareConstraint.at_least(5, LayerKind.ANALYTICS, LayerKind.INGESTION),
+        ShareConstraint.at_most(2, LayerKind.ANALYTICS, LayerKind.INGESTION),
+        ShareConstraint.at_most(2, LayerKind.INGESTION, LayerKind.STORAGE),
+    ]
+    for constraint in constraints:
+        print(f"  constraint: {constraint.describe()}")
+    analyzer = ResourceShareAnalyzer(clickstream_flow_spec(), constraints=constraints)
+    front = analyzer.analyze(budget_per_hour=1.5, population_size=80,
+                             generations=150, seed=0)
+    print(front.table())
+    print(f"\n  random pick (paper's default): {front.pick('random', seed=1)}")
+    print(f"  balanced pick:                 {front.pick('balanced')}")
+    print(f"  cheapest pick:                 {front.pick('cheapest')}")
+    return analyzer
+
+
+def fitted_dependency_example():
+    print()
+    print("=" * 72)
+    print("Eq. 5 from a fitted dependency: r_A tied to r_I by regression")
+    print("=" * 72)
+    # Synthetic workload log: analytics units track ingestion units as
+    # a_needed ~ 0.45 * shards + 0.8 with some scatter.
+    shards = [2, 3, 4, 5, 6, 8, 10, 12, 14, 16]
+    vms = [1.6, 2.2, 2.5, 3.1, 3.5, 4.4, 5.3, 6.2, 7.0, 8.1]
+    fitted = fit_linear(shards, vms)
+    model = DependencyModel(
+        source=MetricRef(LayerKind.INGESTION, "Shards"),
+        target=MetricRef(LayerKind.ANALYTICS, "VMs"),
+        result=fitted,
+    )
+    print(f"  fitted dependency: {model.equation()}  (r={fitted.r:.3f})")
+    lower, upper = ShareConstraint.from_dependency(
+        model, target=LayerKind.ANALYTICS, source=LayerKind.INGESTION,
+        tolerance_sigmas=3.0,
+    )
+    analyzer = ResourceShareAnalyzer(
+        clickstream_flow_spec(), constraints=[lower, upper]
+    )
+    front = analyzer.analyze(budget_per_hour=1.5, population_size=80,
+                             generations=150, seed=0)
+    print(front.table())
+
+
+def budget_sweep(analyzer: ResourceShareAnalyzer):
+    print()
+    print("=" * 72)
+    print("Budget sweep — how the Pareto frontier moves with money")
+    print("=" * 72)
+    print(f"  {'budget $/h':>10}  {'plans':>5}  {'max shards':>10}  "
+          f"{'max VMs':>8}  {'max WCU':>8}")
+    for budget in (0.75, 1.5, 3.0):
+        front = analyzer.analyze(budget_per_hour=budget, population_size=80,
+                                 generations=120, seed=0)
+        print(
+            f"  {budget:>10.2f}  {len(front):>5}  "
+            f"{max(s.ingestion for s in front.solutions):>10}  "
+            f"{max(s.analytics for s in front.solutions):>8}  "
+            f"{max(s.storage for s in front.solutions):>8}"
+        )
+
+
+def main() -> None:
+    analyzer = paper_example()
+    fitted_dependency_example()
+    budget_sweep(analyzer)
+
+
+if __name__ == "__main__":
+    main()

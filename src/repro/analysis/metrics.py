@@ -1,0 +1,130 @@
+"""Control-quality metrics over traces.
+
+All functions take :class:`~repro.workload.traces.Trace` objects, the
+library's uniform time-series type, so the same metrics apply to a
+utilisation trace from CloudWatch, a capacity trace from a control
+loop, or a synthetic trace in a test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.errors import ConfigurationError
+from repro.workload.traces import Trace
+
+_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+}
+
+
+def slo_violation_rate(trace: Trace, comparison: str, threshold: float) -> float:
+    """Fraction of samples violating an SLO like ``"<= 80"``.
+
+    ``comparison`` expresses the *SLO* (the condition that should hold);
+    a sample violates when the condition is false.
+    """
+    if comparison not in _COMPARATORS:
+        raise ConfigurationError(
+            f"comparison must be one of {sorted(_COMPARATORS)}, got {comparison!r}"
+        )
+    if len(trace) == 0:
+        raise ConfigurationError("cannot compute violation rate of an empty trace")
+    holds = _COMPARATORS[comparison]
+    violations = sum(1 for _t, v in trace if not holds(v, threshold))
+    return violations / len(trace)
+
+
+def settling_time(
+    trace: Trace,
+    band_low: float,
+    band_high: float,
+    start: int,
+    hold_seconds: int = 0,
+) -> int | None:
+    """Seconds after ``start`` until the trace enters and *stays in* a band.
+
+    Returns the delay from ``start`` to the first sample after which
+    the trace remains inside ``[band_low, band_high]`` for at least
+    ``hold_seconds`` (and through the end of any shorter remainder).
+    Returns None if the trace never settles.
+    """
+    if band_low > band_high:
+        raise ConfigurationError(f"band_low {band_low} exceeds band_high {band_high}")
+    if hold_seconds < 0:
+        raise ConfigurationError("hold_seconds must be non-negative")
+    points = [(t, v) for t, v in trace if t >= start]
+    if not points:
+        raise ConfigurationError(f"trace has no samples at or after start={start}")
+    candidate: int | None = None
+    for t, v in points:
+        inside = band_low <= v <= band_high
+        if inside and candidate is None:
+            candidate = t
+        elif not inside:
+            candidate = None
+    if candidate is None:
+        return None
+    if hold_seconds and points[-1][0] - candidate < hold_seconds:
+        return None
+    return candidate - start
+
+
+def overshoot(trace: Trace, reference: float, start: int = 0) -> float:
+    """Maximum excursion above the reference after ``start``.
+
+    Zero if the trace never exceeds the reference.
+    """
+    values = [v for t, v in trace if t >= start]
+    if not values:
+        raise ConfigurationError(f"trace has no samples at or after start={start}")
+    return max(0.0, max(values) - reference)
+
+
+def integral_absolute_error(trace: Trace, reference: float) -> float:
+    """Sum of |value - reference| weighted by each sample's hold time."""
+    if len(trace) == 0:
+        raise ConfigurationError("cannot integrate an empty trace")
+    times = trace.times
+    values = trace.values
+    if len(times) == 1:
+        return abs(values[0] - reference)
+    intervals = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+    intervals.append(sorted(intervals)[len(intervals) // 2])
+    return sum(abs(v - reference) * dt for v, dt in zip(values, intervals))
+
+
+def hold_intervals(trace: Trace) -> list[int]:
+    """Hold time of each sample: until the next sample, and the median
+    interval for the last one. Shared by every time-weighted metric so
+    integrals and peak baselines use the same effective span."""
+    times = trace.times
+    if len(times) < 2:
+        raise ConfigurationError("need at least 2 samples to define hold intervals")
+    intervals = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+    intervals.append(sorted(intervals)[len(intervals) // 2])
+    return intervals
+
+
+def effective_span_hours(trace: Trace) -> float:
+    """Total hold time of a trace's samples, in hours."""
+    return sum(hold_intervals(trace)) / 3600.0
+
+
+def resource_unit_hours(capacity_trace: Trace) -> float:
+    """Time-weighted integral of a capacity trace, in unit-hours.
+
+    Each sample holds until the next one; the final sample holds for
+    the median interval (same convention as
+    :meth:`Trace.time_weighted_mean`).
+    """
+    if len(capacity_trace) == 0:
+        raise ConfigurationError("cannot integrate an empty trace")
+    if len(capacity_trace) == 1:
+        return 0.0
+    intervals = hold_intervals(capacity_trace)
+    unit_seconds = sum(v * dt for v, dt in zip(capacity_trace.values, intervals))
+    return unit_seconds / 3600.0

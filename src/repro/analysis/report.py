@@ -1,0 +1,89 @@
+"""Experiment report rendering.
+
+Benchmarks print the same rows/series the paper reports; this module
+provides the small amount of table plumbing they share, so every
+experiment's output looks the same and EXPERIMENTS.md can quote them
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+from repro.monitoring.dashboard import render_table
+
+
+@dataclass
+class ComparisonReport:
+    """A labelled-rows × named-columns table (e.g. controllers × metrics)."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple[str, list[float | str | None]]] = field(default_factory=list)
+
+    def add_row(self, label: str, values: list[float | str | None]) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row {label!r} has {len(values)} values, expected {len(self.columns)}"
+            )
+        self.rows.append((label, values))
+
+    def best_row(self, column: str, minimize: bool = True) -> str:
+        """Label of the row with the best numeric value in ``column``."""
+        index = self._column_index(column)
+        numeric = [
+            (label, values[index])
+            for label, values in self.rows
+            if isinstance(values[index], (int, float))
+        ]
+        if not numeric:
+            raise ConfigurationError(f"no numeric values in column {column!r}")
+        chooser = min if minimize else max
+        return chooser(numeric, key=lambda pair: pair[1])[0]
+
+    def value(self, row_label: str, column: str) -> float | str | None:
+        index = self._column_index(column)
+        for label, values in self.rows:
+            if label == row_label:
+                return values[index]
+        raise ConfigurationError(f"no row labelled {row_label!r}")
+
+    def render(self) -> str:
+        def fmt(value: float | str | None) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:,.3f}"
+            return str(value)
+
+        body = [[label, *(fmt(v) for v in values)] for label, values in self.rows]
+        table = render_table(["", *self.columns], body)
+        return f"{self.title}\n{table}"
+
+    def render_markdown(self) -> str:
+        """The same table as GitHub-flavoured markdown, for EXPERIMENTS.md."""
+        def fmt(value: float | str | None) -> str:
+            if value is None:
+                return "—"
+            if isinstance(value, float):
+                return f"{value:,.3f}"
+            return str(value)
+
+        lines = [
+            f"### {self.title}",
+            "",
+            "| | " + " | ".join(self.columns) + " |",
+            "|" + "---|" * (len(self.columns) + 1),
+        ]
+        for label, values in self.rows:
+            lines.append("| " + " | ".join([label, *(fmt(v) for v in values)]) + " |")
+        return "\n".join(lines)
+
+    def _column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown column {column!r}; have {self.columns}"
+            ) from None

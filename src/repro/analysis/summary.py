@@ -1,0 +1,103 @@
+"""One-stop run summaries.
+
+Condenses a :class:`~repro.core.manager.FlowRunResult` into the numbers
+an operator (or a benchmark) cares about per layer: SLO compliance,
+overload, controller activity and cost — rendered the same way
+everywhere so examples, tests and EXPERIMENTS.md agree on definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import slo_violation_rate
+from repro.core.flow import LayerKind
+from repro.core.manager import FlowRunResult
+from repro.monitoring.dashboard import render_table
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    """Per-layer outcome of a run."""
+
+    kind: LayerKind
+    mean_utilization: float
+    violation_rate: float
+    throttled_total: float
+    capacity_min: float
+    capacity_max: float
+    controller_actions: int
+    cost: float
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Whole-run outcome: one row per layer plus totals."""
+
+    layers: tuple[LayerSummary, ...]
+    total_cost: float
+    dropped_records: int
+    dropped_writes: int
+
+    def layer(self, kind: LayerKind) -> LayerSummary:
+        for layer in self.layers:
+            if layer.kind == kind:
+                return layer
+        raise KeyError(kind)
+
+    def render(self) -> str:
+        rows = []
+        for layer in self.layers:
+            rows.append([
+                layer.kind.name.lower(),
+                f"{layer.mean_utilization:.1f}",
+                f"{100 * layer.violation_rate:.1f}",
+                f"{layer.throttled_total:,.0f}",
+                f"{layer.capacity_min:.0f}..{layer.capacity_max:.0f}",
+                str(layer.controller_actions),
+                f"{layer.cost:.4f}",
+            ])
+        table = render_table(
+            ["layer", "util%", "viol%", "throttled", "capacity", "actions", "cost$"],
+            rows,
+        )
+        footer = (
+            f"total cost ${self.total_cost:.4f}; dropped records "
+            f"{self.dropped_records:,}, dropped writes {self.dropped_writes:,}"
+        )
+        return f"{table}\n{footer}"
+
+
+def summarize_run(result: FlowRunResult, slo_utilization: float = 85.0) -> RunSummary:
+    """Build a :class:`RunSummary` from a finished run.
+
+    ``slo_utilization`` is the compliance threshold applied to every
+    layer's utilisation trace (the "SLO" column).
+    """
+    layers = []
+    cost_keys = {
+        LayerKind.INGESTION: "ingestion",
+        LayerKind.ANALYTICS: "analytics",
+        LayerKind.STORAGE: "storage",
+    }
+    for kind in LayerKind:
+        utilization = result.utilization_trace(kind)
+        capacity = result.capacity_trace(kind)
+        throttles = result.throttle_trace(kind)
+        loop = result.loops.get(kind)
+        layers.append(LayerSummary(
+            kind=kind,
+            mean_utilization=utilization.mean(),
+            violation_rate=slo_violation_rate(utilization, "<=", slo_utilization),
+            throttled_total=sum(throttles.values),
+            capacity_min=capacity.minimum(),
+            capacity_max=capacity.maximum(),
+            controller_actions=loop.actions_taken if loop is not None else 0,
+            cost=result.cost_by_layer[cost_keys[kind]],
+        ))
+    return RunSummary(
+        layers=tuple(layers),
+        total_cost=result.total_cost,
+        dropped_records=result.dropped_records,
+        dropped_writes=result.dropped_writes,
+    )

@@ -1,0 +1,182 @@
+"""Command-line interface: the demo walk-through without the GUI.
+
+The VLDB demonstration walked attendees through building a flow,
+configuring controllers, and watching the dashboards (Sec. 4). This CLI
+is the terminal version::
+
+    python -m repro.cli demo       # build + run a managed flow, show the dashboard
+    python -m repro.cli fig2       # workload dependency analysis (Fig. 2 / Eq. 2)
+    python -m repro.cli pareto     # resource share analysis (Fig. 4)
+    python -m repro.cli shootout   # controller comparison (Sec. 3.3)
+
+Every command accepts ``--seed`` and prints deterministic output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import FlowBuilder, LayerKind, clickstream_flow_spec
+from repro.analysis import ComparisonReport, settling_time, slo_violation_rate
+from repro.core.config import CONTROLLER_FACTORIES
+from repro.dependency import fit_linear, pearson_r
+from repro.monitoring import stacked_panels
+from repro.optimization import ResourceShareAnalyzer, ShareConstraint
+from repro.workload import FlashCrowdRate, ConstantRate, SinusoidalRate
+
+
+def _managed_run(duration: int, seed: int, style: str, reference: float):
+    workload = SinusoidalRate(
+        mean=1500.0, amplitude=1200.0, period=duration, phase=-duration // 4
+    )
+    manager = (
+        FlowBuilder("cli-flow", seed=seed)
+        .ingestion(shards=2)
+        .analytics(vms=2)
+        .storage(write_units=300)
+        .workload(workload)
+        .control_all(style=style, reference=reference, period=60)
+        .build()
+    )
+    return manager.run(duration)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    result = _managed_run(args.duration, args.seed, args.style, args.reference)
+    print(result.dashboard())
+    print()
+    for kind in LayerKind:
+        capacity = result.capacity_trace(kind)
+        label = result.flow.layer(kind).resource_label
+        print(f"{kind.name.lower():<10} {label:<7} "
+              f"{capacity.minimum():.0f}..{capacity.maximum():.0f}")
+    print(f"total cost: ${result.total_cost:.4f}")
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    # Static run: the workload shape passes straight through to CPU.
+    workload = SinusoidalRate(
+        mean=500.0, amplitude=300.0, period=args.duration, phase=-args.duration // 4
+    )
+    manager = (
+        FlowBuilder("cli-fig2", seed=args.seed)
+        .ingestion(shards=1)
+        .analytics(vms=1)
+        .storage(write_units=300)
+        .workload(workload)
+        .build()
+    )
+    result = manager.run(args.duration)
+    records = result.trace("AWS/Kinesis", "IncomingRecords", period=60, statistic="Sum",
+                           dimensions=result.layer_dimensions[LayerKind.INGESTION])
+    cpu = result.trace("Custom/Storm", "CPUUtilization", period=60,
+                       dimensions=result.layer_dimensions[LayerKind.ANALYTICS])
+    print(stacked_panels(
+        [records, cpu],
+        titles=["Ingestion Layer (Kinesis) — records/min", "Analytics Layer (Storm) — CPU %"],
+    ))
+    model = fit_linear(records.values, cpu.values)
+    print()
+    print(f"correlation: r = {pearson_r(records.values, cpu.values):+.3f}")
+    print(f"dependency:  {model.equation('CPU', 'WriteCapacity')}")
+    return 0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    constraints = [
+        ShareConstraint.at_least(5, LayerKind.ANALYTICS, LayerKind.INGESTION),
+        ShareConstraint.at_most(2, LayerKind.ANALYTICS, LayerKind.INGESTION),
+        ShareConstraint.at_most(2, LayerKind.INGESTION, LayerKind.STORAGE),
+    ]
+    analyzer = ResourceShareAnalyzer(clickstream_flow_spec(), constraints=constraints)
+    front = analyzer.analyze(budget_per_hour=args.budget, population_size=80,
+                             generations=args.generations, seed=args.seed)
+    print(f"budget ${args.budget:.2f}/h — {len(front)} Pareto-optimal plans")
+    if not front.solutions:
+        print("no feasible plan found: raise the budget or the generation count")
+        return 1
+    print(front.table())
+    print(f"\npicked ({args.pick}): {front.pick(args.pick, seed=args.seed)}")
+    return 0
+
+
+def cmd_shootout(args: argparse.Namespace) -> int:
+    columns = ["violations_%", "settle_s", "cost_$"]
+    report = ComparisonReport(
+        "controller comparison under a flash crowd", columns
+    )
+    crowd_at = args.duration // 4
+    for style in sorted(CONTROLLER_FACTORIES):
+        workload = ConstantRate(700.0) + FlashCrowdRate(
+            peak=2200.0, at=crowd_at, rise_seconds=120, decay_seconds=1500
+        )
+        manager = (
+            FlowBuilder(f"cli-{style}", seed=args.seed)
+            .ingestion(shards=1)
+            .analytics(vms=1)
+            .storage(write_units=200)
+            .workload(workload)
+            .control_all(style=style, reference=args.reference, period=60)
+            .build()
+        )
+        result = manager.run(args.duration)
+        util = result.utilization_trace(LayerKind.INGESTION)
+        settle = settling_time(util, 0.0, 85.0, start=crowd_at, hold_seconds=300)
+        report.add_row(style, [
+            100.0 * slo_violation_rate(util, "<=", 85.0),
+            float(settle) if settle is not None else None,
+            result.total_cost,
+        ])
+    print(report.render())
+    print(f"\nbest on SLO violations: {report.best_row('violations_%')}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Flower: a data analytics flow elasticity manager (VLDB'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a managed flow and show the dashboard")
+    demo.add_argument("--duration", type=int, default=2 * 3600, help="simulated seconds")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--style", choices=sorted(CONTROLLER_FACTORIES), default="adaptive")
+    demo.add_argument("--reference", type=float, default=60.0,
+                      help="desired utilisation (the wizard's reference value)")
+    demo.set_defaults(func=cmd_demo)
+
+    fig2 = sub.add_parser("fig2", help="workload dependency analysis on a static run")
+    fig2.add_argument("--duration", type=int, default=3 * 3600)
+    fig2.add_argument("--seed", type=int, default=7)
+    fig2.set_defaults(func=cmd_fig2)
+
+    pareto = sub.add_parser("pareto", help="resource share analysis (Fig. 4)")
+    pareto.add_argument("--budget", type=float, default=1.5, help="dollars per hour")
+    pareto.add_argument("--generations", type=int, default=150)
+    pareto.add_argument("--seed", type=int, default=0)
+    pareto.add_argument("--pick", default="balanced",
+                        help="random | balanced | cheapest | max:<layer>")
+    pareto.set_defaults(func=cmd_pareto)
+
+    shootout = sub.add_parser("shootout", help="compare the four controller styles")
+    shootout.add_argument("--duration", type=int, default=2 * 3600)
+    shootout.add_argument("--seed", type=int, default=5)
+    shootout.add_argument("--reference", type=float, default=60.0)
+    shootout.set_defaults(func=cmd_shootout)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Simulated cloud managed services.
+
+These modules replace the AWS services the Flower demo runs on
+(Kinesis, Storm-on-EC2, DynamoDB, CloudWatch) with deterministic
+discrete-time simulators that expose the same behaviours an elasticity
+manager has to cope with: per-shard throughput limits, VM boot latency,
+provisioned-capacity throttling, burst credits, capacity-change delays
+and period-aggregated metrics.
+"""
+
+from repro.cloud.cloudwatch import MetricAlarm, SimCloudWatch
+from repro.cloud.dynamodb import DynamoDBConfig, SimDynamoDBTable
+from repro.cloud.ec2 import EC2Config, SimEC2Fleet
+from repro.cloud.kinesis import KinesisConfig, SimKinesisStream
+from repro.cloud.pricing import PriceBook, ResourcePrice
+from repro.cloud.storm import BoltSpec, SimStormCluster, StormConfig, TopologyConfig
+
+__all__ = [
+    "SimCloudWatch",
+    "MetricAlarm",
+    "SimKinesisStream",
+    "KinesisConfig",
+    "SimEC2Fleet",
+    "EC2Config",
+    "SimStormCluster",
+    "StormConfig",
+    "BoltSpec",
+    "TopologyConfig",
+    "SimDynamoDBTable",
+    "DynamoDBConfig",
+    "PriceBook",
+    "ResourcePrice",
+]

@@ -1,0 +1,145 @@
+"""Simulated AWS Auto Scaling: alarm-driven scaling policies.
+
+The paper's reference [1] — "almost all the auto-scaling systems
+offered by cloud providers such as Amazon use simple rule-based
+techniques that quickly trigger in response to predefined threshold
+violations". This module models that service faithfully, as opposed to
+the loop-driven :class:`~repro.control.rule_based.RuleBasedController`:
+a **CloudWatch alarm** moves to ALARM, which triggers a **scaling
+policy** (change-in-capacity, percent-change, or exact-capacity)
+against an actuator, subject to a cooldown.
+
+It exists both as a baseline to compare Flower against and as a
+building block for users who want provider-style scaling on any of the
+simulated services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.cloud.cloudwatch import MetricAlarm, SimCloudWatch
+from repro.control.base import Actuator
+from repro.core.errors import ConfigurationError
+
+
+class AdjustmentType(Enum):
+    """How a policy's ``adjustment`` is interpreted (AWS semantics)."""
+
+    CHANGE_IN_CAPACITY = "ChangeInCapacity"
+    PERCENT_CHANGE_IN_CAPACITY = "PercentChangeInCapacity"
+    EXACT_CAPACITY = "ExactCapacity"
+
+
+@dataclass(frozen=True)
+class ScalingPolicy:
+    """One scaling action, fired when its alarm is in ALARM.
+
+    Attributes
+    ----------
+    name:
+        Policy identifier, used in the activity log.
+    adjustment:
+        Magnitude; sign gives the direction for the relative types.
+    adjustment_type:
+        AWS adjustment semantics; percent changes round away from zero
+        with ``min_adjustment_magnitude`` as the floor, as the real
+        service does.
+    cooldown:
+        Seconds after this policy fires during which it will not fire
+        again.
+    """
+
+    name: str
+    adjustment: float
+    adjustment_type: AdjustmentType = AdjustmentType.CHANGE_IN_CAPACITY
+    cooldown: int = 300
+    min_adjustment_magnitude: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("policy name must be non-empty")
+        if self.cooldown < 0:
+            raise ConfigurationError("cooldown must be non-negative")
+        if self.min_adjustment_magnitude < 1:
+            raise ConfigurationError("min_adjustment_magnitude must be >= 1")
+        if (
+            self.adjustment_type is AdjustmentType.EXACT_CAPACITY
+            and self.adjustment < 0
+        ):
+            raise ConfigurationError("exact capacity must be non-negative")
+
+    def target_capacity(self, current: float) -> float:
+        """The capacity this policy would command from ``current``."""
+        if self.adjustment_type is AdjustmentType.EXACT_CAPACITY:
+            return self.adjustment
+        if self.adjustment_type is AdjustmentType.CHANGE_IN_CAPACITY:
+            return current + self.adjustment
+        # Percent change, rounded away from zero, floored at the
+        # minimum adjustment magnitude.
+        delta = current * self.adjustment / 100.0
+        magnitude = max(self.min_adjustment_magnitude, abs(delta))
+        return current + (magnitude if self.adjustment >= 0 else -magnitude)
+
+
+@dataclass(frozen=True)
+class ScalingActivity:
+    """One executed scaling action, for the activity history."""
+
+    time: int
+    policy: str
+    alarm: str
+    capacity_before: float
+    capacity_after: float
+
+
+@dataclass
+class AutoScaler:
+    """Binds alarms to policies over one actuator.
+
+    Call :meth:`evaluate` periodically (e.g. from a
+    :class:`~repro.simulation.engine.PeriodicTask`); it re-evaluates all
+    attached alarms against CloudWatch and executes the policies whose
+    alarm is in ALARM and whose cooldown has expired.
+    """
+
+    cloudwatch: SimCloudWatch
+    actuator: Actuator
+    _bindings: list[tuple[MetricAlarm, ScalingPolicy]] = field(default_factory=list)
+    _last_fired: dict[str, int] = field(default_factory=dict)
+    activities: list[ScalingActivity] = field(default_factory=list)
+
+    def attach(self, alarm: MetricAlarm, policy: ScalingPolicy) -> None:
+        """Bind a policy to an alarm (one alarm may drive many policies)."""
+        if any(existing.name == policy.name for _a, existing in self._bindings):
+            raise ConfigurationError(f"duplicate policy name {policy.name!r}")
+        self._bindings.append((alarm, policy))
+
+    def evaluate(self, now: int) -> list[ScalingActivity]:
+        """Evaluate alarms and execute triggered policies.
+
+        Returns the activities executed at this evaluation. Policies
+        attached to the same alarm fire independently; each respects its
+        own cooldown.
+        """
+        executed: list[ScalingActivity] = []
+        for alarm, policy in self._bindings:
+            if alarm.evaluate(self.cloudwatch, now) != "ALARM":
+                continue
+            last = self._last_fired.get(policy.name)
+            if last is not None and now - last < policy.cooldown:
+                continue
+            before = self.actuator.get(now)
+            after = self.actuator.apply(policy.target_capacity(before), now)
+            self._last_fired[policy.name] = now
+            activity = ScalingActivity(
+                time=now,
+                policy=policy.name,
+                alarm=alarm.name,
+                capacity_before=before,
+                capacity_after=after,
+            )
+            executed.append(activity)
+        self.activities.extend(executed)
+        return executed

@@ -1,0 +1,288 @@
+"""Simulated CloudWatch: a namespaced time-series metric store.
+
+Flower's sensor module "periodically collects live data from multiple
+sources such as CloudWatch" (Sec. 3.3). In this reproduction every
+simulated service pushes its per-tick measurements here, and sensors
+read them back aggregated over a monitoring window — the same indirect
+path a real deployment uses, so monitoring delay and aggregation
+effects are part of the control loop.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import MonitoringError
+
+#: Statistics supported by :meth:`SimCloudWatch.get_metric_statistics`.
+SUPPORTED_STATISTICS = ("Average", "Sum", "Maximum", "Minimum", "SampleCount")
+
+
+def _dimension_key(dimensions: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not dimensions:
+        return ()
+    return tuple(sorted(dimensions.items()))
+
+
+def _aggregate(values: list[float], statistic: str) -> float:
+    if statistic == "Average":
+        return sum(values) / len(values)
+    if statistic == "Sum":
+        return float(sum(values))
+    if statistic == "Maximum":
+        return float(max(values))
+    if statistic == "Minimum":
+        return float(min(values))
+    if statistic == "SampleCount":
+        return float(len(values))
+    if statistic.startswith("p"):
+        return _percentile(values, float(statistic[1:]))
+    raise MonitoringError(f"unsupported statistic {statistic!r}")
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not 0.0 <= q <= 100.0:
+        raise MonitoringError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    # One-product form: monotone in floating point (never escapes the
+    # bracketing values).
+    return ordered[low] + weight * (ordered[high] - ordered[low])
+
+
+@dataclass
+class _Series:
+    """A single metric stream: strictly time-ordered (t, value) pairs."""
+
+    times: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, t: int, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise MonitoringError(
+                f"metric datapoints must be time-ordered: got t={t} after t={self.times[-1]}"
+            )
+        self.times.append(t)
+        self.values.append(float(value))
+
+    def window(self, start: int, end: int) -> list[float]:
+        """Values with start < t <= end (CloudWatch-style right-closed)."""
+        return [v for t, v in zip(self.times, self.values) if start < t <= end]
+
+
+class SimCloudWatch:
+    """Namespaced metric store with period aggregation and alarms."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, str, tuple[tuple[str, str], ...]], _Series] = defaultdict(
+            _Series
+        )
+        self._alarms: list[MetricAlarm] = []
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def put_metric_data(
+        self,
+        namespace: str,
+        metric_name: str,
+        value: float,
+        timestamp: int,
+        dimensions: dict[str, str] | None = None,
+    ) -> None:
+        """Record one datapoint. Timestamps must be non-decreasing per series."""
+        key = (namespace, metric_name, _dimension_key(dimensions))
+        self._series[key].append(timestamp, value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def list_metrics(self, namespace: str | None = None) -> list[tuple[str, str]]:
+        """Return (namespace, metric_name) pairs, optionally filtered."""
+        seen: list[tuple[str, str]] = []
+        for ns, name, _dims in self._series:
+            if namespace is not None and ns != namespace:
+                continue
+            if (ns, name) not in seen:
+                seen.append((ns, name))
+        return seen
+
+    def get_metric_statistics(
+        self,
+        namespace: str,
+        metric_name: str,
+        start: int,
+        end: int,
+        period: int,
+        statistic: str = "Average",
+        dimensions: dict[str, str] | None = None,
+    ) -> list[tuple[int, float]]:
+        """Aggregate a metric into fixed periods.
+
+        Returns ``(period_end, value)`` pairs for every period in
+        ``(start, end]`` that contains at least one datapoint. Periods
+        are right-aligned on ``end``: the latest period covers
+        ``(end - period, end]``.
+        """
+        if period <= 0:
+            raise MonitoringError(f"period must be positive, got {period}")
+        if end <= start:
+            raise MonitoringError(f"end ({end}) must be after start ({start})")
+        series = self._get_series(namespace, metric_name, dimensions)
+        results: list[tuple[int, float]] = []
+        period_end = end
+        while period_end > start:
+            period_start = max(period_end - period, start)
+            values = series.window(period_start, period_end)
+            if values:
+                results.append((period_end, _aggregate(values, statistic)))
+            period_end -= period
+        results.reverse()
+        return results
+
+    def get_metric_value(
+        self,
+        namespace: str,
+        metric_name: str,
+        now: int,
+        window: int,
+        statistic: str = "Average",
+        dimensions: dict[str, str] | None = None,
+        default: float | None = None,
+    ) -> float:
+        """Single aggregated value over the trailing ``window`` seconds.
+
+        This is what Flower's sensor module calls: one statistic over
+        the monitoring window ending at ``now``. Raises if the window is
+        empty and no ``default`` is given.
+        """
+        series = self._get_series(namespace, metric_name, dimensions, allow_missing=default is not None)
+        values = series.window(now - window, now) if series is not None else []
+        if not values:
+            if default is None:
+                raise MonitoringError(
+                    f"no datapoints for {namespace}/{metric_name} in ({now - window}, {now}]"
+                )
+            return default
+        return _aggregate(values, statistic)
+
+    def get_series(
+        self,
+        namespace: str,
+        metric_name: str,
+        dimensions: dict[str, str] | None = None,
+    ) -> tuple[list[int], list[float]]:
+        """Raw (times, values) of a metric series (copies)."""
+        series = self._get_series(namespace, metric_name, dimensions)
+        return list(series.times), list(series.values)
+
+    def _get_series(
+        self,
+        namespace: str,
+        metric_name: str,
+        dimensions: dict[str, str] | None,
+        allow_missing: bool = False,
+    ) -> _Series | None:
+        key = (namespace, metric_name, _dimension_key(dimensions))
+        if key not in self._series:
+            if allow_missing:
+                return None
+            known = ", ".join(f"{ns}/{name}" for ns, name in self.list_metrics()) or "<none>"
+            raise MonitoringError(
+                f"unknown metric {namespace}/{metric_name} "
+                f"(dimensions={dict(_dimension_key(dimensions))}); known metrics: {known}"
+            )
+        return self._series[key]
+
+    # ------------------------------------------------------------------
+    # Alarms
+    # ------------------------------------------------------------------
+    def put_alarm(self, alarm: "MetricAlarm") -> None:
+        """Register an alarm; it is evaluated by :meth:`evaluate_alarms`."""
+        self._alarms.append(alarm)
+
+    @property
+    def alarms(self) -> list["MetricAlarm"]:
+        return list(self._alarms)
+
+    def evaluate_alarms(self, now: int) -> list["MetricAlarm"]:
+        """Evaluate all alarms at ``now``; return those in ALARM state."""
+        return [alarm for alarm in self._alarms if alarm.evaluate(self, now) == "ALARM"]
+
+
+_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+}
+
+
+@dataclass
+class MetricAlarm:
+    """Threshold alarm over an aggregated metric, CloudWatch-style.
+
+    The alarm goes to ALARM only when the statistic breaches the
+    threshold for ``evaluation_periods`` consecutive periods, which is
+    exactly the "rule-based techniques that quickly trigger in response
+    to predefined threshold violations" the paper contrasts Flower with.
+    """
+
+    name: str
+    namespace: str
+    metric_name: str
+    threshold: float
+    comparison: str = ">"
+    statistic: str = "Average"
+    period: int = 60
+    evaluation_periods: int = 1
+    dimensions: dict[str, str] | None = None
+    on_alarm: Callable[[int], None] | None = None
+    on_ok: Callable[[int], None] | None = None
+    state: str = field(default="INSUFFICIENT_DATA", init=False)
+
+    def __post_init__(self) -> None:
+        if self.comparison not in _COMPARATORS:
+            raise MonitoringError(
+                f"alarm {self.name!r}: comparison must be one of {sorted(_COMPARATORS)}"
+            )
+        if self.evaluation_periods <= 0:
+            raise MonitoringError(f"alarm {self.name!r}: evaluation_periods must be positive")
+
+    def evaluate(self, cloudwatch: SimCloudWatch, now: int) -> str:
+        """Re-evaluate state at ``now`` and fire transition callbacks."""
+        window = self.period * self.evaluation_periods
+        try:
+            datapoints = cloudwatch.get_metric_statistics(
+                self.namespace, self.metric_name, now - window, now,
+                self.period, self.statistic, self.dimensions,
+            )
+        except MonitoringError:
+            # The metric has never been written: insufficient data, not
+            # an error — services may emit their first datapoint after
+            # the alarm is created, as in real CloudWatch.
+            datapoints = []
+        previous = self.state
+        if len(datapoints) < self.evaluation_periods:
+            self.state = "INSUFFICIENT_DATA"
+        else:
+            compare = _COMPARATORS[self.comparison]
+            breached = all(compare(value, self.threshold) for _t, value in datapoints)
+            self.state = "ALARM" if breached else "OK"
+        if self.state != previous:
+            if self.state == "ALARM" and self.on_alarm is not None:
+                self.on_alarm(now)
+            elif self.state == "OK" and self.on_ok is not None:
+                self.on_ok(now)
+        return self.state

@@ -1,0 +1,278 @@
+"""Simulated Amazon DynamoDB table (the storage layer).
+
+Models the behaviours an elasticity controller has to cope with:
+provisioned read/write capacity units, throttling above provision, a
+burst-credit bucket (unused capacity from the trailing five minutes can
+absorb short spikes, as in the real service), a delay before capacity
+updates take effect, and an optional cooldown between capacity
+*decreases* (the real service historically limited decreases per day).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.simulation.clock import SimClock
+
+#: CloudWatch namespace used by the table's metrics.
+NAMESPACE = "AWS/DynamoDB"
+
+
+@dataclass(frozen=True)
+class DynamoDBConfig:
+    """Table limits and capacity-update behaviour."""
+
+    min_write_units: int = 1
+    max_write_units: int = 40000
+    min_read_units: int = 1
+    max_read_units: int = 40000
+    burst_seconds: int = 300
+    update_delay_seconds: int = 30
+    decrease_cooldown_seconds: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_write_units <= self.max_write_units:
+            raise ConfigurationError("need 1 <= min_write_units <= max_write_units")
+        if not 1 <= self.min_read_units <= self.max_read_units:
+            raise ConfigurationError("need 1 <= min_read_units <= max_read_units")
+        if self.burst_seconds < 0:
+            raise ConfigurationError("burst_seconds must be non-negative")
+        if self.update_delay_seconds < 0:
+            raise ConfigurationError("update_delay_seconds must be non-negative")
+        if self.decrease_cooldown_seconds < 0:
+            raise ConfigurationError("decrease_cooldown_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of a batched write: accepted vs throttled units."""
+
+    accepted_units: int
+    throttled_units: int
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a batched read: accepted vs throttled units."""
+
+    accepted_units: int
+    throttled_units: int
+
+
+class SimDynamoDBTable:
+    """A provisioned-throughput table with burst credits."""
+
+    def __init__(
+        self,
+        name: str = "page-aggregates",
+        write_units: int = 10,
+        read_units: int = 10,
+        config: DynamoDBConfig | None = None,
+    ) -> None:
+        self.name = name
+        self.config = config or DynamoDBConfig()
+        if not self.config.min_write_units <= write_units <= self.config.max_write_units:
+            raise CapacityError(
+                f"write_units={write_units} outside "
+                f"[{self.config.min_write_units}, {self.config.max_write_units}]"
+            )
+        if not self.config.min_read_units <= read_units <= self.config.max_read_units:
+            raise CapacityError(
+                f"read_units={read_units} outside "
+                f"[{self.config.min_read_units}, {self.config.max_read_units}]"
+            )
+        self._write_units = int(write_units)
+        self._read_units = int(read_units)
+        self._pending_write_target: int | None = None
+        self._pending_ready_at = 0
+        self._last_decrease_at: int | None = None
+        self._pending_read_target: int | None = None
+        self._pending_read_ready_at = 0
+        self._last_read_decrease_at: int | None = None
+        # Burst buckets hold unused capacity-units (capped), one per
+        # throughput dimension, as in the real service.
+        self._burst_bucket = 0.0
+        self._read_burst_bucket = 0.0
+        # Per-tick counters.
+        self._tick_consumed = 0
+        self._tick_throttled = 0
+        self._tick_read_consumed = 0
+        self._tick_read_throttled = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    def write_capacity(self, now: int) -> int:
+        """Provisioned write units effective at ``now``."""
+        if self._pending_write_target is not None and now >= self._pending_ready_at:
+            self._write_units = self._pending_write_target
+            self._pending_write_target = None
+        return self._write_units
+
+    def read_capacity(self, now: int) -> int:
+        """Provisioned read units effective at ``now``."""
+        if self._pending_read_target is not None and now >= self._pending_read_ready_at:
+            self._read_units = self._pending_read_target
+            self._pending_read_target = None
+        return self._read_units
+
+    def read_updating(self, now: int) -> bool:
+        return self._pending_read_target is not None and now < self._pending_read_ready_at
+
+    def update_read_capacity(self, target: int, now: int) -> int:
+        """Request a new provisioned read capacity.
+
+        Same semantics as :meth:`update_write_capacity`: clamped to the
+        table limits, rejected while an update is in flight, and
+        decrease-rate-limited by the cooldown (the two throughput
+        dimensions update independently, as in the real service).
+        """
+        current = self.read_capacity(now)
+        target = max(self.config.min_read_units, min(self.config.max_read_units, int(target)))
+        if self.read_updating(now):
+            return self._pending_read_target  # type: ignore[return-value]
+        if target == current:
+            return current
+        if target < current:
+            cooldown = self.config.decrease_cooldown_seconds
+            if (
+                cooldown
+                and self._last_read_decrease_at is not None
+                and now - self._last_read_decrease_at < cooldown
+            ):
+                return current
+            self._last_read_decrease_at = now
+        self._pending_read_target = target
+        self._pending_read_ready_at = now + self.config.update_delay_seconds
+        return target
+
+    def updating(self, now: int) -> bool:
+        return self._pending_write_target is not None and now < self._pending_ready_at
+
+    def update_write_capacity(self, target: int, now: int) -> int:
+        """Request a new provisioned write capacity.
+
+        Returns the clamped target actually scheduled. Requests while an
+        update is in flight are ignored (the in-flight target is
+        returned); decreases during the decrease cooldown are ignored
+        (current capacity is returned).
+        """
+        current = self.write_capacity(now)
+        target = max(self.config.min_write_units, min(self.config.max_write_units, int(target)))
+        if self.updating(now):
+            return self._pending_write_target  # type: ignore[return-value]
+        if target == current:
+            return current
+        if target < current:
+            cooldown = self.config.decrease_cooldown_seconds
+            if (
+                cooldown
+                and self._last_decrease_at is not None
+                and now - self._last_decrease_at < cooldown
+            ):
+                return current
+            self._last_decrease_at = now
+        self._pending_write_target = target
+        self._pending_ready_at = now + self.config.update_delay_seconds
+        return target
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def write(self, units: int, clock: SimClock) -> WriteResult:
+        """Consume ``units`` of write capacity this tick.
+
+        Up to the provisioned rate is always accepted; excess draws from
+        the burst bucket; anything beyond that is throttled. Unused
+        provisioned capacity refills the bucket, capped at
+        ``burst_seconds`` worth of the current provision.
+        """
+        if units < 0:
+            raise ConfigurationError("units must be non-negative")
+        now = clock.now
+        provisioned = self.write_capacity(now) * clock.tick_seconds
+        accepted = min(units, provisioned)
+        excess = units - accepted
+        if excess > 0 and self._burst_bucket > 0:
+            from_burst = int(min(excess, self._burst_bucket))
+            accepted += from_burst
+            excess -= from_burst
+            self._burst_bucket -= from_burst
+        unused = max(0, provisioned - units)
+        bucket_cap = self.config.burst_seconds * self.write_capacity(now)
+        self._burst_bucket = min(bucket_cap, self._burst_bucket + unused)
+        self._tick_consumed += accepted
+        self._tick_throttled += excess
+        return WriteResult(accepted_units=accepted, throttled_units=excess)
+
+    def read(self, units: int, clock: SimClock) -> ReadResult:
+        """Consume ``units`` of read capacity this tick.
+
+        Mirrors :meth:`write`: up to the provisioned read rate is always
+        accepted, excess draws from the read burst bucket, the remainder
+        throttles, and unused provision refills the bucket.
+        """
+        if units < 0:
+            raise ConfigurationError("units must be non-negative")
+        now = clock.now
+        provisioned = self.read_capacity(now) * clock.tick_seconds
+        accepted = min(units, provisioned)
+        excess = units - accepted
+        if excess > 0 and self._read_burst_bucket > 0:
+            from_burst = int(min(excess, self._read_burst_bucket))
+            accepted += from_burst
+            excess -= from_burst
+            self._read_burst_bucket -= from_burst
+        unused = max(0, provisioned - units)
+        bucket_cap = self.config.burst_seconds * self.read_capacity(now)
+        self._read_burst_bucket = min(bucket_cap, self._read_burst_bucket + unused)
+        self._tick_read_consumed += accepted
+        self._tick_read_throttled += excess
+        return ReadResult(accepted_units=accepted, throttled_units=excess)
+
+    @property
+    def burst_balance(self) -> float:
+        """Write capacity-units currently banked in the burst bucket."""
+        return self._burst_bucket
+
+    @property
+    def read_burst_balance(self) -> float:
+        """Read capacity-units currently banked in the read burst bucket."""
+        return self._read_burst_bucket
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def emit_metrics(self, cloudwatch, clock: SimClock) -> None:
+        now = clock.now
+        dims = {"TableName": self.name}
+        provisioned = self.write_capacity(now) * clock.tick_seconds
+        utilization = 100.0 * self._tick_consumed / provisioned if provisioned else 0.0
+        cloudwatch.put_metric_data(
+            NAMESPACE, "ConsumedWriteCapacityUnits", self._tick_consumed, now, dims
+        )
+        cloudwatch.put_metric_data(NAMESPACE, "WriteThrottleEvents", self._tick_throttled, now, dims)
+        cloudwatch.put_metric_data(
+            NAMESPACE, "ProvisionedWriteCapacityUnits", self.write_capacity(now), now, dims
+        )
+        cloudwatch.put_metric_data(NAMESPACE, "WriteUtilization", utilization, now, dims)
+        cloudwatch.put_metric_data(NAMESPACE, "BurstBalance", self._burst_bucket, now, dims)
+        read_provisioned = self.read_capacity(now) * clock.tick_seconds
+        read_utilization = (
+            100.0 * self._tick_read_consumed / read_provisioned if read_provisioned else 0.0
+        )
+        cloudwatch.put_metric_data(
+            NAMESPACE, "ConsumedReadCapacityUnits", self._tick_read_consumed, now, dims
+        )
+        cloudwatch.put_metric_data(
+            NAMESPACE, "ReadThrottleEvents", self._tick_read_throttled, now, dims
+        )
+        cloudwatch.put_metric_data(
+            NAMESPACE, "ProvisionedReadCapacityUnits", self.read_capacity(now), now, dims
+        )
+        cloudwatch.put_metric_data(NAMESPACE, "ReadUtilization", read_utilization, now, dims)
+        self._tick_consumed = 0
+        self._tick_throttled = 0
+        self._tick_read_consumed = 0
+        self._tick_read_throttled = 0

@@ -1,0 +1,156 @@
+"""Simulated EC2 fleet.
+
+Storm's analytics layer runs on EC2 instances. The behaviour that
+matters to an elasticity controller is *actuation latency*: a launched
+VM does not serve load until it has booted and joined the cluster, and
+a terminating VM stops serving immediately but is still billed until
+terminated. This module models exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.errors import CapacityError, ConfigurationError
+
+
+class InstanceState(Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class Instance:
+    """One EC2 instance with its lifecycle timestamps."""
+
+    instance_id: str
+    launched_at: int
+    ready_at: int
+    terminated_at: int | None = None
+
+    def state(self, now: int) -> InstanceState:
+        if self.terminated_at is not None and now >= self.terminated_at:
+            return InstanceState.TERMINATED
+        if now >= self.ready_at:
+            return InstanceState.RUNNING
+        return InstanceState.PENDING
+
+    def billable(self, now: int) -> bool:
+        """Billing starts at launch and stops at termination."""
+        return self.terminated_at is None or now < self.terminated_at
+
+
+@dataclass(frozen=True)
+class EC2Config:
+    """Fleet-level configuration.
+
+    Attributes
+    ----------
+    instance_type:
+        Price-book resource key, e.g. ``"ec2.m4.large"``.
+    boot_seconds:
+        Launch-to-serving latency (boot + joining the Storm cluster).
+    min_instances / max_instances:
+        Service limits the actuator must respect.
+    """
+
+    instance_type: str = "ec2.m4.large"
+    boot_seconds: int = 90
+    min_instances: int = 1
+    max_instances: int = 128
+
+    def __post_init__(self) -> None:
+        if self.boot_seconds < 0:
+            raise ConfigurationError("boot_seconds must be non-negative")
+        if not 1 <= self.min_instances <= self.max_instances:
+            raise ConfigurationError(
+                f"need 1 <= min_instances <= max_instances, got "
+                f"{self.min_instances}..{self.max_instances}"
+            )
+
+
+@dataclass
+class SimEC2Fleet:
+    """A scalable group of identical instances."""
+
+    config: EC2Config = field(default_factory=EC2Config)
+    initial_instances: int = 1
+    _instances: list[Instance] = field(default_factory=list, init=False)
+    _ids: "itertools.count[int]" = field(default_factory=itertools.count, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.config.min_instances <= self.initial_instances <= self.config.max_instances:
+            raise CapacityError(
+                f"initial_instances={self.initial_instances} outside "
+                f"[{self.config.min_instances}, {self.config.max_instances}]"
+            )
+        for _ in range(self.initial_instances):
+            # Initial instances are ready immediately: the flow starts
+            # from an already-provisioned steady state.
+            self._instances.append(self._new_instance(launched_at=0, ready_at=0))
+
+    def _new_instance(self, launched_at: int, ready_at: int) -> Instance:
+        return Instance(f"i-{next(self._ids):06d}", launched_at, ready_at)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def instances(self, now: int, state: InstanceState | None = None) -> list[Instance]:
+        live = [i for i in self._instances if i.state(now) != InstanceState.TERMINATED]
+        if state is None:
+            return live
+        return [i for i in live if i.state(now) == state]
+
+    def running_count(self, now: int) -> int:
+        """Instances actually serving load at ``now``."""
+        return len(self.instances(now, InstanceState.RUNNING))
+
+    def provisioned_count(self, now: int) -> int:
+        """Instances launched or booting (the actuator's set-point view)."""
+        return len(self.instances(now))
+
+    def billable_count(self, now: int) -> int:
+        return sum(1 for i in self._instances if i.billable(now))
+
+    # ------------------------------------------------------------------
+    # Scaling
+    # ------------------------------------------------------------------
+    def fail_instance(self, instance_id: str, now: int) -> bool:
+        """Kill one instance (hardware failure): it stops serving *and*
+        being billed immediately, without a controller's involvement.
+
+        Returns False if the instance is unknown or already terminated.
+        """
+        for instance in self._instances:
+            if instance.instance_id == instance_id:
+                if instance.state(now) == InstanceState.TERMINATED:
+                    return False
+                instance.terminated_at = now
+                return True
+        return False
+
+    def set_desired(self, desired: int, now: int) -> int:
+        """Scale the fleet toward ``desired`` instances.
+
+        Launches boot after ``config.boot_seconds``; terminations pick
+        the newest instances first (they are least likely to hold warm
+        state) and take effect immediately. Returns the clamped desired
+        count actually applied.
+        """
+        desired = max(self.config.min_instances, min(self.config.max_instances, int(desired)))
+        current = self.provisioned_count(now)
+        if desired > current:
+            for _ in range(desired - current):
+                self._instances.append(
+                    self._new_instance(launched_at=now, ready_at=now + self.config.boot_seconds)
+                )
+        elif desired < current:
+            victims = sorted(
+                self.instances(now), key=lambda i: i.launched_at, reverse=True
+            )[: current - desired]
+            for victim in victims:
+                victim.terminated_at = now
+        return desired

@@ -1,0 +1,275 @@
+"""Simulated Amazon Kinesis stream (the ingestion layer).
+
+The capacity model is the one the paper itself leans on: "each Shard
+supports up to 1,000 records/second for writes" (Sec. 3.1), plus the
+1 MB/s per-shard payload limit. Writes beyond provisioned throughput
+are throttled back to the producer (``ProvisionedThroughputExceeded``),
+and resharding (split/merge) takes time proportional to the number of
+shards touched — the actuation latency a controller must ride out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.simulation.clock import SimClock
+
+#: CloudWatch namespace used by the stream's metrics.
+NAMESPACE = "AWS/Kinesis"
+
+
+@dataclass(frozen=True)
+class KinesisConfig:
+    """Stream limits and resharding behaviour.
+
+    Attributes
+    ----------
+    records_per_shard_per_second / bytes_per_shard_per_second:
+        Per-shard write limits (AWS: 1,000 records/s and 1 MiB/s).
+    read_records_per_shard_per_second:
+        Per-shard read limit (AWS allows 2 MB/s ~ 2x write rate).
+    reshard_seconds_per_shard:
+        Time to split or merge one shard; a change of N shards takes
+        ``base_reshard_seconds + N * reshard_seconds_per_shard``.
+    """
+
+    records_per_shard_per_second: int = 1000
+    bytes_per_shard_per_second: int = 1024 * 1024
+    read_records_per_shard_per_second: int = 2000
+    min_shards: int = 1
+    max_shards: int = 512
+    base_reshard_seconds: int = 30
+    reshard_seconds_per_shard: int = 15
+    #: Partition-key skew in [0, 1). Kinesis throttles per shard, not on
+    #: the stream aggregate: with skewed keys the hottest shard receives
+    #: ``skew + (1 - skew)/n`` of the traffic and becomes the throughput
+    #: bottleneck, so adding shards helps sublinearly. 0 = perfectly
+    #: distributed keys (aggregate behaviour).
+    hash_key_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.records_per_shard_per_second <= 0 or self.bytes_per_shard_per_second <= 0:
+            raise ConfigurationError("per-shard write limits must be positive")
+        if self.read_records_per_shard_per_second <= 0:
+            raise ConfigurationError("per-shard read limit must be positive")
+        if not 1 <= self.min_shards <= self.max_shards:
+            raise ConfigurationError(
+                f"need 1 <= min_shards <= max_shards, got {self.min_shards}..{self.max_shards}"
+            )
+        if self.base_reshard_seconds < 0 or self.reshard_seconds_per_shard < 0:
+            raise ConfigurationError("reshard latencies must be non-negative")
+        if not 0.0 <= self.hash_key_skew < 1.0:
+            raise ConfigurationError(
+                f"hash_key_skew must be in [0, 1), got {self.hash_key_skew}"
+            )
+
+    def hot_shard_share(self, shards: int) -> float:
+        """Traffic fraction landing on the hottest of ``shards`` shards."""
+        return self.hash_key_skew + (1.0 - self.hash_key_skew) / shards
+
+
+@dataclass(frozen=True)
+class PutResult:
+    """Outcome of a batched put: how much was accepted vs throttled."""
+
+    accepted_records: int
+    accepted_bytes: int
+    throttled_records: int
+    throttled_bytes: int
+
+
+class SimKinesisStream:
+    """A stream with shard-based write capacity and a consumer buffer.
+
+    Records accepted by :meth:`put_records` enter an internal buffer;
+    the analytics layer drains it through :meth:`get_records`. The
+    buffer size is the stream backlog ("iterator age" in AWS terms) —
+    it grows when the analytics layer is under-provisioned, which is
+    how under-provisioning one layer becomes visible upstream.
+    """
+
+    def __init__(
+        self,
+        name: str = "clickstream",
+        shards: int = 1,
+        config: KinesisConfig | None = None,
+    ) -> None:
+        self.name = name
+        self.config = config or KinesisConfig()
+        if not self.config.min_shards <= shards <= self.config.max_shards:
+            raise CapacityError(
+                f"shards={shards} outside [{self.config.min_shards}, {self.config.max_shards}]"
+            )
+        self._shards = int(shards)
+        self._reshard_target: int | None = None
+        self._reshard_ready_at: int = 0
+        # Consumer-facing buffer of accepted-but-unread records.
+        self._buffer_records = 0
+        self._buffer_bytes = 0
+        # Per-tick counters, flushed to metrics by emit_metrics().
+        self._tick_accepted = 0
+        self._tick_accepted_bytes = 0
+        self._tick_throttled = 0
+        self._tick_read = 0
+        # Smoothed incoming rate (records/s), for the iterator-age
+        # estimate: lag seconds ~= backlog / recent arrival rate.
+        self._smoothed_rate = 0.0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    def shard_count(self, now: int) -> int:
+        """Effective shard count at ``now`` (resharding applies late)."""
+        if self._reshard_target is not None and now >= self._reshard_ready_at:
+            self._shards = self._reshard_target
+            self._reshard_target = None
+        return self._shards
+
+    def resharding(self, now: int) -> bool:
+        """Whether a reshard operation is still in flight at ``now``."""
+        return self._reshard_target is not None and now < self._reshard_ready_at
+
+    def update_shard_count(self, target: int, now: int) -> int:
+        """Start resharding toward ``target`` shards.
+
+        Returns the clamped target. If a reshard is already in flight
+        the request is ignored (AWS returns ``ResourceInUseException``)
+        and the in-flight target is returned — controllers poll again
+        on their next period.
+        """
+        current = self.shard_count(now)
+        target = max(self.config.min_shards, min(self.config.max_shards, int(target)))
+        if self.resharding(now):
+            return self._reshard_target  # type: ignore[return-value]
+        if target == current:
+            return current
+        delta = abs(target - current)
+        duration = self.config.base_reshard_seconds + delta * self.config.reshard_seconds_per_shard
+        self._reshard_target = target
+        self._reshard_ready_at = now + duration
+        return target
+
+    def write_capacity_records(self, now: int) -> int:
+        """Records/second the stream can currently absorb.
+
+        With skewed partition keys the hottest shard saturates first, so
+        the usable aggregate is the per-shard limit divided by the hot
+        shard's traffic share — less than ``shards * limit`` unless keys
+        are perfectly distributed.
+        """
+        shards = self.shard_count(now)
+        limit = shards * self.config.records_per_shard_per_second
+        if self.config.hash_key_skew:
+            bottleneck = self.config.records_per_shard_per_second / self.config.hot_shard_share(shards)
+            limit = min(limit, int(bottleneck))
+        return limit
+
+    def write_capacity_bytes(self, now: int) -> int:
+        shards = self.shard_count(now)
+        limit = shards * self.config.bytes_per_shard_per_second
+        if self.config.hash_key_skew:
+            bottleneck = self.config.bytes_per_shard_per_second / self.config.hot_shard_share(shards)
+            limit = min(limit, int(bottleneck))
+        return limit
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def put_records(self, records: int, payload_bytes: int, clock: SimClock) -> PutResult:
+        """Offer a batch of records for this tick.
+
+        Acceptance is limited by both the record-rate and byte-rate
+        shard limits over the tick; the binding limit wins. Throttled
+        records are returned to the caller (producers retry, as the
+        Kinesis Producer Library does).
+        """
+        if records < 0 or payload_bytes < 0:
+            raise ConfigurationError("records and payload_bytes must be non-negative")
+        if records == 0:
+            return PutResult(0, 0, 0, 0)
+        now = clock.now
+        record_cap = self.write_capacity_records(now) * clock.tick_seconds
+        byte_cap = self.write_capacity_bytes(now) * clock.tick_seconds
+        record_fraction = min(1.0, record_cap / records)
+        byte_fraction = min(1.0, byte_cap / payload_bytes) if payload_bytes else 1.0
+        fraction = min(record_fraction, byte_fraction)
+        accepted = int(records * fraction)
+        accepted_bytes = int(payload_bytes * fraction)
+        self._buffer_records += accepted
+        self._buffer_bytes += accepted_bytes
+        self._tick_accepted += accepted
+        self._tick_accepted_bytes += accepted_bytes
+        self._tick_throttled += records - accepted
+        return PutResult(accepted, accepted_bytes, records - accepted, payload_bytes - accepted_bytes)
+
+    def get_records(self, max_records: int, clock: SimClock) -> int:
+        """Drain up to ``max_records`` from the buffer (consumer read).
+
+        Also limited by the per-shard read throughput over the tick.
+        Returns the number of records handed to the consumer.
+        """
+        if max_records < 0:
+            raise ConfigurationError("max_records must be non-negative")
+        now = clock.now
+        read_cap = (
+            self.shard_count(now)
+            * self.config.read_records_per_shard_per_second
+            * clock.tick_seconds
+        )
+        handed = min(max_records, self._buffer_records, read_cap)
+        if self._buffer_records:
+            self._buffer_bytes -= int(self._buffer_bytes * handed / self._buffer_records)
+        self._buffer_records -= handed
+        self._tick_read += handed
+        return handed
+
+    @property
+    def backlog_records(self) -> int:
+        """Records accepted but not yet read by the consumer."""
+        return self._buffer_records
+
+    def iterator_age_millis(self) -> float:
+        """Estimated consumer lag (AWS's ``MillisBehindLatest``).
+
+        How long the consumer would need, at the recent arrival rate,
+        to catch up with the newest record: backlog divided by the
+        smoothed incoming rate. Zero when the buffer is drained.
+        """
+        if self._buffer_records == 0:
+            return 0.0
+        rate = max(self._smoothed_rate, 1e-9)
+        return 1000.0 * self._buffer_records / rate
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def emit_metrics(self, cloudwatch, clock: SimClock) -> None:
+        """Flush this tick's counters to CloudWatch and reset them."""
+        now = clock.now
+        dims = {"StreamName": self.name}
+        capacity = self.write_capacity_records(now) * clock.tick_seconds
+        # Utilization is accepted/capacity — the saturating signal real
+        # dashboards show; overload beyond 100% is visible through the
+        # throttle metric instead.
+        utilization = 100.0 * self._tick_accepted / capacity if capacity else 0.0
+        cloudwatch.put_metric_data(NAMESPACE, "IncomingRecords", self._tick_accepted, now, dims)
+        cloudwatch.put_metric_data(NAMESPACE, "IncomingBytes", self._tick_accepted_bytes, now, dims)
+        cloudwatch.put_metric_data(
+            NAMESPACE, "WriteProvisionedThroughputExceeded", self._tick_throttled, now, dims
+        )
+        cloudwatch.put_metric_data(NAMESPACE, "GetRecords.Records", self._tick_read, now, dims)
+        cloudwatch.put_metric_data(NAMESPACE, "ShardCount", self.shard_count(now), now, dims)
+        cloudwatch.put_metric_data(NAMESPACE, "WriteUtilization", utilization, now, dims)
+        cloudwatch.put_metric_data(NAMESPACE, "BacklogRecords", self._buffer_records, now, dims)
+        # EWMA over ~60 s of ticks, then the lag estimate.
+        alpha = min(1.0, clock.tick_seconds / 60.0)
+        tick_rate = self._tick_accepted / clock.tick_seconds
+        self._smoothed_rate += alpha * (tick_rate - self._smoothed_rate)
+        cloudwatch.put_metric_data(
+            NAMESPACE, "MillisBehindLatest", self.iterator_age_millis(), now, dims
+        )
+        self._tick_accepted = 0
+        self._tick_accepted_bytes = 0
+        self._tick_throttled = 0
+        self._tick_read = 0

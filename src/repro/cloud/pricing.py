@@ -1,0 +1,139 @@
+"""Cloud price books.
+
+The paper's resource-share optimisation (Eq. 4) sums, over every layer
+and every *cost dimension* ``d``, the resource amount times the unit
+cost ``c_d``. A Kinesis shard, for instance, has two cost dimensions:
+a shard-hour price and a per-million-PUT-payload-units price. This
+module models unit prices per resource and per cost dimension, and
+aggregates running cost for a simulation.
+
+Default prices follow the 2017-era us-east-1 AWS price list that the
+paper's demo would have been billed under; they are configuration, not
+behaviour, and can be overridden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResourcePrice:
+    """Unit prices for one resource type across its cost dimensions.
+
+    Attributes
+    ----------
+    resource:
+        Resource name, e.g. ``"kinesis.shard"``.
+    hourly:
+        Price per resource-unit-hour (the capacity dimension).
+    per_use:
+        Price per usage unit (e.g. per million PUT payload units), used
+        with a usage volume rather than a capacity level.
+    """
+
+    resource: str
+    hourly: float
+    per_use: float = 0.0
+    use_unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.hourly < 0 or self.per_use < 0:
+            raise ConfigurationError(f"{self.resource}: prices must be non-negative")
+
+    def capacity_cost(self, units: float, seconds: float) -> float:
+        """Cost of holding ``units`` of capacity for ``seconds``."""
+        if units < 0 or seconds < 0:
+            raise ConfigurationError("units and seconds must be non-negative")
+        return self.hourly * units * (seconds / 3600.0)
+
+    def usage_cost(self, volume: float) -> float:
+        """Cost of consuming ``volume`` usage units."""
+        if volume < 0:
+            raise ConfigurationError("volume must be non-negative")
+        return self.per_use * volume
+
+
+#: 2017-era us-east-1 prices (USD). Sources: AWS public price pages as of
+#: the paper's publication window.
+DEFAULT_PRICES: dict[str, ResourcePrice] = {
+    # Kinesis: $0.015 per shard-hour + $0.014 per million PUT payload units.
+    "kinesis.shard": ResourcePrice("kinesis.shard", hourly=0.015, per_use=0.014e-6, use_unit="put_payload_unit"),
+    # EC2 m4.large on-demand (the Storm worker type in the demo architecture).
+    "ec2.m4.large": ResourcePrice("ec2.m4.large", hourly=0.10),
+    "ec2.m4.xlarge": ResourcePrice("ec2.m4.xlarge", hourly=0.20),
+    "ec2.c4.large": ResourcePrice("ec2.c4.large", hourly=0.10),
+    # DynamoDB provisioned throughput: $0.00065 per WCU-hour, $0.00013 per RCU-hour.
+    "dynamodb.wcu": ResourcePrice("dynamodb.wcu", hourly=0.00065),
+    "dynamodb.rcu": ResourcePrice("dynamodb.rcu", hourly=0.00013),
+}
+
+
+class PriceBook:
+    """Maps resource names to :class:`ResourcePrice` entries."""
+
+    def __init__(self, prices: dict[str, ResourcePrice] | None = None) -> None:
+        self._prices = dict(DEFAULT_PRICES if prices is None else prices)
+
+    def price(self, resource: str) -> ResourcePrice:
+        try:
+            return self._prices[resource]
+        except KeyError:
+            known = ", ".join(sorted(self._prices)) or "<none>"
+            raise ConfigurationError(
+                f"no price for resource {resource!r}; known resources: {known}"
+            ) from None
+
+    def set_price(self, price: ResourcePrice) -> None:
+        self._prices[price.resource] = price
+
+    def hourly_rate(self, resource: str, units: float) -> float:
+        """Dollars per hour of holding ``units`` of ``resource``."""
+        return self.price(resource).hourly * units
+
+    def capacity_cost(self, resource: str, units: float, seconds: float) -> float:
+        return self.price(resource).capacity_cost(units, seconds)
+
+    def resources(self) -> list[str]:
+        return sorted(self._prices)
+
+
+class CostMeter:
+    """Accumulates capacity cost for one resource over a simulation.
+
+    Call :meth:`accrue` once per tick with the capacity held during that
+    tick; the meter integrates capacity-seconds and converts to dollars
+    through the price book.
+    """
+
+    def __init__(self, book: PriceBook, resource: str) -> None:
+        self._price = book.price(resource)
+        self.resource = resource
+        self._unit_seconds = 0.0
+        self._usage_volume = 0.0
+
+    def accrue(self, units: float, seconds: float) -> None:
+        """Record holding ``units`` of capacity for ``seconds``."""
+        if units < 0 or seconds < 0:
+            raise ConfigurationError("units and seconds must be non-negative")
+        self._unit_seconds += units * seconds
+
+    def record_usage(self, volume: float) -> None:
+        """Record per-use consumption (e.g. PUT payload units)."""
+        if volume < 0:
+            raise ConfigurationError("volume must be non-negative")
+        self._usage_volume += volume
+
+    @property
+    def unit_hours(self) -> float:
+        return self._unit_seconds / 3600.0
+
+    @property
+    def total_cost(self) -> float:
+        """Dollars accrued so far (capacity plus usage dimensions)."""
+        return (
+            self._price.hourly * self.unit_hours
+            + self._price.usage_cost(self._usage_volume)
+        )

@@ -1,0 +1,118 @@
+"""Actuators: applying controller commands to simulated services.
+
+Each actuator wraps one service's capacity API — "adding or removing
+VMs and increasing or decreasing number of Shards" (Sec. 2) — and
+enforces the realities the controller must live with: integer
+capacities, service minima/maxima, and updates that are rejected while
+a previous change is still in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cloud.dynamodb import SimDynamoDBTable
+from repro.cloud.ec2 import SimEC2Fleet
+from repro.cloud.kinesis import SimKinesisStream
+from repro.control.base import Actuator
+from repro.core.errors import ControlError
+
+
+class CallbackActuator(Actuator):
+    """Generic actuator over getter/setter callables.
+
+    Useful in tests and for plant models that are not one of the three
+    built-in services. Clamps to ``[minimum, maximum]`` and rounds to
+    integers when ``integer`` is set.
+    """
+
+    def __init__(
+        self,
+        getter: Callable[[int], float],
+        setter: Callable[[float, int], None],
+        minimum: float = 1.0,
+        maximum: float = float("inf"),
+        integer: bool = True,
+    ) -> None:
+        if minimum > maximum:
+            raise ControlError(f"minimum {minimum} exceeds maximum {maximum}")
+        self._getter = getter
+        self._setter = setter
+        self.minimum = minimum
+        self.maximum = maximum
+        self.integer = integer
+
+    def get(self, now: int) -> float:
+        return self._getter(now)
+
+    def apply(self, target: float, now: int) -> float:
+        clamped = max(self.minimum, min(self.maximum, target))
+        if self.integer:
+            clamped = float(round(clamped))
+        self._setter(clamped, now)
+        return clamped
+
+
+class KinesisShardActuator(Actuator):
+    """Resizes a Kinesis stream's shard count."""
+
+    def __init__(self, stream: SimKinesisStream) -> None:
+        self._stream = stream
+
+    def get(self, now: int) -> float:
+        # While resharding, report the in-flight target so the control
+        # error integrates against the commanded state, not the stale one.
+        if self._stream.resharding(now):
+            return float(self._stream._reshard_target)  # noqa: SLF001 - same package family
+        return float(self._stream.shard_count(now))
+
+    def apply(self, target: float, now: int) -> float:
+        return float(self._stream.update_shard_count(int(round(target)), now))
+
+
+class StormVMActuator(Actuator):
+    """Resizes the analytics layer's EC2 fleet."""
+
+    def __init__(self, fleet: SimEC2Fleet) -> None:
+        self._fleet = fleet
+
+    def get(self, now: int) -> float:
+        return float(self._fleet.provisioned_count(now))
+
+    def apply(self, target: float, now: int) -> float:
+        return float(self._fleet.set_desired(int(round(target)), now))
+
+
+class DynamoDBWriteActuator(Actuator):
+    """Resizes a DynamoDB table's provisioned write capacity."""
+
+    def __init__(self, table: SimDynamoDBTable) -> None:
+        self._table = table
+
+    def get(self, now: int) -> float:
+        if self._table.updating(now):
+            return float(self._table._pending_write_target)  # noqa: SLF001
+        return float(self._table.write_capacity(now))
+
+    def apply(self, target: float, now: int) -> float:
+        return float(self._table.update_write_capacity(int(round(target)), now))
+
+
+class DynamoDBReadActuator(Actuator):
+    """Resizes a DynamoDB table's provisioned read capacity.
+
+    DynamoDB's two throughput dimensions scale independently; Flower
+    lists "DynamoDB read/write units" among the resources it manages
+    (Sec. 2), so each dimension gets its own actuator and control loop.
+    """
+
+    def __init__(self, table: SimDynamoDBTable) -> None:
+        self._table = table
+
+    def get(self, now: int) -> float:
+        if self._table.read_updating(now):
+            return float(self._table._pending_read_target)  # noqa: SLF001
+        return float(self._table.read_capacity(now))
+
+    def apply(self, target: float, now: int) -> float:
+        return float(self._table.update_read_capacity(int(round(target)), now))

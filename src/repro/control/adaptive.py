@@ -1,0 +1,129 @@
+"""Flower's adaptive-gain integral controller (paper Eq. 6–7).
+
+The control law is
+
+    u_{k+1} = u_k + l_{k+1} * (y_k - y_r)                       (Eq. 6)
+
+with the gain updated by the bounded adaptation law
+
+    l_{k+1} = clamp(l_k + gamma * (y_k - y_r), l_min, l_max)    (Eq. 7)
+
+where ``y`` is the monitored resource utilisation, ``y_r`` the desired
+reference value, ``gamma > 0`` the adaptation rate and
+``0 < l_min <= l_max`` the gain bounds that give the stability
+guarantee of the companion paper [9].
+
+On top of Eq. 6–7 this implementation adds the paper's distinguishing
+feature: a :class:`~repro.control.gain_memory.GainMemory` holding "the
+history of the previously computed control gains for rapid elasticity".
+When the control error moves into a regime the controller has operated
+in before, the gain warm-starts from the remembered value instead of
+adapting step-by-step from wherever it happens to be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.base import Controller
+from repro.control.gain_memory import GainMemory
+from repro.core.errors import ControlError
+
+
+@dataclass(frozen=True)
+class AdaptiveGainConfig:
+    """Parameters of Eq. 6–7 plus the gain-memory switch.
+
+    Attributes
+    ----------
+    reference:
+        ``y_r``, the desired sensor value (e.g. 60 % utilisation).
+    gamma:
+        Gain adaptation rate (Eq. 7's ``gamma > 0``).
+    l_min / l_max:
+        Gain bounds (Eq. 7); both must be positive with
+        ``l_min <= l_max``.
+    l_init:
+        Starting gain; defaults to ``l_min`` (the cautious end).
+    use_memory:
+        Enable the gain-memory warm start (Flower's novel feature).
+        Disabling it yields the plain Eq. 6–7 controller, which is what
+        the gain-memory ablation benchmark compares against.
+    memory_bin_width:
+        Error quantization of the regime buckets, in sensor units.
+    deadband:
+        Errors with ``|y_k - y_r| <= deadband`` produce no actuation or
+        adaptation; avoids churning integer capacities on noise.
+    """
+
+    reference: float
+    gamma: float
+    l_min: float
+    l_max: float
+    l_init: float | None = None
+    use_memory: bool = True
+    memory_bin_width: float = 10.0
+    deadband: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0:
+            raise ControlError(f"gamma must be positive, got {self.gamma}")
+        if not 0 < self.l_min <= self.l_max:
+            raise ControlError(
+                f"need 0 < l_min <= l_max, got l_min={self.l_min}, l_max={self.l_max}"
+            )
+        if self.l_init is not None and not self.l_min <= self.l_init <= self.l_max:
+            raise ControlError(
+                f"l_init={self.l_init} outside [{self.l_min}, {self.l_max}]"
+            )
+        if self.deadband < 0:
+            raise ControlError(f"deadband must be non-negative, got {self.deadband}")
+        if self.memory_bin_width <= 0:
+            raise ControlError("memory_bin_width must be positive")
+
+
+@dataclass
+class AdaptiveGainController(Controller):
+    """Eq. 6–7 with multi-stage gain memory."""
+
+    config: AdaptiveGainConfig
+    gain: float = field(init=False)
+    memory: GainMemory | None = field(init=False)
+    _last_bucket: int | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.gain = self.config.l_init if self.config.l_init is not None else self.config.l_min
+        self.memory = (
+            GainMemory(bin_width=self.config.memory_bin_width) if self.config.use_memory else None
+        )
+
+    def compute(self, u_current: float, y_measured: float, now: int) -> float:
+        error = y_measured - self.config.reference
+        if abs(error) <= self.config.deadband:
+            self._last_bucket = None
+            return u_current
+
+        cfg = self.config
+        if self.memory is not None:
+            bucket = self.memory.bucket(error)
+            if bucket != self._last_bucket:
+                remembered = self.memory.recall(error)
+                if remembered is not None:
+                    # Regime re-entry: warm-start from the gain this
+                    # regime converged to last time (rapid elasticity).
+                    self.gain = min(cfg.l_max, max(cfg.l_min, remembered))
+            self._last_bucket = bucket
+
+        # Eq. 7: bounded gain adaptation.
+        self.gain = min(cfg.l_max, max(cfg.l_min, self.gain + cfg.gamma * error))
+        if self.memory is not None:
+            self.memory.remember(error, self.gain)
+
+        # Eq. 6: integral action with the adapted gain.
+        return u_current + self.gain * error
+
+    def reset(self) -> None:
+        self.gain = self.config.l_init if self.config.l_init is not None else self.config.l_min
+        self._last_bucket = None
+        if self.memory is not None:
+            self.memory.clear()

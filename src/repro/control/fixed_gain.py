@@ -1,0 +1,71 @@
+"""Fixed-gain integral controller — baseline [12].
+
+Lim, Babu and Chase, *Automated control for elastic storage* (ICAC
+2010): an integral controller ``u_{k+1} = u_k + l * (y_k - y_r)`` with a
+*fixed* gain, paired with "proportional thresholding" — a target band
+``[y_low, y_high]`` instead of a single reference — so that coarse
+integer actuators (you cannot add half a server) do not oscillate
+around an unreachable set-point.
+
+The companion paper [9] uses this design as the fixed-gain baseline
+that Flower's adaptive controller outperforms; it is reproduced here
+for the controller-comparison experiment (E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.base import Controller
+from repro.core.errors import ControlError
+
+
+@dataclass(frozen=True)
+class FixedGainConfig:
+    """Parameters of the fixed-gain baseline.
+
+    Attributes
+    ----------
+    reference:
+        ``y_r``; used as the control target when acting.
+    gain:
+        The fixed integral gain ``l``.
+    band_low / band_high:
+        Proportional-thresholding band around the reference; the
+        controller only acts when the measurement leaves the band.
+        Defaults to the bare reference (no band).
+    """
+
+    reference: float
+    gain: float
+    band_low: float | None = None
+    band_high: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ControlError(f"gain must be positive, got {self.gain}")
+        low = self.band_low if self.band_low is not None else self.reference
+        high = self.band_high if self.band_high is not None else self.reference
+        if not low <= self.reference <= high:
+            raise ControlError(
+                f"need band_low <= reference <= band_high, got "
+                f"{low} <= {self.reference} <= {high}"
+            )
+
+
+@dataclass
+class FixedGainController(Controller):
+    """Integral control with a constant gain and an optional dead band."""
+
+    config: FixedGainConfig
+
+    def compute(self, u_current: float, y_measured: float, now: int) -> float:
+        cfg = self.config
+        low = cfg.band_low if cfg.band_low is not None else cfg.reference
+        high = cfg.band_high if cfg.band_high is not None else cfg.reference
+        if low <= y_measured <= high:
+            return u_current
+        return u_current + cfg.gain * (y_measured - cfg.reference)
+
+    def reset(self) -> None:
+        """The controller is stateless; nothing to reset."""

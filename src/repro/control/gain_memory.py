@@ -1,0 +1,68 @@
+"""Gain memory: the "history of the controller's decisions".
+
+Flower's control system "has the feature of updating the gain
+parameters in multi-stages and keeping the history of the previously
+computed control gains for rapid elasticity" (Sec. 3.3). A plain
+adaptive-gain controller must re-learn its gain from ``l_min`` every
+time the workload regime shifts; with memory, the controller
+warm-starts from the gain it had converged to the last time it operated
+in a similar regime, so a repeated shock (e.g. the same daily peak, or
+a second flash crowd) is absorbed in far fewer control periods.
+
+The operating regime is summarised by the *control-error bucket*: the
+signed error ``y_k - y_r`` quantized into bands of ``bin_width``. Each
+bucket remembers the most recent gain used there (a multi-stage gain
+schedule learned online).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import ControlError
+
+
+class GainMemory:
+    """Per-regime store of recently used controller gains."""
+
+    def __init__(self, bin_width: float = 10.0, max_bins: int = 256) -> None:
+        if bin_width <= 0:
+            raise ControlError(f"bin_width must be positive, got {bin_width}")
+        if max_bins <= 0:
+            raise ControlError(f"max_bins must be positive, got {max_bins}")
+        self.bin_width = bin_width
+        self.max_bins = max_bins
+        self._gains: dict[int, float] = {}
+        self._order: list[int] = []  # LRU eviction order
+
+    def bucket(self, error: float) -> int:
+        """Quantize a control error into a regime bucket."""
+        return int(math.floor(error / self.bin_width))
+
+    def recall(self, error: float) -> float | None:
+        """The gain last used in this error regime, if any."""
+        return self._gains.get(self.bucket(error))
+
+    def remember(self, error: float, gain: float) -> None:
+        """Record ``gain`` as the latest gain for this error regime."""
+        if gain <= 0:
+            raise ControlError(f"gain must be positive, got {gain}")
+        key = self.bucket(error)
+        if key in self._gains:
+            self._order.remove(key)
+        elif len(self._gains) >= self.max_bins:
+            evicted = self._order.pop(0)
+            del self._gains[evicted]
+        self._gains[key] = gain
+        self._order.append(key)
+
+    def __len__(self) -> int:
+        return len(self._gains)
+
+    def clear(self) -> None:
+        self._gains.clear()
+        self._order.clear()
+
+    def snapshot(self) -> dict[int, float]:
+        """Copy of the regime → gain table (for dashboards/tests)."""
+        return dict(self._gains)

@@ -1,0 +1,107 @@
+"""Quasi-adaptive controller — baseline [14].
+
+Padala et al., *Adaptive control of virtualized resources in utility
+computing environments* (EuroSys 2007): the controller gain is rescaled
+every step from an *online estimate of the process gain* — how strongly
+the sensed variable responds to a unit of actuation — rather than
+adapted by an error-driven law with memory. The estimator here is a
+first-order model ``delta_y = b * delta_u`` tracked by exponentially
+weighted recursive estimation, which is the self-tuning-regulator
+pattern that paper uses.
+
+Included as the quasi-adaptive baseline of the controller-comparison
+experiment (E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.base import Controller
+from repro.core.errors import ControlError
+
+
+@dataclass(frozen=True)
+class QuasiAdaptiveConfig:
+    """Parameters of the quasi-adaptive baseline.
+
+    Attributes
+    ----------
+    reference:
+        ``y_r``, the desired sensor value.
+    aggressiveness:
+        Fraction of the estimated required correction applied per step
+        (Padala et al.'s stability knob; 1.0 = full correction).
+    initial_process_gain:
+        Starting estimate of ``|dy/du|`` (sensor units per actuator
+        unit). A poor initial estimate is exactly what makes this
+        design slow to respond — the property the experiment exposes.
+    forgetting:
+        EWMA weight on the newest ``delta_y/delta_u`` observation.
+    l_min / l_max:
+        Safety clamp on the effective gain.
+    """
+
+    reference: float
+    aggressiveness: float = 0.8
+    initial_process_gain: float = 1.0
+    forgetting: float = 0.3
+    l_min: float = 1e-4
+    l_max: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.aggressiveness <= 2.0:
+            raise ControlError(f"aggressiveness must be in (0, 2], got {self.aggressiveness}")
+        if self.initial_process_gain <= 0:
+            raise ControlError("initial_process_gain must be positive")
+        if not 0 < self.forgetting <= 1:
+            raise ControlError(f"forgetting must be in (0, 1], got {self.forgetting}")
+        if not 0 < self.l_min <= self.l_max:
+            raise ControlError("need 0 < l_min <= l_max")
+
+
+@dataclass
+class QuasiAdaptiveController(Controller):
+    """Self-tuning integral control with an online process-gain estimate."""
+
+    config: QuasiAdaptiveConfig
+    _process_gain: float = field(init=False)
+    _last_u: float | None = field(default=None, init=False)
+    _last_y: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self._process_gain = self.config.initial_process_gain
+
+    @property
+    def process_gain_estimate(self) -> float:
+        """Current estimate of ``|dy/du|``."""
+        return self._process_gain
+
+    @property
+    def effective_gain(self) -> float:
+        """The gain the next actuation would use."""
+        cfg = self.config
+        gain = cfg.aggressiveness / self._process_gain
+        return min(cfg.l_max, max(cfg.l_min, gain))
+
+    def compute(self, u_current: float, y_measured: float, now: int) -> float:
+        cfg = self.config
+        # Update the process-gain estimate from the last actuation's
+        # observed effect (only when the actuator actually moved).
+        if self._last_u is not None and self._last_y is not None:
+            delta_u = u_current - self._last_u
+            delta_y = y_measured - self._last_y
+            if abs(delta_u) > 1e-9:
+                observed = abs(delta_y / delta_u)
+                if observed > 1e-12:
+                    self._process_gain = (
+                        (1.0 - cfg.forgetting) * self._process_gain + cfg.forgetting * observed
+                    )
+        self._last_u = u_current
+        self._last_y = y_measured
+        return u_current + self.effective_gain * (y_measured - cfg.reference)
+
+    def reset(self) -> None:
+        self._process_gain = self.config.initial_process_gain
+        self._last_u = None
+        self._last_y = None

@@ -1,0 +1,88 @@
+"""Rule-based threshold autoscaler — baseline [1].
+
+"Almost all the auto-scaling systems offered by cloud providers such as
+Amazon use simple rule-based techniques that quickly trigger in
+response to predefined threshold violations. Although these rules can
+identify fatal conditions, they often fail to adapt to unplanned or
+unforeseen changes in demand." (Sec. 1)
+
+This is that design: scale up by a fixed step when the measurement
+exceeds an upper threshold, down when below a lower threshold, with a
+cooldown between actions. Its two failure modes — fixed step size
+(too slow for big shocks) and cooldown (blind between actions) — are
+what the controller-comparison experiment (E4) surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.base import Controller
+from repro.core.errors import ControlError
+
+
+@dataclass(frozen=True)
+class RuleBasedConfig:
+    """Threshold-rule parameters (an Amazon-style scaling policy).
+
+    Attributes
+    ----------
+    upper_threshold / lower_threshold:
+        Measurement levels that trigger scale-up / scale-down.
+    step_up / step_down:
+        Capacity units added / removed per triggered action.
+    scale_fraction:
+        If set, the step is ``max(step, scale_fraction * u)`` — a
+        percentage-based policy variant.
+    cooldown:
+        Seconds after any action during which the rule will not fire.
+    """
+
+    upper_threshold: float
+    lower_threshold: float
+    step_up: float = 1.0
+    step_down: float = 1.0
+    scale_fraction: float | None = None
+    cooldown: int = 300
+
+    def __post_init__(self) -> None:
+        if self.lower_threshold >= self.upper_threshold:
+            raise ControlError(
+                f"lower_threshold ({self.lower_threshold}) must be below "
+                f"upper_threshold ({self.upper_threshold})"
+            )
+        if self.step_up <= 0 or self.step_down <= 0:
+            raise ControlError("steps must be positive")
+        if self.scale_fraction is not None and self.scale_fraction <= 0:
+            raise ControlError("scale_fraction must be positive")
+        if self.cooldown < 0:
+            raise ControlError("cooldown must be non-negative")
+
+
+@dataclass
+class RuleBasedController(Controller):
+    """Fixed-step threshold scaling with a cooldown."""
+
+    config: RuleBasedConfig
+    _last_action_at: int | None = field(default=None, init=False)
+
+    def compute(self, u_current: float, y_measured: float, now: int) -> float:
+        cfg = self.config
+        if self._last_action_at is not None and now - self._last_action_at < cfg.cooldown:
+            return u_current
+        if y_measured > cfg.upper_threshold:
+            step = cfg.step_up
+            if cfg.scale_fraction is not None:
+                step = max(step, cfg.scale_fraction * u_current)
+            self._last_action_at = now
+            return u_current + step
+        if y_measured < cfg.lower_threshold:
+            step = cfg.step_down
+            if cfg.scale_fraction is not None:
+                step = max(step, cfg.scale_fraction * u_current)
+            self._last_action_at = now
+            return u_current - step
+        return u_current
+
+    def reset(self) -> None:
+        self._last_action_at = None

@@ -1,0 +1,46 @@
+"""Sensors: monitoring-window reads from the metric store.
+
+Flower's sensor module "periodically collects live data from multiple
+sources such as CloudWatch" (Sec. 3.3); here the source is the
+simulated CloudWatch, which every service pushes its measurements to.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.cloudwatch import SimCloudWatch
+from repro.control.base import Sensor
+from repro.core.errors import ControlError
+
+
+class CloudWatchSensor(Sensor):
+    """Aggregates one CloudWatch metric over a trailing window."""
+
+    def __init__(
+        self,
+        cloudwatch: SimCloudWatch,
+        namespace: str,
+        metric: str,
+        window: int = 60,
+        statistic: str = "Average",
+        dimensions: dict[str, str] | None = None,
+    ) -> None:
+        if window <= 0:
+            raise ControlError(f"monitoring window must be positive, got {window}")
+        self._cloudwatch = cloudwatch
+        self.namespace = namespace
+        self.metric = metric
+        self.window = window
+        self.statistic = statistic
+        self.dimensions = dimensions
+
+    def measure(self, now: int) -> float | None:
+        value = self._cloudwatch.get_metric_value(
+            self.namespace,
+            self.metric,
+            now=now,
+            window=self.window,
+            statistic=self.statistic,
+            dimensions=self.dimensions,
+            default=float("nan"),
+        )
+        return None if value != value else value  # NaN -> no data yet

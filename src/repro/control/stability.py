@@ -1,0 +1,76 @@
+"""Stability analysis helpers for the integral control loops.
+
+The companion paper [9] provides "a rigorous stability analysis of the
+resulting controllers"; this module reproduces its practical output:
+the bound on the integral gain that keeps the closed loop stable, and
+an empirical estimator of the process gain from logged traces.
+
+For the discrete integral loop ``u_{k+1} = u_k + l * (y_k - y_r)`` with
+a locally linear plant ``delta_y ~ b * delta_u`` (``b < 0`` for a
+utilisation sensor: adding capacity lowers utilisation), the error
+dynamics are ``e_{k+1} = (1 + l*b) * e_k``, so the loop is
+asymptotically stable iff ``|1 + l*b| < 1`` — i.e. ``0 < l < 2/|b|``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ControlError
+
+
+def is_stable(gain: float, process_gain: float) -> bool:
+    """Whether ``|1 + gain * process_gain| < 1`` for a sign-correct loop.
+
+    ``process_gain`` is the signed plant sensitivity ``dy/du``; for a
+    utilisation loop it is negative. A positive ``process_gain`` means
+    the loop sign convention is wrong and the loop cannot be stabilized
+    by a positive gain at all.
+    """
+    if gain <= 0:
+        raise ControlError(f"gain must be positive, got {gain}")
+    return abs(1.0 + gain * process_gain) < 1.0
+
+
+def max_stable_gain(process_gain: float) -> float:
+    """The supremum ``2/|b|`` of stabilizing gains."""
+    if process_gain == 0:
+        raise ControlError("process gain of zero: the actuator does not affect the sensor")
+    return 2.0 / abs(process_gain)
+
+
+def suggest_gain_bounds(process_gain: float, safety: float = 0.5) -> tuple[float, float]:
+    """Eq. 7 bounds derived from the stability limit.
+
+    ``l_max`` is ``safety`` times the stability supremum (default: half,
+    which also yields deadbeat-or-slower behaviour rather than
+    oscillation); ``l_min`` is two orders of magnitude below ``l_max``.
+    """
+    if not 0 < safety < 1:
+        raise ControlError(f"safety must be in (0, 1), got {safety}")
+    l_max = safety * max_stable_gain(process_gain)
+    return l_max / 100.0, l_max
+
+
+def estimate_process_gain(u_values: Sequence[float], y_values: Sequence[float]) -> float:
+    """Estimate the signed plant sensitivity ``b = dy/du`` from logs.
+
+    Fits the through-origin model ``delta_y = b * delta_u`` by least
+    squares over the steps where the actuator actually moved (the model
+    has no intercept: no actuation, no response). Needs at least three
+    moving steps.
+    """
+    if len(u_values) != len(y_values):
+        raise ControlError(f"length mismatch: {len(u_values)} vs {len(y_values)}")
+    delta_u: list[float] = []
+    delta_y: list[float] = []
+    for k in range(1, len(u_values)):
+        du = u_values[k] - u_values[k - 1]
+        if abs(du) > 1e-12:
+            delta_u.append(du)
+            delta_y.append(y_values[k] - y_values[k - 1])
+    if len(delta_u) < 3:
+        raise ControlError(
+            f"only {len(delta_u)} actuation steps in the trace; need >= 3 to estimate"
+        )
+    return sum(du * dy for du, dy in zip(delta_u, delta_y)) / sum(du * du for du in delta_u)

@@ -1,0 +1,151 @@
+"""Controller configuration: the programmatic "configuration wizard".
+
+The demo's wizard asks for "resource name, desired reference value, and
+monitoring period" per layer (Sec. 4, step 2); here that is a
+:class:`LayerControlConfig` plus per-layer factory functions with
+defaults calibrated to the simulated services' sensitivities.
+
+Calibration reasoning (see DESIGN.md): for an integral loop on a
+utilisation sensor the plant sensitivity near the operating point is
+roughly ``-y/u`` (utilisation is inversely proportional to capacity),
+so each layer's gain bounds are set to a safe fraction of the
+``2/|b|`` stability limit at its typical operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.adaptive import AdaptiveGainConfig, AdaptiveGainController
+from repro.control.base import Controller
+from repro.control.fixed_gain import FixedGainConfig, FixedGainController
+from repro.control.quasi_adaptive import QuasiAdaptiveConfig, QuasiAdaptiveController
+from repro.control.rule_based import RuleBasedConfig, RuleBasedController
+from repro.core.errors import ConfigurationError
+from repro.core.flow import LayerKind
+
+#: Default desired utilisation (the wizard's "desired reference value").
+DEFAULT_REFERENCE = 60.0
+
+
+@dataclass
+class LayerControlConfig:
+    """Binds a controller to one layer with its monitoring settings."""
+
+    controller: Controller
+    period: int = 60
+    window: int = 60
+    statistic: str = "Average"
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError("period must be positive")
+        if self.window <= 0:
+            raise ConfigurationError("window must be positive")
+
+
+#: Per-layer gain calibration: (gamma, l_min, l_max, memory bin width).
+#: Derived from typical plant sensitivities: ~-30 %/shard (ingestion at
+#: 2 shards), ~-20 %/VM (analytics at 3 VMs), ~-0.2 %/WCU (storage at
+#: 300 WCU); l_max is ~half the 2/|b| stability limit.
+_ADAPTIVE_CALIBRATION: dict[LayerKind, tuple[float, float, float, float]] = {
+    LayerKind.INGESTION: (0.001, 0.002, 0.05, 10.0),
+    LayerKind.ANALYTICS: (0.002, 0.005, 0.08, 10.0),
+    LayerKind.STORAGE: (0.2, 0.5, 5.0, 10.0),
+}
+
+
+def default_adaptive_controller(
+    kind: LayerKind,
+    reference: float = DEFAULT_REFERENCE,
+    use_memory: bool = True,
+    deadband: float = 5.0,
+) -> AdaptiveGainController:
+    """Flower's Eq. 6–7 controller with layer-calibrated gain bounds."""
+    gamma, l_min, l_max, bin_width = _ADAPTIVE_CALIBRATION[kind]
+    return AdaptiveGainController(
+        AdaptiveGainConfig(
+            reference=reference,
+            gamma=gamma,
+            l_min=l_min,
+            l_max=l_max,
+            use_memory=use_memory,
+            memory_bin_width=bin_width,
+            deadband=deadband,
+        )
+    )
+
+
+def default_fixed_gain_controller(
+    kind: LayerKind, reference: float = DEFAULT_REFERENCE
+) -> FixedGainController:
+    """Baseline [12] with the gain fixed at the cautious end of the
+    layer's stable range (the safe choice absent adaptation)."""
+    _gamma, l_min, l_max, _bin = _ADAPTIVE_CALIBRATION[kind]
+    gain = (l_min + l_max) / 8.0  # low fixed gain: stable everywhere
+    return FixedGainController(
+        FixedGainConfig(
+            reference=reference,
+            gain=gain,
+            band_low=reference - 5.0,
+            band_high=reference + 5.0,
+        )
+    )
+
+
+def default_quasi_adaptive_controller(
+    kind: LayerKind, reference: float = DEFAULT_REFERENCE
+) -> QuasiAdaptiveController:
+    """Baseline [14]: self-tuning gain from an online plant estimate."""
+    _gamma, l_min, l_max, _bin = _ADAPTIVE_CALIBRATION[kind]
+    initial_b = {
+        LayerKind.INGESTION: 30.0,
+        LayerKind.ANALYTICS: 20.0,
+        LayerKind.STORAGE: 0.2,
+    }[kind]
+    return QuasiAdaptiveController(
+        QuasiAdaptiveConfig(
+            reference=reference,
+            aggressiveness=0.6,
+            initial_process_gain=initial_b,
+            forgetting=0.3,
+            l_min=l_min / 10.0,
+            l_max=l_max,
+        )
+    )
+
+
+def default_rule_based_controller(
+    kind: LayerKind, reference: float = DEFAULT_REFERENCE
+) -> RuleBasedController:
+    """Baseline [1]: Amazon-style threshold rules with a cooldown."""
+    step = {LayerKind.INGESTION: 1.0, LayerKind.ANALYTICS: 1.0, LayerKind.STORAGE: 50.0}[kind]
+    return RuleBasedController(
+        RuleBasedConfig(
+            upper_threshold=reference + 15.0,
+            lower_threshold=reference - 25.0,
+            step_up=step,
+            step_down=step,
+            cooldown=300,
+        )
+    )
+
+
+#: Factory registry keyed by the style names the builder exposes.
+CONTROLLER_FACTORIES = {
+    "adaptive": default_adaptive_controller,
+    "fixed": default_fixed_gain_controller,
+    "quasi": default_quasi_adaptive_controller,
+    "rule": default_rule_based_controller,
+}
+
+
+def make_controller(style: str, kind: LayerKind, reference: float = DEFAULT_REFERENCE) -> Controller:
+    """Instantiate a controller of the given style for one layer."""
+    try:
+        factory = CONTROLLER_FACTORIES[style]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown controller style {style!r}; have {sorted(CONTROLLER_FACTORIES)}"
+        ) from None
+    return factory(kind, reference)

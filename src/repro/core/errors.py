@@ -1,0 +1,53 @@
+"""Exception hierarchy for the Flower reproduction.
+
+Every error raised by the library derives from :class:`FlowerError`,
+so callers can catch library failures with a single except clause
+without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class FlowerError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(FlowerError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(FlowerError):
+    """The simulation engine or clock was used incorrectly."""
+
+
+class ServiceError(FlowerError):
+    """A simulated cloud service rejected an operation."""
+
+
+class CapacityError(ServiceError):
+    """A capacity change violated a service limit (e.g. below minimum)."""
+
+
+class ThrottlingError(ServiceError):
+    """An operation exceeded provisioned throughput.
+
+    Simulated services normally report throttling through their return
+    values and metrics; this exception exists for strict-mode callers
+    that prefer failures to silent partial acceptance.
+    """
+
+
+class OptimizationError(FlowerError):
+    """The optimizer was misconfigured or failed to produce a result."""
+
+
+class RegressionError(FlowerError):
+    """Dependency analysis received unusable data."""
+
+
+class ControlError(FlowerError):
+    """A controller or control loop was misconfigured."""
+
+
+class MonitoringError(FlowerError):
+    """A metric query or dashboard request could not be satisfied."""

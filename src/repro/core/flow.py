@@ -1,0 +1,125 @@
+"""The data analytics flow model.
+
+A flow is the paper's three-layer pipeline: **ingestion** (e.g.
+Kinesis), **analytics** (e.g. Storm on EC2), **storage** (e.g.
+DynamoDB). Each layer names the cloud resource it scales (shards, VMs,
+write-capacity units) so the share analyzer and the controllers can
+talk about "the resource amount of layer L" exactly as Eq. 3–5 do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.errors import ConfigurationError
+
+
+class LayerKind(Enum):
+    """The three layers of a data analytics flow (paper Sec. 1)."""
+
+    INGESTION = "I"
+    ANALYTICS = "A"
+    STORAGE = "S"
+
+    @property
+    def code(self) -> str:
+        """Single-letter code used in the paper's equations (I, A, S)."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Description of one layer of a flow.
+
+    Attributes
+    ----------
+    kind:
+        Which of the three layers this is.
+    platform:
+        Human-readable platform name ("Amazon Kinesis", "Apache Storm").
+    resource:
+        Price-book key of the scalable resource ("kinesis.shard",
+        "ec2.m4.large", "dynamodb.wcu").
+    resource_label:
+        Short label for dashboards/tables ("Shards", "VMs", "WCU").
+    min_units / max_units:
+        Hard service limits on the scalable resource.
+    """
+
+    kind: LayerKind
+    platform: str
+    resource: str
+    resource_label: str
+    min_units: int = 1
+    max_units: int = 1000
+
+    def __post_init__(self) -> None:
+        if not self.platform:
+            raise ConfigurationError("platform must be non-empty")
+        if not self.resource:
+            raise ConfigurationError("resource must be non-empty")
+        if not 1 <= self.min_units <= self.max_units:
+            raise ConfigurationError(
+                f"layer {self.platform}: need 1 <= min_units <= max_units, "
+                f"got {self.min_units}..{self.max_units}"
+            )
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """An ordered ingestion → analytics → storage flow.
+
+    The paper's model has exactly one layer of each kind; the spec
+    enforces that, while the rest of the library only ever addresses
+    layers through their :class:`LayerKind`.
+    """
+
+    name: str
+    layers: tuple[LayerSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("flow name must be non-empty")
+        kinds = [layer.kind for layer in self.layers]
+        expected = [LayerKind.INGESTION, LayerKind.ANALYTICS, LayerKind.STORAGE]
+        if kinds != expected:
+            raise ConfigurationError(
+                f"flow {self.name!r} must have exactly one ingestion, one "
+                f"analytics and one storage layer in that order; got "
+                f"{[k.name for k in kinds]}"
+            )
+
+    def layer(self, kind: LayerKind) -> LayerSpec:
+        """The layer of the given kind (guaranteed to exist)."""
+        for layer in self.layers:
+            if layer.kind == kind:
+                return layer
+        raise ConfigurationError(f"flow {self.name!r} has no {kind.name} layer")
+
+    @property
+    def ingestion(self) -> LayerSpec:
+        return self.layer(LayerKind.INGESTION)
+
+    @property
+    def analytics(self) -> LayerSpec:
+        return self.layer(LayerKind.ANALYTICS)
+
+    @property
+    def storage(self) -> LayerSpec:
+        return self.layer(LayerKind.STORAGE)
+
+
+def clickstream_flow_spec(name: str = "click-stream-analytics") -> FlowSpec:
+    """The paper's reference flow (Fig. 1): Kinesis → Storm → DynamoDB."""
+    return FlowSpec(
+        name=name,
+        layers=(
+            LayerSpec(LayerKind.INGESTION, "Amazon Kinesis", "kinesis.shard", "Shards",
+                      min_units=1, max_units=512),
+            LayerSpec(LayerKind.ANALYTICS, "Apache Storm", "ec2.m4.large", "VMs",
+                      min_units=1, max_units=128),
+            LayerSpec(LayerKind.STORAGE, "Amazon DynamoDB", "dynamodb.wcu", "WCU",
+                      min_units=1, max_units=40000),
+        ),
+    )

@@ -1,0 +1,487 @@
+"""The flow elasticity manager: Flower's run loop.
+
+Wires everything together the way Fig. 3 describes: the workload
+generator feeds the ingestion layer, the analytics layer pulls from it
+and emits aggregates to the storage layer; every service pushes its
+measurements to the simulated CloudWatch; per-layer control loops read
+their sensor through a monitoring window and command their actuator;
+the cross-platform collector snapshots the whole flow; cost meters
+integrate spend per resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.cloudwatch import SimCloudWatch
+from repro.cloud.dynamodb import DynamoDBConfig, SimDynamoDBTable
+from repro.cloud.dynamodb import NAMESPACE as DDB_NS
+from repro.cloud.ec2 import EC2Config, SimEC2Fleet
+from repro.cloud.kinesis import KinesisConfig, SimKinesisStream
+from repro.cloud.kinesis import NAMESPACE as KINESIS_NS
+from repro.cloud.pricing import CostMeter, PriceBook
+from repro.cloud.storm import NAMESPACE as STORM_NS
+from repro.cloud.storm import SimStormCluster, StormConfig, TopologyConfig
+from repro.control.actuators import (
+    DynamoDBReadActuator,
+    DynamoDBWriteActuator,
+    KinesisShardActuator,
+    StormVMActuator,
+)
+from repro.control.base import ControlLoop
+from repro.control.bounded import BoundedActuator
+from repro.control.sensors import CloudWatchSensor
+from repro.core.config import LayerControlConfig
+from repro.core.errors import ConfigurationError
+from repro.core.flow import FlowSpec, LayerKind, clickstream_flow_spec
+from repro.monitoring.collector import MetricCollector
+from repro.monitoring.dashboard import Dashboard
+from repro.simulation.clock import SimClock
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import derive_rng
+from repro.workload.clickstream import ClickStreamConfig, ClickStreamGenerator
+from repro.workload.generators import RatePattern
+from repro.workload.traces import Trace
+
+#: Per-layer controlled variable: (namespace, metric).
+LAYER_SENSE: dict[LayerKind, tuple[str, str]] = {
+    LayerKind.INGESTION: (KINESIS_NS, "WriteUtilization"),
+    LayerKind.ANALYTICS: (STORM_NS, "CPUUtilization"),
+    LayerKind.STORAGE: (DDB_NS, "WriteUtilization"),
+}
+
+#: Per-layer capacity metric: (namespace, metric).
+LAYER_CAPACITY: dict[LayerKind, tuple[str, str]] = {
+    LayerKind.INGESTION: (KINESIS_NS, "ShardCount"),
+    LayerKind.ANALYTICS: (STORM_NS, "ProvisionedVMs"),
+    LayerKind.STORAGE: (DDB_NS, "ProvisionedWriteCapacityUnits"),
+}
+
+#: Per-layer overload signal: (namespace, metric) — summed per period.
+LAYER_THROTTLE: dict[LayerKind, tuple[str, str]] = {
+    LayerKind.INGESTION: (KINESIS_NS, "WriteProvisionedThroughputExceeded"),
+    LayerKind.ANALYTICS: (STORM_NS, "PendingTuples"),
+    LayerKind.STORAGE: (DDB_NS, "WriteThrottleEvents"),
+}
+
+
+@dataclass(frozen=True)
+class ServiceCapacities:
+    """Initial provisioning of the three layers."""
+
+    shards: int = 2
+    vms: int = 2
+    write_units: int = 300
+    read_units: int = 100
+
+    def __post_init__(self) -> None:
+        if self.shards < 1 or self.vms < 1 or self.write_units < 1 or self.read_units < 1:
+            raise ConfigurationError("all initial capacities must be >= 1")
+
+
+class _FlowPipeline:
+    """The per-tick data path: generator → Kinesis → Storm → DynamoDB."""
+
+    #: Bound on producer/write retry backlogs; beyond it data is dropped
+    #: (a real producer's buffer is finite too) and counted.
+    MAX_BACKLOG = 5_000_000
+
+    def __init__(
+        self,
+        generator: ClickStreamGenerator,
+        stream: SimKinesisStream,
+        cluster: SimStormCluster,
+        table: SimDynamoDBTable,
+        cloudwatch: SimCloudWatch,
+        cost_meters: dict[str, CostMeter],
+        read_workload: RatePattern | None = None,
+        read_rng=None,
+    ) -> None:
+        self.generator = generator
+        self.stream = stream
+        self.cluster = cluster
+        self.table = table
+        self.cloudwatch = cloudwatch
+        self.cost_meters = cost_meters
+        self.read_workload = read_workload
+        self._read_rng = read_rng
+        self._producer_backlog_records = 0
+        self._producer_backlog_bytes = 0
+        self._write_backlog = 0
+        self.dropped_records = 0
+        self.dropped_writes = 0
+
+    def on_tick(self, clock: SimClock) -> None:
+        now = clock.now
+        # 1. Generate this tick's clicks; retry what was throttled
+        #    before. Retries are paced like a real producer library's
+        #    bounded buffer: at most two capacity-windows of backlog are
+        #    re-offered per tick, so the throttle metric counts paced
+        #    attempts rather than the whole outstanding buffer.
+        batch = self.generator.generate(clock)
+        capacity = self.stream.write_capacity_records(now) * clock.tick_seconds
+        retry_records = min(self._producer_backlog_records, 2 * capacity)
+        if self._producer_backlog_records:
+            retry_bytes = int(
+                self._producer_backlog_bytes * retry_records / self._producer_backlog_records
+            )
+        else:
+            retry_bytes = 0
+        result = self.stream.put_records(
+            batch.records + retry_records, batch.payload_bytes + retry_bytes, clock
+        )
+        backlog_records = self._producer_backlog_records - retry_records + result.throttled_records
+        backlog_bytes = self._producer_backlog_bytes - retry_bytes + result.throttled_bytes
+        if backlog_records > self.MAX_BACKLOG:
+            self.dropped_records += backlog_records - self.MAX_BACKLOG
+            backlog_bytes = int(backlog_bytes * self.MAX_BACKLOG / backlog_records)
+            backlog_records = self.MAX_BACKLOG
+        self._producer_backlog_records = backlog_records
+        self._producer_backlog_bytes = backlog_bytes
+
+        # 2. Analytics pulls, processes, emits windowed aggregates.
+        writes = self.cluster.pull_and_process(self.stream, batch.distinct_keys, clock)
+
+        # 3. Storage absorbs the writes; throttled writes are retried,
+        #    paced the same way as producer retries.
+        write_capacity = self.table.write_capacity(now) * clock.tick_seconds
+        retry_writes = min(self._write_backlog, 2 * write_capacity)
+        write_result = self.table.write(writes + retry_writes, clock)
+        backlog = self._write_backlog - retry_writes + write_result.throttled_units
+        if backlog > self.MAX_BACKLOG:
+            self.dropped_writes += backlog - self.MAX_BACKLOG
+            backlog = self.MAX_BACKLOG
+        self._write_backlog = backlog
+
+        # 3b. Dashboard readers query the aggregates (read units); the
+        #     demo's reference architecture is a "real-time sliding-
+        #     window dashboard over streaming data". Reads that throttle
+        #     are lost page views, not retried.
+        if self.read_workload is not None:
+            expected = self.read_workload.rate(now) * clock.tick_seconds
+            read_units = int(self._read_rng.poisson(expected)) if expected > 0 else 0
+            self.table.read(read_units, clock)
+
+        # 4. Every service reports to CloudWatch.
+        self.stream.emit_metrics(self.cloudwatch, clock)
+        self.cluster.emit_metrics(self.cloudwatch, clock)
+        self.table.emit_metrics(self.cloudwatch, clock)
+
+        # 5. Meter this tick's spend. Kinesis has two cost dimensions
+        #    (Eq. 4's c_d): shard-hours and PUT payload units (one unit
+        #    per click record at the configured record sizes).
+        dt = clock.tick_seconds
+        self.cost_meters["ingestion"].accrue(self.stream.shard_count(now), dt)
+        self.cost_meters["ingestion"].record_usage(result.accepted_records)
+        self.cost_meters["analytics"].accrue(self.cluster.fleet.billable_count(now), dt)
+        self.cost_meters["storage"].accrue(self.table.write_capacity(now), dt)
+        self.cost_meters["storage_reads"].accrue(self.table.read_capacity(now), dt)
+
+
+@dataclass
+class FlowRunResult:
+    """Everything a finished run exposes for analysis and reporting."""
+
+    duration_seconds: int
+    flow: FlowSpec
+    cloudwatch: SimCloudWatch
+    collector: MetricCollector
+    loops: dict[LayerKind, ControlLoop]
+    cost_meters: dict[str, CostMeter]
+    dropped_records: int
+    dropped_writes: int
+    sample_period: int = 60
+    layer_dimensions: dict[LayerKind, dict[str, str]] = field(default_factory=dict)
+    read_loop: ControlLoop | None = None
+
+    # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
+    def trace(
+        self,
+        namespace: str,
+        metric: str,
+        period: int | None = None,
+        statistic: str = "Average",
+        dimensions: dict[str, str] | None = None,
+    ) -> Trace:
+        """A metric aggregated to ``period`` (default: the sample period)."""
+        period = period or self.sample_period
+        datapoints = self.cloudwatch.get_metric_statistics(
+            namespace, metric, 0, self.duration_seconds, period, statistic, dimensions
+        )
+        return Trace.from_series(f"{namespace}/{metric}", *zip(*datapoints)) if datapoints else Trace(metric)
+
+    def utilization_trace(self, kind: LayerKind, period: int | None = None) -> Trace:
+        namespace, metric = LAYER_SENSE[kind]
+        return self.trace(namespace, metric, period, dimensions=self.layer_dimensions.get(kind))
+
+    def capacity_trace(self, kind: LayerKind, period: int | None = None) -> Trace:
+        namespace, metric = LAYER_CAPACITY[kind]
+        return self.trace(namespace, metric, period, dimensions=self.layer_dimensions.get(kind))
+
+    def throttle_trace(self, kind: LayerKind, period: int | None = None) -> Trace:
+        namespace, metric = LAYER_THROTTLE[kind]
+        statistic = "Average" if kind == LayerKind.ANALYTICS else "Sum"
+        return self.trace(namespace, metric, period, statistic, self.layer_dimensions.get(kind))
+
+    # ------------------------------------------------------------------
+    # Cost
+    # ------------------------------------------------------------------
+    @property
+    def cost_by_layer(self) -> dict[str, float]:
+        return {name: meter.total_cost for name, meter in self.cost_meters.items()}
+
+    @property
+    def total_cost(self) -> float:
+        return sum(self.cost_by_layer.values())
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def dashboard(self) -> str:
+        """Render the all-in-one-place view of the finished run."""
+        return Dashboard(self.collector, title=f"Flower — {self.flow.name}").render()
+
+
+class FlowElasticityManager:
+    """Builds and runs one managed data analytics flow."""
+
+    def __init__(
+        self,
+        workload: RatePattern,
+        capacities: ServiceCapacities | None = None,
+        controls: dict[LayerKind, LayerControlConfig] | None = None,
+        flow: FlowSpec | None = None,
+        price_book: PriceBook | None = None,
+        seed: int = 0,
+        tick_seconds: int = 1,
+        snapshot_period: int = 60,
+        share_bounds: dict[LayerKind, int] | None = None,
+        share_schedule=None,
+        read_workload: RatePattern | None = None,
+        read_control: LayerControlConfig | None = None,
+        clickstream: ClickStreamConfig | None = None,
+        kinesis: KinesisConfig | None = None,
+        storm: StormConfig | None = None,
+        topology: "TopologyConfig | None" = None,
+        ec2: EC2Config | None = None,
+        dynamodb: DynamoDBConfig | None = None,
+    ) -> None:
+        self.flow = flow or clickstream_flow_spec()
+        self.capacities = capacities or ServiceCapacities()
+        self.controls = dict(controls or {})
+        self.share_bounds = dict(share_bounds or {})
+        for kind, bound in self.share_bounds.items():
+            if bound < 1:
+                raise ConfigurationError(
+                    f"share bound for {kind.name} must be >= 1, got {bound}"
+                )
+        self.share_schedule = share_schedule
+        if share_schedule is not None and self.share_bounds:
+            raise ConfigurationError(
+                "pass either static share_bounds or a share_schedule, not both"
+            )
+        if share_schedule is not None:
+            # The schedule's first window seeds the static bounds; a
+            # periodic task keeps them tracking the active window.
+            self.share_bounds = dict(share_schedule.bounds_at(0))
+        self.price_book = price_book or PriceBook()
+        self.seed = seed
+        self.snapshot_period = snapshot_period
+
+        self.cloudwatch = SimCloudWatch()
+        self.stream = SimKinesisStream(shards=self.capacities.shards, config=kinesis)
+        self.fleet = SimEC2Fleet(
+            config=ec2 or EC2Config(instance_type=self.flow.analytics.resource),
+            initial_instances=self.capacities.vms,
+        )
+        self.table = SimDynamoDBTable(
+            write_units=self.capacities.write_units,
+            read_units=self.capacities.read_units,
+            config=dynamodb,
+        )
+        self.generator = ClickStreamGenerator(
+            workload, rng=derive_rng(seed, "clickstream"), config=clickstream
+        )
+        self.cluster = SimStormCluster(
+            self.fleet,
+            config=storm,
+            rng=derive_rng(seed, "storm.cpu"),
+            distinct_estimator=self.generator.expected_distinct,
+            topology=topology,
+        )
+
+        self.cost_meters = {
+            "ingestion": CostMeter(self.price_book, self.flow.ingestion.resource),
+            "analytics": CostMeter(self.price_book, self.flow.analytics.resource),
+            "storage": CostMeter(self.price_book, self.flow.storage.resource),
+            "storage_reads": CostMeter(self.price_book, "dynamodb.rcu"),
+        }
+
+        self.engine = SimulationEngine(clock=SimClock(tick_seconds=tick_seconds))
+        self._pipeline = _FlowPipeline(
+            self.generator,
+            self.stream,
+            self.cluster,
+            self.table,
+            self.cloudwatch,
+            self.cost_meters,
+            read_workload=read_workload,
+            read_rng=derive_rng(seed, "dashboard.reads"),
+        )
+        self.engine.add_component(self._pipeline)
+
+        self.read_loop: ControlLoop | None = None
+        if read_control is not None:
+            if read_workload is None:
+                raise ConfigurationError(
+                    "read_control requires a read_workload to control against"
+                )
+            self.read_loop = ControlLoop(
+                name="storage-reads",
+                sensor=CloudWatchSensor(
+                    self.cloudwatch,
+                    DDB_NS,
+                    "ReadUtilization",
+                    window=read_control.window,
+                    statistic=read_control.statistic,
+                    dimensions=self._dimensions_for(LayerKind.STORAGE),
+                ),
+                controller=read_control.controller,
+                actuator=DynamoDBReadActuator(self.table),
+                period=read_control.period,
+            )
+            self.engine.every(self.read_loop.period, self.read_loop.step, name="control.reads")
+
+        self.loops = self._build_loops()
+        for kind, loop in self.loops.items():
+            self.engine.every(loop.period, loop.step, name=f"control.{kind.name.lower()}")
+        if self.share_schedule is not None and self.loops:
+            self.engine.every(
+                snapshot_period, self._apply_scheduled_bounds, name="share-schedule"
+            )
+
+        self.collector = self._build_collector()
+        self.engine.every(snapshot_period, self.collector.collect, name="snapshots")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _build_loops(self) -> dict[LayerKind, ControlLoop]:
+        actuators = {
+            LayerKind.INGESTION: lambda: KinesisShardActuator(self.stream),
+            LayerKind.ANALYTICS: lambda: StormVMActuator(self.fleet),
+            LayerKind.STORAGE: lambda: DynamoDBWriteActuator(self.table),
+        }
+        loops: dict[LayerKind, ControlLoop] = {}
+        for kind, config in self.controls.items():
+            namespace, metric = LAYER_SENSE[kind]
+            sensor = CloudWatchSensor(
+                self.cloudwatch,
+                namespace,
+                metric,
+                window=config.window,
+                statistic=config.statistic,
+                dimensions=self._dimensions_for(kind),
+            )
+            actuator = actuators[kind]()
+            if kind in self.share_bounds:
+                # Sec. 2: controllers act freely *within* the layer's
+                # resource share from the share analyzer, never beyond.
+                actuator = BoundedActuator(actuator, cap=self.share_bounds[kind])
+            loops[kind] = ControlLoop(
+                name=kind.name.lower(),
+                sensor=sensor,
+                controller=config.controller,
+                actuator=actuator,
+                period=config.period,
+            )
+        return loops
+
+    def _apply_scheduled_bounds(self, now: int) -> None:
+        """Track the share schedule: retarget every bounded actuator to
+        the window in force at ``now`` (Sec. 2's arbitrary-time-window
+        resource shares)."""
+        bounds = self.share_schedule.bounds_at(now)
+        for kind, loop in self.loops.items():
+            actuator = loop.actuator
+            if isinstance(actuator, BoundedActuator) and kind in bounds:
+                actuator.cap = float(bounds[kind])
+
+    def _dimensions_for(self, kind: LayerKind) -> dict[str, str]:
+        return {
+            LayerKind.INGESTION: {"StreamName": self.stream.name},
+            LayerKind.ANALYTICS: {"Topology": self.cluster.name},
+            LayerKind.STORAGE: {"TableName": self.table.name},
+        }[kind]
+
+    def _build_collector(self) -> MetricCollector:
+        collector = MetricCollector(self.cloudwatch, window=self.snapshot_period)
+        # Registered explicitly rather than via a loop over opaque tuples,
+        # so the dashboard labels read like the demo's consolidated view.
+        collector.add_metric(
+            "ingestion.records", KINESIS_NS, "IncomingRecords", "Sum",
+            self._dimensions_for(LayerKind.INGESTION),
+        )
+        collector.add_metric(
+            "ingestion.shards", KINESIS_NS, "ShardCount", "Average",
+            self._dimensions_for(LayerKind.INGESTION),
+        )
+        collector.add_metric(
+            "ingestion.util%", KINESIS_NS, "WriteUtilization", "Average",
+            self._dimensions_for(LayerKind.INGESTION),
+        )
+        collector.add_metric(
+            "ingestion.throttled", KINESIS_NS, "WriteProvisionedThroughputExceeded", "Sum",
+            self._dimensions_for(LayerKind.INGESTION),
+        )
+        collector.add_metric(
+            "ingestion.lag_ms", KINESIS_NS, "MillisBehindLatest", "Maximum",
+            self._dimensions_for(LayerKind.INGESTION),
+        )
+        collector.add_metric(
+            "analytics.cpu%", STORM_NS, "CPUUtilization", "Average",
+            self._dimensions_for(LayerKind.ANALYTICS),
+        )
+        collector.add_metric(
+            "analytics.vms", STORM_NS, "ProvisionedVMs", "Average",
+            self._dimensions_for(LayerKind.ANALYTICS),
+        )
+        collector.add_metric(
+            "analytics.pending", STORM_NS, "PendingTuples", "Average",
+            self._dimensions_for(LayerKind.ANALYTICS),
+        )
+        collector.add_metric(
+            "storage.wcu", DDB_NS, "ProvisionedWriteCapacityUnits", "Average",
+            self._dimensions_for(LayerKind.STORAGE),
+        )
+        collector.add_metric(
+            "storage.util%", DDB_NS, "WriteUtilization", "Average",
+            self._dimensions_for(LayerKind.STORAGE),
+        )
+        collector.add_metric(
+            "storage.throttled", DDB_NS, "WriteThrottleEvents", "Sum",
+            self._dimensions_for(LayerKind.STORAGE),
+        )
+        return collector
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration_seconds: int) -> FlowRunResult:
+        """Advance the simulation and return the analysed result."""
+        self.engine.run(duration_seconds)
+        return FlowRunResult(
+            duration_seconds=self.engine.clock.now,
+            flow=self.flow,
+            cloudwatch=self.cloudwatch,
+            collector=self.collector,
+            loops=self.loops,
+            cost_meters=self.cost_meters,
+            dropped_records=self._pipeline.dropped_records,
+            dropped_writes=self._pipeline.dropped_writes,
+            sample_period=self.snapshot_period,
+            layer_dimensions={kind: self._dimensions_for(kind) for kind in LayerKind},
+            read_loop=self.read_loop,
+        )

@@ -1,0 +1,32 @@
+"""Workload dependency analysis (paper Sec. 3.1).
+
+Flower "applies statistical regression models to workload logs to
+quantitatively explain relationships between resource amounts in
+different layers" (Eq. 1). This package implements ordinary
+least-squares regression from first principles (including t-statistics
+and p-values via a self-contained incomplete-beta implementation),
+lagged cross-correlation, and an analyzer that scans every layer pair
+for significant dependencies.
+"""
+
+from repro.dependency.analyzer import DependencyModel, WorkloadDependencyAnalyzer
+from repro.dependency.lag import CrossCorrelation, cross_correlation
+from repro.dependency.regression import (
+    MultipleRegressionResult,
+    RegressionResult,
+    fit_linear,
+    fit_multiple,
+    pearson_r,
+)
+
+__all__ = [
+    "fit_linear",
+    "fit_multiple",
+    "pearson_r",
+    "RegressionResult",
+    "MultipleRegressionResult",
+    "cross_correlation",
+    "CrossCorrelation",
+    "WorkloadDependencyAnalyzer",
+    "DependencyModel",
+]

@@ -1,0 +1,68 @@
+"""Lagged cross-correlation between workload series.
+
+Layer workloads are causally coupled through queues, so the analytics
+layer's load can *lag* the ingestion layer's by some number of samples
+(stream backlog, monitoring delay). Scanning correlation across lags
+finds both the dependency strength and the propagation delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import RegressionError
+from repro.dependency.regression import pearson_r
+
+
+@dataclass(frozen=True)
+class CrossCorrelation:
+    """Correlation of ``y`` against ``x`` shifted by each lag.
+
+    A positive lag means ``x`` *leads* ``y`` by that many samples:
+    ``corr(x[:-lag], y[lag:])``.
+    """
+
+    lags: tuple[int, ...]
+    correlations: tuple[float, ...]
+
+    def best(self) -> tuple[int, float]:
+        """The lag with the largest absolute correlation."""
+        index = max(range(len(self.lags)), key=lambda i: abs(self.correlations[i]))
+        return self.lags[index], self.correlations[index]
+
+    def at(self, lag: int) -> float:
+        try:
+            return self.correlations[self.lags.index(lag)]
+        except ValueError:
+            raise RegressionError(f"lag {lag} not in computed range {self.lags[0]}..{self.lags[-1]}") from None
+
+
+def cross_correlation(
+    x: Sequence[float], y: Sequence[float], max_lag: int
+) -> CrossCorrelation:
+    """Pearson correlation of ``x`` and ``y`` at lags ``-max_lag..max_lag``.
+
+    Requires at least three overlapping samples at the extreme lags.
+    """
+    if max_lag < 0:
+        raise RegressionError(f"max_lag must be non-negative, got {max_lag}")
+    if len(x) != len(y):
+        raise RegressionError(f"length mismatch: {len(x)} vs {len(y)}")
+    if len(x) - max_lag < 3:
+        raise RegressionError(
+            f"series of length {len(x)} too short for max_lag={max_lag} "
+            "(need >= 3 overlapping samples)"
+        )
+    lags: list[int] = []
+    correlations: list[float] = []
+    for lag in range(-max_lag, max_lag + 1):
+        if lag > 0:
+            xs, ys = x[:-lag], y[lag:]
+        elif lag < 0:
+            xs, ys = x[-lag:], y[:lag]
+        else:
+            xs, ys = x, y
+        lags.append(lag)
+        correlations.append(pearson_r(xs, ys))
+    return CrossCorrelation(tuple(lags), tuple(correlations))

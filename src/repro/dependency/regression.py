@@ -1,0 +1,234 @@
+"""Ordinary least-squares regression (paper Eq. 1).
+
+Flower models the dependency between a resource of layer L1 and a
+resource of layer L2 as ``r(L1) = beta0 + beta1 * r(L2) + eps``. This
+module fits that model with full inference output — Pearson r, R²,
+standard errors, t statistics, p-values and confidence intervals — so
+the analyzer can decide which layer pairs are *significantly*
+dependent (the paper notes some pairs, like Kinesis and DynamoDB write
+volumes, show no correlation at all).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import RegressionError
+from repro.dependency.special import student_t_ppf, student_t_two_sided_p
+
+
+def _as_clean_array(values: Sequence[float], name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise RegressionError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise RegressionError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def pearson_r(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples."""
+    xa = _as_clean_array(x, "x")
+    ya = _as_clean_array(y, "y")
+    if len(xa) != len(ya):
+        raise RegressionError(f"length mismatch: {len(xa)} vs {len(ya)}")
+    if len(xa) < 2:
+        raise RegressionError("need at least 2 points for correlation")
+    xd = xa - xa.mean()
+    yd = ya - ya.mean()
+    denom = math.sqrt(float(xd @ xd) * float(yd @ yd))
+    if denom == 0.0:
+        raise RegressionError("correlation undefined: a sample has zero variance")
+    return float(xd @ yd) / denom
+
+
+@dataclass(frozen=True)
+class RegressionResult:
+    """A fitted simple linear model ``y = intercept + slope * x``."""
+
+    slope: float
+    intercept: float
+    r: float
+    r_squared: float
+    n: int
+    stderr_slope: float
+    stderr_intercept: float
+    t_slope: float
+    p_value: float
+    residual_std: float
+
+    def predict(self, x: float) -> float:
+        """Point prediction at ``x``."""
+        return self.intercept + self.slope * x
+
+    #: Sample moments kept for interval prediction (set by fit_linear).
+    x_mean: float = 0.0
+    sxx: float = 0.0
+
+    def slope_confidence_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Two-sided confidence interval for the slope."""
+        if not 0.0 < confidence < 1.0:
+            raise RegressionError(f"confidence must be in (0, 1), got {confidence}")
+        df = self.n - 2
+        critical = student_t_ppf(0.5 + confidence / 2.0, df)
+        half_width = critical * self.stderr_slope
+        return self.slope - half_width, self.slope + half_width
+
+    def prediction_interval(self, x: float, confidence: float = 0.95) -> tuple[float, float]:
+        """Interval containing a *new observation* at ``x``.
+
+        The standard OLS prediction interval: the fit's uncertainty plus
+        one residual's worth of noise. This is what an operator should
+        use to size capacity from a dependency model — Eq. 2's point
+        prediction alone understates the CPU a new minute may need.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise RegressionError(f"confidence must be in (0, 1), got {confidence}")
+        if self.sxx <= 0:
+            raise RegressionError("prediction intervals need the fit's sample moments")
+        df = self.n - 2
+        critical = student_t_ppf(0.5 + confidence / 2.0, df)
+        spread = self.residual_std * math.sqrt(
+            1.0 + 1.0 / self.n + (x - self.x_mean) ** 2 / self.sxx
+        )
+        center = self.predict(x)
+        return center - critical * spread, center + critical * spread
+
+    def mean_confidence_interval(self, x: float, confidence: float = 0.95) -> tuple[float, float]:
+        """Interval for the *mean response* at ``x`` (no new-observation noise)."""
+        if not 0.0 < confidence < 1.0:
+            raise RegressionError(f"confidence must be in (0, 1), got {confidence}")
+        if self.sxx <= 0:
+            raise RegressionError("confidence intervals need the fit's sample moments")
+        df = self.n - 2
+        critical = student_t_ppf(0.5 + confidence / 2.0, df)
+        spread = self.residual_std * math.sqrt(1.0 / self.n + (x - self.x_mean) ** 2 / self.sxx)
+        center = self.predict(x)
+        return center - critical * spread, center + critical * spread
+
+    def equation(self, y_name: str = "y", x_name: str = "x", digits: int = 4) -> str:
+        """Human-readable model, e.g. ``CPU ~ 0.0002*WriteCapacity + 4.8``."""
+        return f"{y_name} ~ {self.slope:.{digits}g}*{x_name} + {self.intercept:.{digits}g}"
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> RegressionResult:
+    """Fit ``y = beta0 + beta1 * x`` by ordinary least squares.
+
+    Raises :class:`~repro.core.errors.RegressionError` for degenerate
+    inputs (fewer than 3 points, zero variance in ``x``).
+    """
+    xa = _as_clean_array(x, "x")
+    ya = _as_clean_array(y, "y")
+    if len(xa) != len(ya):
+        raise RegressionError(f"length mismatch: {len(xa)} vs {len(ya)}")
+    n = len(xa)
+    if n < 3:
+        raise RegressionError(f"need at least 3 points to fit with inference, got {n}")
+    x_mean = float(xa.mean())
+    y_mean = float(ya.mean())
+    xd = xa - x_mean
+    yd = ya - y_mean
+    sxx = float(xd @ xd)
+    if sxx == 0.0:
+        raise RegressionError("x has zero variance; slope is undefined")
+    sxy = float(xd @ yd)
+    syy = float(yd @ yd)
+
+    slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+
+    residuals = ya - (intercept + slope * xa)
+    ss_res = float(residuals @ residuals)
+    df = n - 2
+    residual_variance = ss_res / df
+    residual_std = math.sqrt(residual_variance)
+
+    r_squared = 1.0 - ss_res / syy if syy > 0 else 1.0
+    if syy > 0:
+        r = math.copysign(math.sqrt(max(0.0, min(1.0, r_squared))), slope)
+    else:
+        r = 0.0
+
+    stderr_slope = math.sqrt(residual_variance / sxx)
+    stderr_intercept = math.sqrt(residual_variance * (1.0 / n + x_mean * x_mean / sxx))
+    if stderr_slope > 0:
+        t_slope = slope / stderr_slope
+        p_value = student_t_two_sided_p(t_slope, df)
+    else:
+        t_slope = math.inf if slope != 0 else 0.0
+        p_value = 0.0 if slope != 0 else 1.0
+
+    return RegressionResult(
+        slope=slope,
+        intercept=intercept,
+        r=r,
+        r_squared=r_squared,
+        n=n,
+        stderr_slope=stderr_slope,
+        stderr_intercept=stderr_intercept,
+        t_slope=t_slope,
+        p_value=p_value,
+        residual_std=residual_std,
+        x_mean=x_mean,
+        sxx=sxx,
+    )
+
+
+@dataclass(frozen=True)
+class MultipleRegressionResult:
+    """A fitted multiple linear model ``y = b0 + b1*x1 + ... + bk*xk``."""
+
+    coefficients: tuple[float, ...]
+    intercept: float
+    r_squared: float
+    adjusted_r_squared: float
+    n: int
+    residual_std: float
+
+    def predict(self, x: Sequence[float]) -> float:
+        if len(x) != len(self.coefficients):
+            raise RegressionError(
+                f"expected {len(self.coefficients)} features, got {len(x)}"
+            )
+        return self.intercept + float(np.dot(self.coefficients, np.asarray(x, dtype=float)))
+
+
+def fit_multiple(features: Sequence[Sequence[float]], y: Sequence[float]) -> MultipleRegressionResult:
+    """Fit a multiple linear regression with an intercept.
+
+    ``features`` is row-major: one row per observation. Uses the
+    pseudo-inverse (via least squares) so collinear features degrade
+    gracefully instead of crashing.
+    """
+    X = np.asarray(features, dtype=float)
+    ya = _as_clean_array(y, "y")
+    if X.ndim != 2:
+        raise RegressionError(f"features must be 2-D (rows=observations), got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise RegressionError("features contain NaN or infinite values")
+    n, k = X.shape
+    if n != len(ya):
+        raise RegressionError(f"row count {n} does not match len(y)={len(ya)}")
+    if n < k + 2:
+        raise RegressionError(f"need at least {k + 2} observations for {k} features, got {n}")
+    design = np.column_stack([np.ones(n), X])
+    solution, _residual, _rank, _sv = np.linalg.lstsq(design, ya, rcond=None)
+    predictions = design @ solution
+    residuals = ya - predictions
+    ss_res = float(residuals @ residuals)
+    ss_tot = float(((ya - ya.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    df = n - k - 1
+    adjusted = 1.0 - (1.0 - r_squared) * (n - 1) / df if df > 0 else r_squared
+    return MultipleRegressionResult(
+        coefficients=tuple(float(c) for c in solution[1:]),
+        intercept=float(solution[0]),
+        r_squared=r_squared,
+        adjusted_r_squared=adjusted,
+        n=n,
+        residual_std=math.sqrt(ss_res / df) if df > 0 else 0.0,
+    )

@@ -1,0 +1,79 @@
+"""Alert rules over consolidated snapshots.
+
+Complements the CloudWatch-level alarms: these rules run on the
+collector's cross-platform snapshots, so one rule can watch any layer's
+measure and the operator sees all firings in one stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import MonitoringError
+from repro.monitoring.collector import FlowSnapshot
+
+_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """Fire when a snapshot measure crosses a threshold."""
+
+    label: str
+    comparison: str
+    threshold: float
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.comparison not in _COMPARATORS:
+            raise MonitoringError(
+                f"comparison must be one of {sorted(_COMPARATORS)}, got {self.comparison!r}"
+            )
+
+    def breached(self, snapshot: FlowSnapshot) -> bool:
+        return _COMPARATORS[self.comparison](snapshot[self.label], self.threshold)
+
+    def describe(self) -> str:
+        return self.message or f"{self.label} {self.comparison} {self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One firing of a rule."""
+
+    time: int
+    rule: AlertRule
+    value: float
+
+    def __str__(self) -> str:
+        return f"[t={self.time}s] {self.rule.describe()} (value={self.value:g})"
+
+
+@dataclass
+class AlertManager:
+    """Evaluates a rule set against each snapshot; keeps firing history."""
+
+    rules: list[AlertRule] = field(default_factory=list)
+    history: list[Alert] = field(default_factory=list)
+
+    def add_rule(self, rule: AlertRule) -> None:
+        self.rules.append(rule)
+
+    def check(self, snapshot: FlowSnapshot) -> list[Alert]:
+        """Evaluate all rules; return (and record) this snapshot's firings."""
+        fired = [
+            Alert(time=snapshot.time, rule=rule, value=snapshot[rule.label])
+            for rule in self.rules
+            if rule.breached(snapshot)
+        ]
+        self.history.extend(fired)
+        return fired
+
+    def firings_for(self, label: str) -> list[Alert]:
+        return [alert for alert in self.history if alert.rule.label == label]

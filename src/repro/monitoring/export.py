@@ -1,0 +1,49 @@
+"""Exporters: snapshots and traces to CSV / JSON.
+
+Lets operators feed Flower's consolidated monitoring data into external
+tooling (spreadsheets, notebooks, Grafana imports).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.errors import MonitoringError
+from repro.monitoring.collector import FlowSnapshot
+from repro.workload.traces import Trace
+
+
+def snapshots_to_csv(snapshots: Sequence[FlowSnapshot], path: str | Path) -> None:
+    """Write snapshots as one row per time, one column per measure."""
+    if not snapshots:
+        raise MonitoringError("nothing to export: no snapshots")
+    labels = sorted(snapshots[0].values)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["time", *labels])
+        for snapshot in snapshots:
+            writer.writerow([snapshot.time, *(snapshot.values[label] for label in labels)])
+
+
+def snapshots_to_json(snapshots: Sequence[FlowSnapshot], path: str | Path) -> None:
+    """Write snapshots as a JSON list of {time, values} objects."""
+    if not snapshots:
+        raise MonitoringError("nothing to export: no snapshots")
+    payload = [{"time": s.time, "values": s.values} for s in snapshots]
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+
+
+def traces_to_csv(traces: Sequence[Trace], path: str | Path) -> None:
+    """Write several traces in long format: trace, time, value."""
+    if not traces:
+        raise MonitoringError("nothing to export: no traces")
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["trace", "time", "value"])
+        for trace in traces:
+            for t, v in trace:
+                writer.writerow([trace.name, t, v])

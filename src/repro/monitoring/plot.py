@@ -1,0 +1,100 @@
+"""Terminal time-series charts.
+
+Renders traces as ASCII charts — the reproduction's stand-in for the
+paper's figures (Fig. 2's stacked workload panels, Fig. 6's live
+capacity/utilisation views). Benchmarks embed these charts in their
+``results/`` reports so the figure *shapes* are reviewable as text.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import MonitoringError
+from repro.workload.traces import Trace
+
+_DOT = "·"
+_MARK = "█"
+
+
+def line_chart(
+    values: list[float],
+    width: int = 64,
+    height: int = 10,
+) -> list[str]:
+    """Render a series as rows of a braille-free ASCII chart.
+
+    Returns ``height`` rows, top first. Values are bucket-averaged to
+    ``width`` columns and each column paints one mark at its scaled
+    level (a scatter-style line chart).
+    """
+    if width <= 0 or height <= 1:
+        raise MonitoringError("need width >= 1 and height >= 2")
+    if not values:
+        raise MonitoringError("cannot chart an empty series")
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, int((i + 1) * bucket) - int(i * bucket))
+            for i in range(width)
+        ]
+    low, high = min(values), max(values)
+    span = high - low
+    grid = [[" "] * len(values) for _ in range(height)]
+    for column, value in enumerate(values):
+        level = 0 if span == 0 else int((value - low) / span * (height - 1))
+        row = height - 1 - level
+        grid[row][column] = _MARK
+        for below in range(row + 1, height):
+            if grid[below][column] == " ":
+                grid[below][column] = _DOT
+    return ["".join(row) for row in grid]
+
+
+def time_series_chart(
+    trace: Trace,
+    width: int = 64,
+    height: int = 10,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """A framed chart with y-axis extents and time extents, like a
+    minimal matplotlib panel.
+
+    ::
+
+        CPU (%)                                     max 30.1
+        █        ██  ...
+        ...
+        min 4.6                          t=0 .. 33000s
+    """
+    if len(trace) == 0:
+        raise MonitoringError(f"trace {trace.name!r} is empty")
+    rows = line_chart(trace.values, width=width, height=height)
+    head = title if title is not None else trace.name
+    top = f"{head}  (max {trace.maximum():,.4g}{unit})"
+    bottom = (
+        f"min {trace.minimum():,.4g}{unit}"
+        f"   t = {trace.times[0]}s .. {trace.times[-1]}s   n={len(trace)}"
+    )
+    return "\n".join([top, *rows, bottom])
+
+
+def stacked_panels(
+    traces: list[Trace],
+    width: int = 64,
+    height: int = 8,
+    titles: list[str] | None = None,
+) -> str:
+    """Several charts stacked vertically — the Fig. 2 layout (ingestion
+    arrival rate over analytics CPU, same time axis)."""
+    if not traces:
+        raise MonitoringError("need at least one trace")
+    if titles is not None and len(titles) != len(traces):
+        raise MonitoringError(
+            f"got {len(titles)} titles for {len(traces)} traces"
+        )
+    panels = []
+    for index, trace in enumerate(traces):
+        title = titles[index] if titles else None
+        panels.append(time_series_chart(trace, width=width, height=height, title=title))
+    return "\n\n".join(panels)

@@ -1,0 +1,302 @@
+"""NSGA-II (Deb, Pratap, Agarwal, Meyarivan — TEVC 2002).
+
+The paper's resource share analyzer "uses NSGA-II algorithm [8] to
+efficiently search the provisioning plan space" (Sec. 3.2). This is a
+from-scratch implementation of the full algorithm:
+
+* fast non-dominated sorting (the O(MN²) bookkeeping variant);
+* crowding-distance diversity preservation;
+* binary tournament selection under Deb's *constrained-dominance*
+  rule (feasible beats infeasible; two infeasibles compare by total
+  violation; two feasibles by rank, then crowding);
+* simulated binary crossover (SBX) and polynomial mutation, with
+  bound repair and integer rounding for discrete resource counts.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import OptimizationError
+from repro.optimization.problem import Problem
+
+
+@dataclass
+class Individual:
+    """One candidate solution with its evaluation and NSGA-II metadata."""
+
+    x: np.ndarray
+    f: np.ndarray
+    violation: float
+    rank: int = 0
+    crowding: float = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        return self.violation == 0.0
+
+
+@dataclass(frozen=True)
+class NSGA2Config:
+    """Algorithm hyper-parameters (defaults follow Deb et al.)."""
+
+    population_size: int = 100
+    generations: int = 250
+    crossover_probability: float = 0.9
+    crossover_eta: float = 15.0
+    mutation_probability: float | None = None  # default 1/n_var
+    mutation_eta: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4 or self.population_size % 2 != 0:
+            raise OptimizationError("population_size must be an even number >= 4")
+        if self.generations < 1:
+            raise OptimizationError("generations must be >= 1")
+        if not 0.0 <= self.crossover_probability <= 1.0:
+            raise OptimizationError("crossover_probability must be in [0, 1]")
+        if self.mutation_probability is not None and not 0.0 <= self.mutation_probability <= 1.0:
+            raise OptimizationError("mutation_probability must be in [0, 1]")
+        if self.crossover_eta <= 0 or self.mutation_eta <= 0:
+            raise OptimizationError("distribution indices must be positive")
+
+
+@dataclass
+class NSGA2Result:
+    """Final population plus the feasible first front."""
+
+    population: list[Individual]
+    generations_run: int
+    evaluations: int
+
+    @property
+    def front(self) -> list[Individual]:
+        """Feasible, rank-0, objective-unique individuals."""
+        seen: set[tuple[float, ...]] = set()
+        front: list[Individual] = []
+        for ind in self.population:
+            if ind.rank != 0 or not ind.feasible:
+                continue
+            key = tuple(np.round(ind.f, 12))
+            if key in seen:
+                continue
+            seen.add(key)
+            front.append(ind)
+        return front
+
+    @property
+    def pareto_x(self) -> np.ndarray:
+        front = self.front
+        return np.array([ind.x for ind in front]) if front else np.empty((0, 0))
+
+    @property
+    def pareto_f(self) -> np.ndarray:
+        front = self.front
+        return np.array([ind.f for ind in front]) if front else np.empty((0, 0))
+
+
+def constrained_dominates(a: Individual, b: Individual) -> bool:
+    """Deb's constrained-dominance relation."""
+    if a.feasible and not b.feasible:
+        return True
+    if not a.feasible and b.feasible:
+        return False
+    if not a.feasible and not b.feasible:
+        return a.violation < b.violation
+    return bool(np.all(a.f <= b.f) and np.any(a.f < b.f))
+
+
+def fast_non_dominated_sort(population: list[Individual]) -> list[list[int]]:
+    """Assign ranks in place; return the fronts as index lists."""
+    n = len(population)
+    dominated_by: list[list[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: list[list[int]] = [[]]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if constrained_dominates(population[i], population[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif constrained_dominates(population[j], population[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            population[i].rank = 0
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: list[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    population[j].rank = current + 1
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    fronts.pop()  # trailing empty front
+    return fronts
+
+
+def crowding_distance(population: list[Individual], front: list[int]) -> None:
+    """Assign crowding distances in place for one front."""
+    size = len(front)
+    for i in front:
+        population[i].crowding = 0.0
+    if size <= 2:
+        for i in front:
+            population[i].crowding = np.inf
+        return
+    n_obj = len(population[front[0]].f)
+    for m in range(n_obj):
+        ordered = sorted(front, key=lambda i: population[i].f[m])
+        low = population[ordered[0]].f[m]
+        high = population[ordered[-1]].f[m]
+        population[ordered[0]].crowding = np.inf
+        population[ordered[-1]].crowding = np.inf
+        span = high - low
+        if span == 0:
+            continue
+        for k in range(1, size - 1):
+            gap = population[ordered[k + 1]].f[m] - population[ordered[k - 1]].f[m]
+            population[ordered[k]].crowding += gap / span
+
+
+class NSGA2:
+    """The evolutionary loop."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: NSGA2Config | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.problem = problem
+        self.config = config or NSGA2Config()
+        self._rng = np.random.default_rng(seed)
+        self._evaluations = 0
+        mutation_p = self.config.mutation_probability
+        self._mutation_p = mutation_p if mutation_p is not None else 1.0 / problem.n_var
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> NSGA2Result:
+        population = self._initial_population()
+        self._rank_population(population)
+        for _generation in range(self.config.generations):
+            offspring = self._make_offspring(population)
+            population = self._environmental_selection(population + offspring)
+        return NSGA2Result(
+            population=population,
+            generations_run=self.config.generations,
+            evaluations=self._evaluations,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _evaluate(self, x: np.ndarray) -> Individual:
+        x = self.problem.repair(x)
+        f, violations = self.problem.evaluate(x)
+        if f.shape != (self.problem.n_obj,):
+            raise OptimizationError(
+                f"problem returned {f.shape} objectives, expected ({self.problem.n_obj},)"
+            )
+        self._evaluations += 1
+        return Individual(x=x, f=f, violation=float(np.sum(violations)))
+
+    def _initial_population(self) -> list[Individual]:
+        lower, upper = self.problem.lower, self.problem.upper
+        size = self.config.population_size
+        # Latin-hypercube style stratified start for better coverage.
+        samples = np.empty((size, self.problem.n_var))
+        for d in range(self.problem.n_var):
+            strata = (np.arange(size) + self._rng.uniform(0, 1, size)) / size
+            self._rng.shuffle(strata)
+            samples[:, d] = lower[d] + strata * (upper[d] - lower[d])
+        return [self._evaluate(samples[i]) for i in range(size)]
+
+    def _rank_population(self, population: list[Individual]) -> list[list[int]]:
+        fronts = fast_non_dominated_sort(population)
+        for front in fronts:
+            crowding_distance(population, front)
+        return fronts
+
+    def _tournament(self, population: list[Individual]) -> Individual:
+        i, j = self._rng.integers(0, len(population), size=2)
+        a, b = population[i], population[j]
+        if constrained_dominates(a, b):
+            return a
+        if constrained_dominates(b, a):
+            return b
+        if a.rank != b.rank:
+            return a if a.rank < b.rank else b
+        if a.crowding != b.crowding:
+            return a if a.crowding > b.crowding else b
+        return a if self._rng.random() < 0.5 else b
+
+    def _make_offspring(self, population: list[Individual]) -> list[Individual]:
+        offspring: list[Individual] = []
+        while len(offspring) < self.config.population_size:
+            p1 = self._tournament(population)
+            p2 = self._tournament(population)
+            c1, c2 = self._sbx(p1.x, p2.x)
+            offspring.append(self._evaluate(self._polynomial_mutation(c1)))
+            if len(offspring) < self.config.population_size:
+                offspring.append(self._evaluate(self._polynomial_mutation(c2)))
+        return offspring
+
+    def _environmental_selection(self, merged: list[Individual]) -> list[Individual]:
+        fronts = self._rank_population(merged)
+        survivors: list[Individual] = []
+        for front in fronts:
+            if len(survivors) + len(front) <= self.config.population_size:
+                survivors.extend(merged[i] for i in front)
+            else:
+                remaining = self.config.population_size - len(survivors)
+                best = sorted(front, key=lambda i: merged[i].crowding, reverse=True)
+                survivors.extend(merged[i] for i in best[:remaining])
+                break
+        # Re-rank the survivor set so ranks/crowding reflect the new population.
+        self._rank_population(survivors)
+        return survivors
+
+    def _sbx(self, x1: np.ndarray, x2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Simulated binary crossover with per-variable application."""
+        c1, c2 = x1.copy(), x2.copy()
+        if self._rng.random() > self.config.crossover_probability:
+            return c1, c2
+        eta = self.config.crossover_eta
+        for d in range(self.problem.n_var):
+            if self._rng.random() > 0.5 or abs(x1[d] - x2[d]) < 1e-14:
+                continue
+            y1, y2 = min(x1[d], x2[d]), max(x1[d], x2[d])
+            u = self._rng.random()
+            beta = (2 * u) ** (1.0 / (eta + 1)) if u <= 0.5 else (1.0 / (2 * (1 - u))) ** (
+                1.0 / (eta + 1)
+            )
+            c1[d] = 0.5 * ((y1 + y2) - beta * (y2 - y1))
+            c2[d] = 0.5 * ((y1 + y2) + beta * (y2 - y1))
+        return c1, c2
+
+    def _polynomial_mutation(self, x: np.ndarray) -> np.ndarray:
+        eta = self.config.mutation_eta
+        lower, upper = self.problem.lower, self.problem.upper
+        y = x.copy()
+        for d in range(self.problem.n_var):
+            if self._rng.random() > self._mutation_p:
+                continue
+            span = upper[d] - lower[d]
+            if span == 0:
+                continue
+            u = self._rng.random()
+            if u < 0.5:
+                delta = (2 * u) ** (1.0 / (eta + 1)) - 1.0
+            else:
+                delta = 1.0 - (2 * (1 - u)) ** (1.0 / (eta + 1))
+            y[d] = x[d] + delta * span
+        return y

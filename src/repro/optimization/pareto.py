@@ -1,0 +1,112 @@
+"""Pareto-front utilities.
+
+Dominance checks, non-dominated filtering and hypervolume — the
+quality indicator the test suite uses to verify that NSGA-II actually
+converges toward the true front on problems with known optima.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import OptimizationError
+
+
+def dominates(f1: Sequence[float], f2: Sequence[float]) -> bool:
+    """Pareto dominance for minimization: f1 <= f2 everywhere, < somewhere."""
+    a = np.asarray(f1, dtype=float)
+    b = np.asarray(f2, dtype=float)
+    if a.shape != b.shape:
+        raise OptimizationError(f"objective shape mismatch: {a.shape} vs {b.shape}")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def pareto_filter(objectives: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated rows of an objective matrix."""
+    F = np.asarray(objectives, dtype=float)
+    if F.ndim != 2:
+        raise OptimizationError(f"objectives must be 2-D, got shape {F.shape}")
+    n = len(F)
+    keep: list[int] = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if i != j and dominates(F[j], F[i]):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def hypervolume_2d(front: Sequence[Sequence[float]], reference: Sequence[float]) -> float:
+    """Exact hypervolume of a 2-D minimization front w.r.t. a reference point."""
+    F = np.asarray(front, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if F.ndim != 2 or F.shape[1] != 2:
+        raise OptimizationError(f"front must be (n, 2), got shape {F.shape}")
+    points = F[pareto_filter(F)]
+    points = points[np.all(points <= ref, axis=1)]
+    if len(points) == 0:
+        return 0.0
+    # Sort by the first objective ascending; each point contributes a
+    # rectangle up to the previous point's second objective.
+    points = points[np.argsort(points[:, 0])]
+    volume = 0.0
+    previous_y = ref[1]
+    for x, y in points:
+        volume += (ref[0] - x) * (previous_y - y)
+        previous_y = y
+    return float(volume)
+
+
+def hypervolume_monte_carlo(
+    front: Sequence[Sequence[float]],
+    reference: Sequence[float],
+    rng: np.random.Generator,
+    samples: int = 20000,
+) -> float:
+    """Monte-Carlo hypervolume estimate for fronts of any dimension.
+
+    Samples points uniformly in the box spanned by the ideal point of
+    the front and the reference point, and counts the fraction
+    dominated by at least one front member.
+    """
+    F = np.asarray(front, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if F.ndim != 2:
+        raise OptimizationError(f"front must be 2-D, got shape {F.shape}")
+    if samples <= 0:
+        raise OptimizationError("samples must be positive")
+    F = F[np.all(F <= ref, axis=1)]
+    if len(F) == 0:
+        return 0.0
+    ideal = F.min(axis=0)
+    box = np.prod(ref - ideal)
+    if box == 0:
+        return 0.0
+    draws = rng.uniform(ideal, ref, size=(samples, F.shape[1]))
+    # A draw is covered if some front point dominates it (<= in all dims).
+    covered = np.zeros(samples, dtype=bool)
+    for point in F:
+        covered |= np.all(point <= draws, axis=1)
+    return float(box * covered.mean())
+
+
+def hypervolume(
+    front: Sequence[Sequence[float]],
+    reference: Sequence[float],
+    rng: np.random.Generator | None = None,
+    samples: int = 20000,
+) -> float:
+    """Hypervolume: exact for 2 objectives, Monte-Carlo otherwise."""
+    F = np.asarray(front, dtype=float)
+    if F.ndim != 2:
+        raise OptimizationError(f"front must be 2-D, got shape {F.shape}")
+    if F.shape[1] == 2:
+        return hypervolume_2d(F, reference)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return hypervolume_monte_carlo(F, reference, rng, samples)

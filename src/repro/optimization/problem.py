@@ -1,0 +1,102 @@
+"""Problem abstraction for the NSGA-II optimizer.
+
+Conventions (shared by every module in this package):
+
+* objectives are **minimized** — callers maximizing a quantity negate it;
+* constraints follow the ``g(x) <= 0`` convention — the evaluator
+  returns per-constraint *violations* ``max(0, g(x))``, so a solution is
+  feasible iff all violations are zero.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.errors import OptimizationError
+
+
+class Problem(ABC):
+    """A box-bounded multi-objective problem with inequality constraints."""
+
+    def __init__(
+        self,
+        n_var: int,
+        n_obj: int,
+        lower: Sequence[float],
+        upper: Sequence[float],
+        integer: bool = False,
+    ) -> None:
+        if n_var <= 0:
+            raise OptimizationError(f"n_var must be positive, got {n_var}")
+        if n_obj <= 0:
+            raise OptimizationError(f"n_obj must be positive, got {n_obj}")
+        self.n_var = n_var
+        self.n_obj = n_obj
+        self.lower = np.asarray(lower, dtype=float)
+        self.upper = np.asarray(upper, dtype=float)
+        if self.lower.shape != (n_var,) or self.upper.shape != (n_var,):
+            raise OptimizationError(
+                f"bounds must have shape ({n_var},), got {self.lower.shape} / {self.upper.shape}"
+            )
+        if np.any(self.lower > self.upper):
+            raise OptimizationError("every lower bound must be <= its upper bound")
+        self.integer = integer
+
+    @abstractmethod
+    def evaluate(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(objectives, violations)`` for a single decision vector.
+
+        ``objectives`` has shape ``(n_obj,)`` (minimized); ``violations``
+        is a 1-D array of non-negative constraint violations (possibly
+        empty).
+        """
+
+    def repair(self, x: np.ndarray) -> np.ndarray:
+        """Clamp to bounds and round integer variables."""
+        x = np.clip(x, self.lower, self.upper)
+        if self.integer:
+            x = np.round(x)
+        return x
+
+    def total_violation(self, x: np.ndarray) -> float:
+        """Sum of constraint violations (0 means feasible)."""
+        _f, violations = self.evaluate(x)
+        return float(np.sum(violations))
+
+
+class FunctionalProblem(Problem):
+    """Problem assembled from plain Python callables.
+
+    ``objectives`` are functions of the decision vector returning a
+    scalar to minimize; ``constraints`` return ``g(x)`` with the
+    feasible region ``g(x) <= 0``.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[Callable[[np.ndarray], float]],
+        lower: Sequence[float],
+        upper: Sequence[float],
+        constraints: Sequence[Callable[[np.ndarray], float]] = (),
+        integer: bool = False,
+    ) -> None:
+        if not objectives:
+            raise OptimizationError("need at least one objective")
+        super().__init__(
+            n_var=len(np.asarray(lower, dtype=float)),
+            n_obj=len(objectives),
+            lower=lower,
+            upper=upper,
+            integer=integer,
+        )
+        self._objectives = list(objectives)
+        self._constraints = list(constraints)
+
+    def evaluate(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        f = np.array([fn(x) for fn in self._objectives], dtype=float)
+        g = np.array([fn(x) for fn in self._constraints], dtype=float)
+        violations = np.maximum(0.0, g) if g.size else g
+        return f, violations

@@ -1,0 +1,94 @@
+"""SLO-derived constraints for the provisioning plan space.
+
+Fig. 3: "The dependency information along with the cloud services costs
+and the user's SLO constitute the required inputs for the generation of
+provisioning plan space." The budget and dependencies are Eq. 4–5; this
+module contributes the SLO's part: *floor* constraints ensuring every
+Pareto plan can actually carry the user's projected peak workload at or
+below the desired utilisation.
+
+The floors come from the same capacity models the simulators use: a
+shard absorbs 1,000 records/s, a Storm VM processes its configured
+record rate, and the storage layer must absorb the aggregation's write
+rate — so a plan satisfying the floors is feasible *by construction*
+in the simulated flow too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cloud.kinesis import KinesisConfig
+from repro.cloud.storm import StormConfig
+from repro.core.errors import OptimizationError
+from repro.core.flow import LayerKind
+from repro.optimization.share_analyzer import ShareConstraint
+
+
+@dataclass(frozen=True)
+class FlowSLO:
+    """The user's service level objective for a flow.
+
+    Attributes
+    ----------
+    peak_records_per_second:
+        The workload peak every layer must sustain.
+    max_utilization:
+        Desired utilisation ceiling at that peak (percent). 60 means
+        each layer is provisioned with 40 % headroom at peak.
+    peak_writes_per_second:
+        Storage-layer write rate at peak (aggregation output). If the
+        flow uses windowed distinct-key aggregation this is roughly
+        ``distinct keys per window / window seconds``.
+    """
+
+    peak_records_per_second: float
+    max_utilization: float = 60.0
+    peak_writes_per_second: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.peak_records_per_second <= 0:
+            raise OptimizationError("peak_records_per_second must be positive")
+        if not 0 < self.max_utilization <= 100:
+            raise OptimizationError("max_utilization must be in (0, 100]")
+        if self.peak_writes_per_second is not None and self.peak_writes_per_second <= 0:
+            raise OptimizationError("peak_writes_per_second must be positive")
+
+
+def slo_floor_constraints(
+    slo: FlowSLO,
+    kinesis: KinesisConfig | None = None,
+    storm: StormConfig | None = None,
+) -> list[ShareConstraint]:
+    """Minimum per-layer resource floors implied by the SLO.
+
+    Each floor is ``r_L >= ceil(required capacity / unit capacity)``,
+    where the required capacity carries the utilisation headroom. The
+    returned constraints plug straight into the share analyzer; plans
+    unable to carry the SLO's peak are infeasible rather than
+    Pareto-optimal-but-useless.
+    """
+    kinesis = kinesis or KinesisConfig()
+    storm = storm or StormConfig()
+    headroom = slo.max_utilization / 100.0
+    required_rate = slo.peak_records_per_second / headroom
+
+    floors: list[ShareConstraint] = []
+    shard_floor = math.ceil(required_rate / kinesis.records_per_shard_per_second)
+    floors.append(_floor(LayerKind.INGESTION, shard_floor))
+    vm_floor = math.ceil(required_rate / storm.records_per_vm_per_second)
+    floors.append(_floor(LayerKind.ANALYTICS, vm_floor))
+    if slo.peak_writes_per_second is not None:
+        wcu_floor = math.ceil(slo.peak_writes_per_second / headroom)
+        floors.append(_floor(LayerKind.STORAGE, wcu_floor))
+    return floors
+
+
+def _floor(kind: LayerKind, minimum: int) -> ShareConstraint:
+    """``r_kind >= minimum`` in the package's ``g(x) <= 0`` form."""
+    return ShareConstraint(
+        coefficients=((kind, -1.0),),
+        constant=float(minimum),
+        label=f"r_{kind.code} >= {minimum} (SLO floor)",
+    )

@@ -1,0 +1,20 @@
+"""Deterministic discrete-time simulation substrate.
+
+Everything in Flower's reproduction runs on simulated time: the cloud
+service simulators, the workload generators and the controllers all
+advance through :class:`~repro.simulation.engine.SimulationEngine`
+ticks. No component reads the wall clock, which makes every experiment
+reproducible tick-for-tick from a seed.
+"""
+
+from repro.simulation.clock import SimClock
+from repro.simulation.engine import PeriodicTask, SimulationEngine
+from repro.simulation.rng import derive_rng, spawn_streams
+
+__all__ = [
+    "SimClock",
+    "SimulationEngine",
+    "PeriodicTask",
+    "derive_rng",
+    "spawn_streams",
+]

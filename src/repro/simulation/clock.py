@@ -1,0 +1,62 @@
+"""Simulated clock.
+
+The clock is the single source of time for a simulation. Time is kept
+in integer *seconds* since the start of the run; components that want
+coarser resolution (the engine tick may be 1 s, 10 s, 60 s ...) simply
+advance by more than one second per tick.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+
+
+class SimClock:
+    """Integer-second simulation clock.
+
+    Parameters
+    ----------
+    tick_seconds:
+        How many simulated seconds elapse per engine tick. Must be a
+        positive integer.
+    start:
+        Simulated second at which the clock starts (default 0).
+    """
+
+    def __init__(self, tick_seconds: int = 1, start: int = 0) -> None:
+        if tick_seconds <= 0:
+            raise SimulationError(f"tick_seconds must be positive, got {tick_seconds}")
+        if start < 0:
+            raise SimulationError(f"start must be non-negative, got {start}")
+        self.tick_seconds = int(tick_seconds)
+        self._now = int(start)
+        self._ticks = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def ticks(self) -> int:
+        """Number of ticks elapsed since the clock was created."""
+        return self._ticks
+
+    @property
+    def minutes(self) -> float:
+        """Current simulated time in minutes."""
+        return self._now / 60.0
+
+    @property
+    def hours(self) -> float:
+        """Current simulated time in hours."""
+        return self._now / 3600.0
+
+    def advance(self) -> int:
+        """Advance by one tick and return the new time."""
+        self._now += self.tick_seconds
+        self._ticks += 1
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now}s, tick={self.tick_seconds}s)"

@@ -1,0 +1,89 @@
+"""Failure injection.
+
+Cloud infrastructure fails; an elasticity manager that only handles
+load changes is half a system. These components kill analytics-layer
+VMs — on a schedule (deterministic tests) or stochastically (soak
+runs) — so the test suite can verify that Flower's controllers restore
+capacity after infrastructure loss, not just after workload shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.ec2 import InstanceState, SimEC2Fleet
+from repro.core.errors import SimulationError
+from repro.simulation.clock import SimClock
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected failure, for post-hoc inspection."""
+
+    time: int
+    instance_id: str
+
+
+@dataclass
+class ScheduledVMFaults:
+    """Kills one running VM at each listed simulated time.
+
+    Deterministic: at each scheduled second, the *oldest* running
+    instance dies (the most likely to hold state — the worst case for
+    the flow). Register as an engine component.
+    """
+
+    fleet: SimEC2Fleet
+    kill_times: list[int]
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if any(t < 0 for t in self.kill_times):
+            raise SimulationError("kill times must be non-negative")
+        self._remaining = sorted(self.kill_times)
+
+    def on_tick(self, clock: SimClock) -> None:
+        now = clock.now
+        while self._remaining and self._remaining[0] <= now:
+            self._remaining.pop(0)
+            victim = self._pick_victim(now)
+            if victim is not None:
+                self.fleet.fail_instance(victim, now)
+                self.events.append(FaultEvent(time=now, instance_id=victim))
+
+    def _pick_victim(self, now: int) -> str | None:
+        running = self.fleet.instances(now, InstanceState.RUNNING)
+        if not running:
+            return None
+        oldest = min(running, key=lambda i: i.launched_at)
+        return oldest.instance_id
+
+
+@dataclass
+class RandomVMFaults:
+    """Memoryless VM failures with a configurable MTBF.
+
+    Each running instance fails within a tick with probability
+    ``tick_seconds / mtbf_seconds`` (the discrete hazard of an
+    exponential lifetime). Seeded: identical runs inject identical
+    faults. Register as an engine component.
+    """
+
+    fleet: SimEC2Fleet
+    rng: np.random.Generator
+    mtbf_seconds: float
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.mtbf_seconds <= 0:
+            raise SimulationError("mtbf_seconds must be positive")
+
+    def on_tick(self, clock: SimClock) -> None:
+        now = clock.now
+        hazard = clock.tick_seconds / self.mtbf_seconds
+        for instance in self.fleet.instances(now, InstanceState.RUNNING):
+            if self.rng.random() < hazard:
+                self.fleet.fail_instance(instance.instance_id, now)
+                self.events.append(FaultEvent(time=now, instance_id=instance.instance_id))

@@ -1,0 +1,279 @@
+"""Composable arrival-rate patterns.
+
+A :class:`RatePattern` maps simulated time (seconds) to an expected
+event rate (events/second). Patterns compose by summation or product,
+so the Fig. 2 style workload — a diurnal base with bursts and noise —
+is built as ``NoisyRate(BurstyRate(DiurnalRate(...)))``.
+
+All stochastic patterns take an explicit :class:`numpy.random.Generator`
+and pre-draw their randomness over a horizon, so that ``rate(t)`` is a
+pure function: evaluating the same pattern twice, or out of order,
+yields identical workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.workload.traces import Trace
+
+
+class RatePattern(ABC):
+    """Expected event rate as a pure function of simulated time."""
+
+    @abstractmethod
+    def rate(self, t: int) -> float:
+        """Expected events/second at simulated second ``t`` (>= 0)."""
+
+    def __add__(self, other: "RatePattern") -> "CompositeRate":
+        return CompositeRate([self, other], mode="sum")
+
+    def __mul__(self, other: "RatePattern") -> "CompositeRate":
+        return CompositeRate([self, other], mode="product")
+
+    def sample(self, start: int, end: int, step: int = 60) -> Trace:
+        """Evaluate the pattern on a grid — useful for plotting/tests."""
+        if step <= 0:
+            raise ConfigurationError("step must be positive")
+        trace = Trace(type(self).__name__)
+        for t in range(start, end, step):
+            trace.append(t, self.rate(t))
+        return trace
+
+
+class ConstantRate(RatePattern):
+    """A flat rate."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ConfigurationError("rate must be non-negative")
+        self.value = float(value)
+
+    def rate(self, t: int) -> float:
+        return self.value
+
+
+class StepRate(RatePattern):
+    """Jumps from ``base`` to ``level`` at ``at`` (optionally back at ``until``)."""
+
+    def __init__(self, base: float, level: float, at: int, until: int | None = None) -> None:
+        if base < 0 or level < 0:
+            raise ConfigurationError("rates must be non-negative")
+        if until is not None and until <= at:
+            raise ConfigurationError("until must be after at")
+        self.base = float(base)
+        self.level = float(level)
+        self.at = int(at)
+        self.until = until
+
+    def rate(self, t: int) -> float:
+        if t < self.at:
+            return self.base
+        if self.until is not None and t >= self.until:
+            return self.base
+        return self.level
+
+
+class RampRate(RatePattern):
+    """Linear ramp from ``start_rate`` at ``t0`` to ``end_rate`` at ``t1``."""
+
+    def __init__(self, start_rate: float, end_rate: float, t0: int, t1: int) -> None:
+        if t1 <= t0:
+            raise ConfigurationError("t1 must be after t0")
+        if start_rate < 0 or end_rate < 0:
+            raise ConfigurationError("rates must be non-negative")
+        self.start_rate = float(start_rate)
+        self.end_rate = float(end_rate)
+        self.t0 = int(t0)
+        self.t1 = int(t1)
+
+    def rate(self, t: int) -> float:
+        if t <= self.t0:
+            return self.start_rate
+        if t >= self.t1:
+            return self.end_rate
+        progress = (t - self.t0) / (self.t1 - self.t0)
+        return self.start_rate + progress * (self.end_rate - self.start_rate)
+
+
+class SinusoidalRate(RatePattern):
+    """``mean + amplitude * sin(2*pi*(t - phase)/period)``, floored at 0."""
+
+    def __init__(self, mean: float, amplitude: float, period: int, phase: int = 0) -> None:
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        if mean < 0 or amplitude < 0:
+            raise ConfigurationError("mean and amplitude must be non-negative")
+        self.mean = float(mean)
+        self.amplitude = float(amplitude)
+        self.period = int(period)
+        self.phase = int(phase)
+
+    def rate(self, t: int) -> float:
+        value = self.mean + self.amplitude * math.sin(2.0 * math.pi * (t - self.phase) / self.period)
+        return max(0.0, value)
+
+
+class DiurnalRate(SinusoidalRate):
+    """A 24-hour sinusoid peaking at ``peak_hour`` local time."""
+
+    def __init__(self, mean: float, amplitude: float, peak_hour: float = 20.0) -> None:
+        day = 24 * 3600
+        # sin peaks a quarter-period after the phase origin.
+        phase = int(peak_hour * 3600 - day / 4)
+        super().__init__(mean, amplitude, day, phase)
+
+
+class WeeklyRate(RatePattern):
+    """A weekly shape: a diurnal cycle scaled per day of the week.
+
+    ``day_factors`` maps day index (0 = the day the simulation starts)
+    modulo 7 to a multiplier — e.g. quiet weekends for a B2B dashboard
+    or busy weekends for a retail one.
+    """
+
+    def __init__(self, daily: RatePattern, day_factors: Sequence[float]) -> None:
+        if len(day_factors) != 7:
+            raise ConfigurationError(f"need exactly 7 day factors, got {len(day_factors)}")
+        if any(f < 0 for f in day_factors):
+            raise ConfigurationError("day factors must be non-negative")
+        self.daily = daily
+        self.day_factors = tuple(float(f) for f in day_factors)
+
+    def rate(self, t: int) -> float:
+        day = (t // 86400) % 7
+        return self.daily.rate(t) * self.day_factors[day]
+
+
+class FlashCrowdRate(RatePattern):
+    """A sudden spike: linear rise then exponential decay.
+
+    Models the "unplanned or unforeseen changes in demand" the paper
+    says rule-based autoscalers fail to adapt to — e.g. a page going
+    viral. Additive: compose with a base pattern via ``+``.
+    """
+
+    def __init__(self, peak: float, at: int, rise_seconds: int = 60, decay_seconds: int = 600) -> None:
+        if peak < 0:
+            raise ConfigurationError("peak must be non-negative")
+        if rise_seconds <= 0 or decay_seconds <= 0:
+            raise ConfigurationError("rise/decay durations must be positive")
+        self.peak = float(peak)
+        self.at = int(at)
+        self.rise_seconds = int(rise_seconds)
+        self.decay_seconds = int(decay_seconds)
+
+    def rate(self, t: int) -> float:
+        if t < self.at:
+            return 0.0
+        if t < self.at + self.rise_seconds:
+            return self.peak * (t - self.at) / self.rise_seconds
+        elapsed = t - self.at - self.rise_seconds
+        return self.peak * math.exp(-elapsed / self.decay_seconds)
+
+
+class BurstyRate(RatePattern):
+    """Random multiplicative bursts over an inner pattern.
+
+    Burst start times are drawn once, at construction, as a Poisson
+    process over ``[0, horizon)`` — so the pattern stays a pure function
+    of time.
+    """
+
+    def __init__(
+        self,
+        inner: RatePattern,
+        rng: np.random.Generator,
+        horizon: int,
+        bursts_per_hour: float = 0.5,
+        multiplier: float = 2.5,
+        duration_seconds: int = 300,
+    ) -> None:
+        if horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if bursts_per_hour < 0 or multiplier < 1.0 or duration_seconds <= 0:
+            raise ConfigurationError(
+                "need bursts_per_hour >= 0, multiplier >= 1, duration_seconds > 0"
+            )
+        self.inner = inner
+        self.multiplier = float(multiplier)
+        self.duration_seconds = int(duration_seconds)
+        expected = bursts_per_hour * horizon / 3600.0
+        count = int(rng.poisson(expected)) if expected > 0 else 0
+        self.burst_starts = sorted(int(s) for s in rng.uniform(0, horizon, size=count))
+
+    def rate(self, t: int) -> float:
+        base = self.inner.rate(t)
+        for start in self.burst_starts:
+            if start <= t < start + self.duration_seconds:
+                return base * self.multiplier
+        return base
+
+
+class NoisyRate(RatePattern):
+    """Multiplicative log-normal noise, piecewise-constant per interval.
+
+    Noise is pre-drawn on a fixed grid so the pattern is pure; the
+    ``interval`` controls how fast the noise wiggles (Fig. 2's minute-
+    scale jitter uses the default 60 s).
+    """
+
+    def __init__(
+        self,
+        inner: RatePattern,
+        rng: np.random.Generator,
+        horizon: int,
+        sigma: float = 0.1,
+        interval: int = 60,
+    ) -> None:
+        if horizon <= 0 or interval <= 0:
+            raise ConfigurationError("horizon and interval must be positive")
+        if sigma < 0:
+            raise ConfigurationError("sigma must be non-negative")
+        self.inner = inner
+        self.interval = int(interval)
+        n = horizon // interval + 2
+        # Log-normal with mean 1 so noise does not bias the average rate.
+        self._factors = np.exp(rng.normal(-0.5 * sigma * sigma, sigma, size=n))
+
+    def rate(self, t: int) -> float:
+        index = min(max(t, 0) // self.interval, len(self._factors) - 1)
+        return self.inner.rate(t) * float(self._factors[index])
+
+
+class CompositeRate(RatePattern):
+    """Sum or product of several patterns."""
+
+    def __init__(self, patterns: Sequence[RatePattern], mode: str = "sum") -> None:
+        if not patterns:
+            raise ConfigurationError("need at least one pattern")
+        if mode not in ("sum", "product"):
+            raise ConfigurationError(f"mode must be 'sum' or 'product', got {mode!r}")
+        self.patterns = list(patterns)
+        self.mode = mode
+
+    def rate(self, t: int) -> float:
+        if self.mode == "sum":
+            return sum(p.rate(t) for p in self.patterns)
+        value = 1.0
+        for pattern in self.patterns:
+            value *= pattern.rate(t)
+        return value
+
+
+class ReplayRate(RatePattern):
+    """Replays a recorded trace with step-hold interpolation."""
+
+    def __init__(self, trace: Trace) -> None:
+        if len(trace) == 0:
+            raise ConfigurationError("cannot replay an empty trace")
+        self.trace = trace
+        self._first_time = trace.times[0]
+
+    def rate(self, t: int) -> float:
+        return max(0.0, self.trace.value_at(max(t, self._first_time)))

@@ -1,0 +1,188 @@
+"""Time-series traces.
+
+A :class:`Trace` is the exchange format of the library: simulations
+record capacity/utilisation/throughput traces, the dependency analyzer
+regresses one trace on another, and benchmarks print traces as the
+series behind the paper's figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.errors import ConfigurationError
+
+
+class Trace:
+    """An append-only, time-ordered series of ``(time, value)`` points."""
+
+    def __init__(self, name: str = "", points: Iterable[tuple[int, float]] | None = None) -> None:
+        self.name = name
+        self._times: list[int] = []
+        self._values: list[float] = []
+        for t, v in points or ():
+            self.append(t, v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, t: int, value: float) -> None:
+        if self._times and t <= self._times[-1]:
+            raise ConfigurationError(
+                f"trace {self.name!r}: times must be strictly increasing "
+                f"(got {t} after {self._times[-1]})"
+            )
+        self._times.append(int(t))
+        self._values.append(float(value))
+
+    @classmethod
+    def from_series(cls, name: str, times: Iterable[int], values: Iterable[float]) -> "Trace":
+        return cls(name, zip(times, values))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> list[int]:
+        return list(self._times)
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        return iter(zip(self._times, self._values))
+
+    def __getitem__(self, index: int) -> tuple[int, float]:
+        return self._times[index], self._values[index]
+
+    def value_at(self, t: int) -> float:
+        """Value of the most recent point at or before ``t`` (step-hold)."""
+        if not self._times or t < self._times[0]:
+            raise ConfigurationError(f"trace {self.name!r}: no point at or before t={t}")
+        # Binary search for the rightmost time <= t.
+        lo, hi = 0, len(self._times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._times[mid] <= t:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self._values[lo]
+
+    def slice(self, start: int, end: int) -> "Trace":
+        """Points with start <= t < end."""
+        pairs = [(t, v) for t, v in self if start <= t < end]
+        return Trace(self.name, pairs)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        self._require_points()
+        return sum(self._values) / len(self._values)
+
+    def minimum(self) -> float:
+        self._require_points()
+        return min(self._values)
+
+    def maximum(self) -> float:
+        self._require_points()
+        return max(self._values)
+
+    def std(self) -> float:
+        self._require_points()
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in self._values) / len(self._values))
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolation percentile, q in [0, 100]."""
+        self._require_points()
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self._values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        weight = rank - low
+        # The one-product form is monotone in floating point, so the
+        # result can never escape [ordered[low], ordered[high]].
+        return ordered[low] + weight * (ordered[high] - ordered[low])
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by the hold time of each point (last point
+        weighted like the median interval)."""
+        self._require_points()
+        if len(self._times) == 1:
+            return self._values[0]
+        intervals = [t2 - t1 for t1, t2 in zip(self._times, self._times[1:])]
+        intervals.append(sorted(intervals)[len(intervals) // 2])
+        total = sum(intervals)
+        return sum(v * w for v, w in zip(self._values, intervals)) / total
+
+    def _require_points(self) -> None:
+        if not self._times:
+            raise ConfigurationError(f"trace {self.name!r} is empty")
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def resample(self, period: int, statistic: str = "mean") -> "Trace":
+        """Aggregate into fixed periods aligned on the first timestamp.
+
+        Each output point sits at the period *end* and aggregates the
+        points whose time falls inside ``[period_start, period_end)``.
+        """
+        self._require_points()
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        aggregate = {
+            "mean": lambda vs: sum(vs) / len(vs),
+            "sum": sum,
+            "max": max,
+            "min": min,
+        }.get(statistic)
+        if aggregate is None:
+            raise ConfigurationError(f"unsupported statistic {statistic!r}")
+        origin = self._times[0]
+        buckets: dict[int, list[float]] = {}
+        for t, v in self:
+            buckets.setdefault((t - origin) // period, []).append(v)
+        out = Trace(f"{self.name}/{period}s")
+        for bucket in sorted(buckets):
+            out.append(origin + (bucket + 1) * period, aggregate(buckets[bucket]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str | Path) -> None:
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["time", "value"])
+            writer.writerows(self)
+
+    @classmethod
+    def from_csv(cls, path: str | Path, name: str = "") -> "Trace":
+        trace = cls(name or Path(path).stem)
+        with open(path, newline="") as f:
+            reader = csv.reader(f)
+            header = next(reader, None)
+            if header != ["time", "value"]:
+                raise ConfigurationError(f"{path}: expected header ['time', 'value'], got {header}")
+            for row in reader:
+                trace.append(int(row[0]), float(row[1]))
+        return trace
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, n={len(self)})"

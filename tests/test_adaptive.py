@@ -1,0 +1,118 @@
+"""Unit tests for Flower's adaptive-gain controller (Eq. 6-7)."""
+
+import pytest
+
+from repro.control import AdaptiveGainConfig, AdaptiveGainController
+from repro.core.errors import ControlError
+
+
+def make(reference=60.0, gamma=0.01, l_min=0.1, l_max=1.0, **kwargs):
+    return AdaptiveGainController(
+        AdaptiveGainConfig(
+            reference=reference, gamma=gamma, l_min=l_min, l_max=l_max, **kwargs
+        )
+    )
+
+
+class TestEquation6:
+    def test_positive_error_raises_capacity(self):
+        controller = make(use_memory=False)
+        u_next = controller.compute(10.0, 80.0, now=0)
+        # Gain adapted first: l = 0.1 + 0.01*20 = 0.3; u' = 10 + 0.3*20.
+        assert u_next == pytest.approx(16.0)
+
+    def test_negative_error_lowers_capacity(self):
+        controller = make(use_memory=False)
+        u_next = controller.compute(10.0, 40.0, now=0)
+        # l stays at l_min (adaptation clamps below); u' = 10 + 0.1*(-20).
+        assert u_next == pytest.approx(8.0)
+
+    def test_zero_error_is_noop(self):
+        controller = make(use_memory=False)
+        assert controller.compute(10.0, 60.0, now=0) == 10.0
+
+
+class TestEquation7:
+    def test_gain_grows_with_sustained_error(self):
+        controller = make(use_memory=False, gamma=0.01, l_min=0.1, l_max=1.0)
+        gains = []
+        for k in range(5):
+            controller.compute(10.0, 80.0, now=60 * k)
+            gains.append(controller.gain)
+        assert gains == sorted(gains)
+        assert gains[-1] > gains[0]
+
+    def test_gain_clamped_at_l_max(self):
+        controller = make(use_memory=False, gamma=1.0, l_max=0.5)
+        controller.compute(10.0, 100.0, now=0)
+        assert controller.gain == 0.5
+
+    def test_gain_clamped_at_l_min(self):
+        controller = make(use_memory=False, gamma=1.0, l_min=0.2)
+        controller.compute(10.0, 20.0, now=0)
+        assert controller.gain == 0.2
+
+    def test_l_init_used_as_start(self):
+        controller = make(use_memory=False, l_init=0.7)
+        assert controller.gain == 0.7
+
+
+class TestDeadband:
+    def test_small_errors_ignored(self):
+        controller = make(use_memory=False, deadband=5.0)
+        assert controller.compute(10.0, 63.0, now=0) == 10.0
+        assert controller.gain == 0.1  # no adaptation either
+
+    def test_errors_beyond_deadband_act(self):
+        controller = make(use_memory=False, deadband=5.0)
+        assert controller.compute(10.0, 70.0, now=0) != 10.0
+
+
+class TestGainMemoryIntegration:
+    def test_memory_warm_starts_on_regime_reentry(self):
+        controller = make(use_memory=True, gamma=0.02, l_min=0.1, l_max=2.0,
+                          memory_bin_width=10.0)
+        # Sustained +30 error: gain climbs well above l_min.
+        for k in range(10):
+            controller.compute(10.0, 90.0, now=60 * k)
+        learned = controller.gain
+        assert learned > 0.5
+        # Error returns to the reference regime, gain decays to l_min.
+        for k in range(10, 40):
+            controller.compute(10.0, 55.0, now=60 * k)
+        assert controller.gain == pytest.approx(0.1)
+        # Second identical shock: the first step already uses the
+        # remembered high gain instead of re-adapting from l_min.
+        controller.compute(10.0, 90.0, now=60 * 50)
+        assert controller.gain >= learned - 0.1
+
+    def test_without_memory_gain_restarts_low(self):
+        controller = make(use_memory=False, gamma=0.02, l_min=0.1, l_max=2.0)
+        for k in range(10):
+            controller.compute(10.0, 90.0, now=60 * k)
+        for k in range(10, 40):
+            controller.compute(10.0, 55.0, now=60 * k)
+        controller.compute(10.0, 90.0, now=60 * 50)
+        # One adaptation step above l_min only.
+        assert controller.gain == pytest.approx(0.1 + 0.02 * 30)
+
+    def test_reset_clears_state(self):
+        controller = make(use_memory=True)
+        controller.compute(10.0, 90.0, now=0)
+        controller.reset()
+        assert controller.gain == 0.1
+        assert len(controller.memory) == 0
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ControlError):
+            AdaptiveGainConfig(reference=60, gamma=0.0, l_min=0.1, l_max=1.0)
+        with pytest.raises(ControlError):
+            AdaptiveGainConfig(reference=60, gamma=0.1, l_min=0.0, l_max=1.0)
+        with pytest.raises(ControlError):
+            AdaptiveGainConfig(reference=60, gamma=0.1, l_min=1.0, l_max=0.5)
+        with pytest.raises(ControlError):
+            AdaptiveGainConfig(reference=60, gamma=0.1, l_min=0.1, l_max=1.0, l_init=2.0)
+        with pytest.raises(ControlError):
+            AdaptiveGainConfig(reference=60, gamma=0.1, l_min=0.1, l_max=1.0, deadband=-1)

@@ -1,0 +1,60 @@
+"""Unit tests for snapshot alert rules."""
+
+import pytest
+
+from repro.core.errors import MonitoringError
+from repro.monitoring import AlertManager, AlertRule
+from repro.monitoring.collector import FlowSnapshot
+
+
+def snapshot(time=60, **values):
+    return FlowSnapshot(time=time, values=values)
+
+
+class TestAlertRule:
+    def test_breached(self):
+        rule = AlertRule("cpu", ">", 80.0)
+        assert rule.breached(snapshot(cpu=90.0))
+        assert not rule.breached(snapshot(cpu=70.0))
+
+    def test_all_comparisons(self):
+        assert AlertRule("m", ">=", 5.0).breached(snapshot(m=5.0))
+        assert AlertRule("m", "<", 5.0).breached(snapshot(m=4.0))
+        assert AlertRule("m", "<=", 5.0).breached(snapshot(m=5.0))
+
+    def test_describe_uses_message_when_set(self):
+        assert AlertRule("cpu", ">", 80.0, message="CPU hot").describe() == "CPU hot"
+        assert "cpu > 80" in AlertRule("cpu", ">", 80.0).describe()
+
+    def test_validation(self):
+        with pytest.raises(MonitoringError):
+            AlertRule("cpu", "!!", 80.0)
+
+
+class TestAlertManager:
+    def test_check_records_firings(self):
+        manager = AlertManager()
+        manager.add_rule(AlertRule("cpu", ">", 80.0))
+        manager.add_rule(AlertRule("throttled", ">", 0.0))
+        fired = manager.check(snapshot(time=60, cpu=90.0, throttled=0.0))
+        assert len(fired) == 1
+        assert fired[0].rule.label == "cpu"
+        assert fired[0].value == 90.0
+        assert manager.history == fired
+
+    def test_history_accumulates_across_checks(self):
+        manager = AlertManager(rules=[AlertRule("cpu", ">", 80.0)])
+        manager.check(snapshot(time=60, cpu=90.0))
+        manager.check(snapshot(time=120, cpu=50.0))
+        manager.check(snapshot(time=180, cpu=95.0))
+        assert [a.time for a in manager.history] == [60, 180]
+
+    def test_firings_for_filters_by_label(self):
+        manager = AlertManager(rules=[AlertRule("a", ">", 1.0), AlertRule("b", ">", 1.0)])
+        manager.check(snapshot(time=60, a=2.0, b=2.0))
+        assert len(manager.firings_for("a")) == 1
+
+    def test_alert_str(self):
+        manager = AlertManager(rules=[AlertRule("cpu", ">", 80.0)])
+        fired = manager.check(snapshot(time=60, cpu=90.0))
+        assert "t=60s" in str(fired[0])

@@ -1,0 +1,150 @@
+"""Unit tests for the workload dependency analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import RegressionError
+from repro.core.flow import LayerKind
+from repro.dependency import WorkloadDependencyAnalyzer
+from repro.dependency.analyzer import MetricRef
+from repro.workload import Trace
+
+
+def correlated_traces(n=200, slope=0.0002, intercept=4.8, noise=0.2, seed=0):
+    """Traces reproducing the Eq. 2 relationship on a shared minute grid."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 60000, size=n)
+    y = slope * x + intercept + rng.normal(0, noise, size=n)
+    times = [60 * (i + 1) for i in range(n)]
+    return (
+        Trace.from_series("records", times, x),
+        Trace.from_series("cpu", times, y),
+    )
+
+
+@pytest.fixture
+def analyzer():
+    analyzer = WorkloadDependencyAnalyzer(min_abs_r=0.7, alpha=0.01)
+    records, cpu = correlated_traces()
+    analyzer.add_series(LayerKind.INGESTION, "IncomingRecords", records)
+    analyzer.add_series(LayerKind.ANALYTICS, "CPUUtilization", cpu)
+    return analyzer
+
+
+class TestFitPair:
+    def test_recovers_eq2_coefficients(self, analyzer):
+        model = analyzer.fit_pair(
+            MetricRef(LayerKind.INGESTION, "IncomingRecords"),
+            MetricRef(LayerKind.ANALYTICS, "CPUUtilization"),
+        )
+        assert model.result.slope == pytest.approx(0.0002, rel=0.05)
+        assert model.result.intercept == pytest.approx(4.8, rel=0.05)
+        assert model.is_significant()
+
+    def test_predict_uses_fitted_model(self, analyzer):
+        model = analyzer.fit_pair(
+            MetricRef(LayerKind.INGESTION, "IncomingRecords"),
+            MetricRef(LayerKind.ANALYTICS, "CPUUtilization"),
+        )
+        # Paper reasoning: CPU needed for a full shard's 1,000 rec/s.
+        assert model.predict(60000) == pytest.approx(0.0002 * 60000 + 4.8, rel=0.1)
+
+    def test_source_equals_target_rejected(self, analyzer):
+        ref = MetricRef(LayerKind.INGESTION, "IncomingRecords")
+        with pytest.raises(RegressionError):
+            analyzer.fit_pair(ref, ref)
+
+    def test_unknown_series_rejected(self, analyzer):
+        with pytest.raises(RegressionError, match="registered"):
+            analyzer.fit_pair(
+                MetricRef(LayerKind.STORAGE, "Nope"),
+                MetricRef(LayerKind.ANALYTICS, "CPUUtilization"),
+            )
+
+
+class TestAnalyze:
+    def test_finds_significant_cross_layer_pairs(self, analyzer):
+        models = analyzer.analyze()
+        pairs = {(m.source.metric, m.target.metric) for m in models}
+        assert ("IncomingRecords", "CPUUtilization") in pairs
+        assert ("CPUUtilization", "IncomingRecords") in pairs
+
+    def test_uncorrelated_pair_excluded(self, analyzer):
+        rng = np.random.default_rng(42)
+        times = [60 * (i + 1) for i in range(200)]
+        noise = Trace.from_series("wcu", times, rng.normal(100, 10, size=200))
+        analyzer.add_series(LayerKind.STORAGE, "ConsumedWriteCapacityUnits", noise)
+        models = analyzer.analyze()
+        storage_models = [m for m in models if LayerKind.STORAGE in (m.source.layer, m.target.layer)]
+        assert storage_models == []
+
+    def test_dependency_between_returns_none_when_weak(self, analyzer):
+        rng = np.random.default_rng(42)
+        times = [60 * (i + 1) for i in range(200)]
+        noise = Trace.from_series("wcu", times, rng.normal(100, 10, size=200))
+        ref = analyzer.add_series(LayerKind.STORAGE, "ConsumedWriteCapacityUnits", noise)
+        model = analyzer.dependency_between(
+            MetricRef(LayerKind.INGESTION, "IncomingRecords"), ref
+        )
+        assert model is None
+
+    def _add_bytes_series(self, analyzer):
+        """IncomingBytes = 350 * IncomingRecords: a same-layer dependency."""
+        records = analyzer.series[MetricRef(LayerKind.INGESTION, "IncomingRecords")]
+        byte_trace = Trace.from_series(
+            "bytes", records.times, [350.0 * v for v in records.values]
+        )
+        analyzer.add_series(LayerKind.INGESTION, "IncomingBytes", byte_trace)
+
+    def test_same_layer_pairs_skipped_by_default(self, analyzer):
+        self._add_bytes_series(analyzer)
+        models = analyzer.analyze()
+        assert all(m.source.layer != m.target.layer for m in models)
+
+    def test_same_layer_pairs_included_on_request(self, analyzer):
+        self._add_bytes_series(analyzer)
+        models = analyzer.analyze(cross_layer_only=False)
+        assert any(m.source.layer == m.target.layer for m in models)
+
+    def test_sorted_by_strength(self, analyzer):
+        models = analyzer.analyze()
+        strengths = [abs(m.result.r) for m in models]
+        assert strengths == sorted(strengths, reverse=True)
+
+
+class TestAlignment:
+    def test_misaligned_traces_rejected(self):
+        analyzer = WorkloadDependencyAnalyzer()
+        a = Trace("a", [(0, 1.0), (60, 2.0), (120, 3.0)])
+        b = Trace("b", [(1, 1.0), (61, 2.0), (121, 3.0)])
+        ra = analyzer.add_series(LayerKind.INGESTION, "a", a)
+        rb = analyzer.add_series(LayerKind.ANALYTICS, "b", b)
+        with pytest.raises(RegressionError, match="timestamps"):
+            analyzer.fit_pair(ra, rb)
+
+    def test_partial_overlap_works(self):
+        analyzer = WorkloadDependencyAnalyzer()
+        a = Trace("a", [(t, float(t)) for t in range(0, 600, 60)])
+        b = Trace("b", [(t, 2.0 * t) for t in range(180, 900, 60)])
+        ra = analyzer.add_series(LayerKind.INGESTION, "a", a)
+        rb = analyzer.add_series(LayerKind.ANALYTICS, "b", b)
+        model = analyzer.fit_pair(ra, rb)
+        assert model.result.slope == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_rejects_short_series(self):
+        analyzer = WorkloadDependencyAnalyzer()
+        with pytest.raises(RegressionError):
+            analyzer.add_series(LayerKind.INGESTION, "x", Trace("x", [(0, 1.0)]))
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(RegressionError):
+            WorkloadDependencyAnalyzer(min_abs_r=1.5)
+        with pytest.raises(RegressionError):
+            WorkloadDependencyAnalyzer(alpha=0.0)
+
+    def test_str_rendering(self, analyzer):
+        model = analyzer.analyze()[0]
+        text = str(model)
+        assert "r=" in text and "p=" in text

@@ -1,0 +1,68 @@
+"""Tests for multi-source dependency fitting and markdown reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ComparisonReport
+from repro.core.errors import RegressionError
+from repro.core.flow import LayerKind
+from repro.dependency import WorkloadDependencyAnalyzer
+from repro.dependency.analyzer import MetricRef
+from repro.workload import Trace
+
+
+class TestFitMulti:
+    def _analyzer(self):
+        rng = np.random.default_rng(0)
+        n = 300
+        times = [60 * (i + 1) for i in range(n)]
+        records = rng.uniform(100, 2000, size=n)
+        payload = rng.uniform(1e4, 1e6, size=n)
+        cpu = 0.01 * records + 2e-6 * payload + 5.0 + rng.normal(0, 0.2, size=n)
+        analyzer = WorkloadDependencyAnalyzer()
+        analyzer.add_series(LayerKind.INGESTION, "Records",
+                            Trace.from_series("r", times, records))
+        analyzer.add_series(LayerKind.INGESTION, "Bytes",
+                            Trace.from_series("b", times, payload))
+        analyzer.add_series(LayerKind.ANALYTICS, "CPU",
+                            Trace.from_series("c", times, cpu))
+        return analyzer
+
+    def test_recovers_joint_coefficients(self):
+        analyzer = self._analyzer()
+        result = analyzer.fit_multi(
+            [MetricRef(LayerKind.INGESTION, "Records"), MetricRef(LayerKind.INGESTION, "Bytes")],
+            MetricRef(LayerKind.ANALYTICS, "CPU"),
+        )
+        assert result.coefficients[0] == pytest.approx(0.01, rel=0.05)
+        assert result.coefficients[1] == pytest.approx(2e-6, rel=0.05)
+        assert result.intercept == pytest.approx(5.0, abs=0.3)
+        assert result.r_squared > 0.99
+
+    def test_validation(self):
+        analyzer = self._analyzer()
+        cpu = MetricRef(LayerKind.ANALYTICS, "CPU")
+        with pytest.raises(RegressionError):
+            analyzer.fit_multi([], cpu)
+        with pytest.raises(RegressionError):
+            analyzer.fit_multi([cpu], cpu)
+
+    def test_misaligned_sources_rejected(self):
+        analyzer = self._analyzer()
+        odd = Trace("odd", [(7, 1.0), (13, 2.0), (19, 3.0)])
+        ref = analyzer.add_series(LayerKind.STORAGE, "Odd", odd)
+        with pytest.raises(RegressionError, match="aligned"):
+            analyzer.fit_multi([ref], MetricRef(LayerKind.ANALYTICS, "CPU"))
+
+
+class TestMarkdownReport:
+    def test_render_markdown(self):
+        report = ComparisonReport("Controllers", ["violations", "settle"])
+        report.add_row("adaptive", [0.02, 240.0])
+        report.add_row("rule", [0.12, None])
+        md = report.render_markdown()
+        assert md.startswith("### Controllers")
+        assert "| adaptive | 0.020 | 240.000 |" in md
+        assert "| rule | 0.120 | — |" in md
+        # Header separator row present.
+        assert "|---|---|---|" in md

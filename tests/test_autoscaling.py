@@ -1,0 +1,180 @@
+"""Unit tests for the alarm-driven auto-scaler (paper ref [1])."""
+
+import pytest
+
+from repro.cloud import MetricAlarm, SimCloudWatch
+from repro.cloud.autoscaling import (
+    AdjustmentType,
+    AutoScaler,
+    ScalingActivity,
+    ScalingPolicy,
+)
+from repro.control import CallbackActuator
+from repro.core.errors import ConfigurationError
+
+
+class _Capacity:
+    def __init__(self, value=10.0):
+        self.value = value
+
+    def actuator(self, maximum=100.0):
+        return CallbackActuator(
+            getter=lambda now: self.value,
+            setter=lambda v, now: setattr(self, "value", v),
+            minimum=1,
+            maximum=maximum,
+        )
+
+
+def high_cpu_alarm(threshold=80.0):
+    return MetricAlarm("high-cpu", "NS", "CPU", threshold=threshold,
+                       comparison=">", period=60, evaluation_periods=1)
+
+
+class TestScalingPolicy:
+    def test_change_in_capacity(self):
+        policy = ScalingPolicy("up", adjustment=2)
+        assert policy.target_capacity(10) == 12.0
+
+    def test_negative_change(self):
+        policy = ScalingPolicy("down", adjustment=-3)
+        assert policy.target_capacity(10) == 7.0
+
+    def test_exact_capacity(self):
+        policy = ScalingPolicy("exact", adjustment=5,
+                               adjustment_type=AdjustmentType.EXACT_CAPACITY)
+        assert policy.target_capacity(10) == 5.0
+
+    def test_percent_change(self):
+        policy = ScalingPolicy("pct", adjustment=50,
+                               adjustment_type=AdjustmentType.PERCENT_CHANGE_IN_CAPACITY)
+        assert policy.target_capacity(10) == 15.0
+
+    def test_percent_change_respects_min_magnitude(self):
+        policy = ScalingPolicy("pct", adjustment=10,
+                               adjustment_type=AdjustmentType.PERCENT_CHANGE_IN_CAPACITY,
+                               min_adjustment_magnitude=3)
+        # 10% of 10 is 1, floored up to 3.
+        assert policy.target_capacity(10) == 13.0
+
+    def test_percent_down(self):
+        policy = ScalingPolicy("pct-down", adjustment=-50,
+                               adjustment_type=AdjustmentType.PERCENT_CHANGE_IN_CAPACITY)
+        assert policy.target_capacity(10) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScalingPolicy("", adjustment=1)
+        with pytest.raises(ConfigurationError):
+            ScalingPolicy("x", adjustment=1, cooldown=-1)
+        with pytest.raises(ConfigurationError):
+            ScalingPolicy("x", adjustment=-1,
+                          adjustment_type=AdjustmentType.EXACT_CAPACITY)
+
+
+class TestAutoScaler:
+    def _scaler(self, capacity, alarm, policy):
+        cw = SimCloudWatch()
+        scaler = AutoScaler(cloudwatch=cw, actuator=capacity.actuator())
+        scaler.attach(alarm, policy)
+        return cw, scaler
+
+    def test_fires_when_alarm_breaches(self):
+        capacity = _Capacity(10.0)
+        cw, scaler = self._scaler(capacity, high_cpu_alarm(), ScalingPolicy("up", 2))
+        cw.put_metric_data("NS", "CPU", 95.0, 60)
+        activities = scaler.evaluate(60)
+        assert len(activities) == 1
+        assert capacity.value == 12.0
+        assert activities[0] == ScalingActivity(60, "up", "high-cpu", 10.0, 12.0)
+
+    def test_no_fire_when_ok(self):
+        capacity = _Capacity(10.0)
+        cw, scaler = self._scaler(capacity, high_cpu_alarm(), ScalingPolicy("up", 2))
+        cw.put_metric_data("NS", "CPU", 20.0, 60)
+        assert scaler.evaluate(60) == []
+        assert capacity.value == 10.0
+
+    def test_cooldown_blocks_refiring(self):
+        capacity = _Capacity(10.0)
+        cw, scaler = self._scaler(
+            capacity, high_cpu_alarm(), ScalingPolicy("up", 2, cooldown=300)
+        )
+        for t in (60, 120, 180, 360):
+            cw.put_metric_data("NS", "CPU", 95.0, t)
+        assert len(scaler.evaluate(60)) == 1
+        assert scaler.evaluate(120) == []  # cooling down
+        assert len(scaler.evaluate(360)) == 1
+        assert capacity.value == 14.0
+
+    def test_multiple_policies_fire_independently(self):
+        capacity = _Capacity(10.0)
+        cw = SimCloudWatch()
+        scaler = AutoScaler(cloudwatch=cw, actuator=capacity.actuator())
+        scaler.attach(high_cpu_alarm(80.0), ScalingPolicy("up", 2))
+        low = MetricAlarm("low-cpu", "NS", "CPU", threshold=20.0, comparison="<",
+                          period=60, evaluation_periods=1)
+        scaler.attach(low, ScalingPolicy("down", -1))
+        cw.put_metric_data("NS", "CPU", 10.0, 60)
+        activities = scaler.evaluate(60)
+        assert [a.policy for a in activities] == ["down"]
+        assert capacity.value == 9.0
+
+    def test_activity_history_accumulates(self):
+        capacity = _Capacity(10.0)
+        cw, scaler = self._scaler(
+            capacity, high_cpu_alarm(), ScalingPolicy("up", 1, cooldown=0)
+        )
+        for t in (60, 120):
+            cw.put_metric_data("NS", "CPU", 95.0, t)
+            scaler.evaluate(t)
+        assert len(scaler.activities) == 2
+
+    def test_duplicate_policy_name_rejected(self):
+        capacity = _Capacity()
+        cw = SimCloudWatch()
+        scaler = AutoScaler(cloudwatch=cw, actuator=capacity.actuator())
+        scaler.attach(high_cpu_alarm(), ScalingPolicy("up", 1))
+        with pytest.raises(ConfigurationError):
+            scaler.attach(high_cpu_alarm(), ScalingPolicy("up", 2))
+
+    def test_actuator_limits_still_apply(self):
+        capacity = _Capacity(10.0)
+        cw = SimCloudWatch()
+        scaler = AutoScaler(cloudwatch=cw, actuator=capacity.actuator(maximum=11))
+        scaler.attach(high_cpu_alarm(), ScalingPolicy("up", 5))
+        cw.put_metric_data("NS", "CPU", 95.0, 60)
+        activities = scaler.evaluate(60)
+        assert activities[0].capacity_after == 11.0
+
+
+class TestEndToEndWithServices:
+    def test_scales_a_kinesis_stream(self):
+        """The provider-style scaler driving a real simulated service."""
+        from repro.cloud import SimKinesisStream
+        from repro.control import KinesisShardActuator
+        from repro.simulation import SimClock
+
+        cw = SimCloudWatch()
+        stream = SimKinesisStream(shards=1)
+        scaler = AutoScaler(cloudwatch=cw, actuator=KinesisShardActuator(stream))
+        alarm = MetricAlarm(
+            "hot-stream", "AWS/Kinesis", "WriteUtilization", threshold=80.0,
+            comparison=">", period=60, evaluation_periods=1,
+            dimensions={"StreamName": stream.name},
+        )
+        scaler.attach(alarm, ScalingPolicy("add-shard", 1, cooldown=0))
+
+        clock = SimClock(tick_seconds=1)
+        for _ in range(60):
+            clock.advance()
+            stream.put_records(950, 0, clock)
+            stream.emit_metrics(cw, clock)
+        activities = scaler.evaluate(60)
+        assert [a.policy for a in activities] == ["add-shard"]
+        assert activities[0].capacity_after == 2.0
+
+    def test_alarm_with_no_data_yet_is_insufficient(self):
+        cw = SimCloudWatch()
+        alarm = MetricAlarm("empty", "NS", "Ghost", threshold=1.0, period=60)
+        assert alarm.evaluate(cw, 60) == "INSUFFICIENT_DATA"

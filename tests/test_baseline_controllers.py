@@ -1,0 +1,143 @@
+"""Unit tests for the baseline controllers ([12], [14], [1])."""
+
+import pytest
+
+from repro.control import (
+    FixedGainConfig,
+    FixedGainController,
+    QuasiAdaptiveConfig,
+    QuasiAdaptiveController,
+    RuleBasedConfig,
+    RuleBasedController,
+)
+from repro.core.errors import ControlError
+
+
+class TestFixedGain:
+    def test_integral_action_with_constant_gain(self):
+        controller = FixedGainController(FixedGainConfig(reference=60.0, gain=0.5))
+        assert controller.compute(10.0, 80.0, 0) == pytest.approx(20.0)
+        assert controller.compute(10.0, 40.0, 0) == pytest.approx(0.0)
+
+    def test_band_suppresses_action(self):
+        controller = FixedGainController(
+            FixedGainConfig(reference=60.0, gain=0.5, band_low=50.0, band_high=70.0)
+        )
+        assert controller.compute(10.0, 65.0, 0) == 10.0
+        assert controller.compute(10.0, 75.0, 0) == pytest.approx(17.5)
+
+    def test_gain_never_changes(self):
+        controller = FixedGainController(FixedGainConfig(reference=60.0, gain=0.5))
+        for k in range(10):
+            controller.compute(10.0, 90.0, 60 * k)
+        # No state: the step is identical every time.
+        assert controller.compute(10.0, 90.0, 600) == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            FixedGainConfig(reference=60.0, gain=0.0)
+        with pytest.raises(ControlError):
+            FixedGainConfig(reference=60.0, gain=0.5, band_low=65.0)
+        with pytest.raises(ControlError):
+            FixedGainConfig(reference=60.0, gain=0.5, band_high=55.0)
+
+
+class TestQuasiAdaptive:
+    def test_gain_is_aggressiveness_over_estimate(self):
+        controller = QuasiAdaptiveController(
+            QuasiAdaptiveConfig(reference=60.0, aggressiveness=0.8, initial_process_gain=2.0)
+        )
+        assert controller.effective_gain == pytest.approx(0.4)
+
+    def test_estimator_updates_from_observed_response(self):
+        controller = QuasiAdaptiveController(
+            QuasiAdaptiveConfig(
+                reference=60.0, aggressiveness=0.8,
+                initial_process_gain=2.0, forgetting=0.5,
+            )
+        )
+        controller.compute(10.0, 80.0, 0)
+        # The plant responded: u moved 10 -> 12, y moved 80 -> 70 (|dy/du|=5).
+        controller.compute(12.0, 70.0, 60)
+        assert controller.process_gain_estimate == pytest.approx(0.5 * 2.0 + 0.5 * 5.0)
+
+    def test_no_update_when_actuator_did_not_move(self):
+        controller = QuasiAdaptiveController(
+            QuasiAdaptiveConfig(reference=60.0, initial_process_gain=2.0)
+        )
+        controller.compute(10.0, 80.0, 0)
+        controller.compute(10.0, 75.0, 60)
+        assert controller.process_gain_estimate == 2.0
+
+    def test_gain_clamped(self):
+        controller = QuasiAdaptiveController(
+            QuasiAdaptiveConfig(
+                reference=60.0, aggressiveness=1.0, initial_process_gain=1e-9,
+                l_min=0.01, l_max=5.0,
+            )
+        )
+        assert controller.effective_gain == 5.0
+
+    def test_reset(self):
+        controller = QuasiAdaptiveController(
+            QuasiAdaptiveConfig(reference=60.0, initial_process_gain=2.0, forgetting=0.5)
+        )
+        controller.compute(10.0, 80.0, 0)
+        controller.compute(15.0, 50.0, 60)
+        controller.reset()
+        assert controller.process_gain_estimate == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            QuasiAdaptiveConfig(reference=60.0, aggressiveness=0.0)
+        with pytest.raises(ControlError):
+            QuasiAdaptiveConfig(reference=60.0, initial_process_gain=0.0)
+        with pytest.raises(ControlError):
+            QuasiAdaptiveConfig(reference=60.0, forgetting=1.5)
+
+
+class TestRuleBased:
+    def config(self, **kwargs):
+        defaults = dict(
+            upper_threshold=75.0, lower_threshold=35.0,
+            step_up=2.0, step_down=1.0, cooldown=300,
+        )
+        defaults.update(kwargs)
+        return RuleBasedConfig(**defaults)
+
+    def test_scales_up_above_threshold(self):
+        controller = RuleBasedController(self.config())
+        assert controller.compute(10.0, 80.0, now=0) == 12.0
+
+    def test_scales_down_below_threshold(self):
+        controller = RuleBasedController(self.config())
+        assert controller.compute(10.0, 30.0, now=0) == 9.0
+
+    def test_no_action_inside_band(self):
+        controller = RuleBasedController(self.config())
+        assert controller.compute(10.0, 60.0, now=0) == 10.0
+
+    def test_cooldown_blocks_consecutive_actions(self):
+        controller = RuleBasedController(self.config(cooldown=300))
+        assert controller.compute(10.0, 90.0, now=0) == 12.0
+        # Still overloaded, but within the cooldown.
+        assert controller.compute(12.0, 95.0, now=60) == 12.0
+        assert controller.compute(12.0, 95.0, now=300) == 14.0
+
+    def test_scale_fraction_grows_step_with_capacity(self):
+        controller = RuleBasedController(self.config(scale_fraction=0.5, cooldown=0))
+        assert controller.compute(100.0, 90.0, now=0) == 150.0
+
+    def test_reset_clears_cooldown(self):
+        controller = RuleBasedController(self.config(cooldown=300))
+        controller.compute(10.0, 90.0, now=0)
+        controller.reset()
+        assert controller.compute(12.0, 90.0, now=60) == 14.0
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            RuleBasedConfig(upper_threshold=50.0, lower_threshold=60.0)
+        with pytest.raises(ControlError):
+            RuleBasedConfig(upper_threshold=70.0, lower_threshold=30.0, step_up=0.0)
+        with pytest.raises(ControlError):
+            RuleBasedConfig(upper_threshold=70.0, lower_threshold=30.0, cooldown=-1)

@@ -1,0 +1,112 @@
+"""Tests for share-bound enforcement on controllers (paper Sec. 2)."""
+
+import pytest
+
+from repro import FlowBuilder, LayerKind
+from repro.control import BoundedActuator, CallbackActuator
+from repro.core.errors import ControlError
+from repro.workload import ConstantRate, StepRate
+
+
+class _Store:
+    def __init__(self, value=5.0):
+        self.value = value
+
+    def actuator(self):
+        return CallbackActuator(
+            getter=lambda now: self.value,
+            setter=lambda v, now: setattr(self, "value", v),
+            minimum=1,
+            maximum=1000,
+        )
+
+
+class TestBoundedActuator:
+    def test_passes_through_within_bounds(self):
+        store = _Store()
+        bounded = BoundedActuator(store.actuator(), cap=10)
+        assert bounded.apply(7.0, 0) == 7.0
+        assert bounded.clamped_requests == 0
+
+    def test_caps_above(self):
+        store = _Store()
+        bounded = BoundedActuator(store.actuator(), cap=10)
+        assert bounded.apply(50.0, 0) == 10.0
+        assert store.value == 10.0
+        assert bounded.clamped_requests == 1
+
+    def test_floors_below(self):
+        store = _Store()
+        bounded = BoundedActuator(store.actuator(), cap=10, floor=3)
+        assert bounded.apply(1.0, 0) == 3.0
+
+    def test_get_delegates(self):
+        store = _Store(value=4.0)
+        assert BoundedActuator(store.actuator(), cap=10).get(0) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            BoundedActuator(_Store().actuator(), cap=1, floor=5)
+
+
+class TestShareBoundsInManager:
+    def test_controller_never_exceeds_share_bound(self):
+        """Overload demands ~5 shards, but the share bound caps at 2."""
+        manager = (
+            FlowBuilder("bounded", seed=3)
+            .ingestion(shards=1)
+            .workload(StepRate(base=500, level=4500, at=600))
+            .control(LayerKind.INGESTION, style="adaptive")
+            .share_bounds({LayerKind.INGESTION: 2})
+            .build()
+        )
+        result = manager.run(3600)
+        shards = result.capacity_trace(LayerKind.INGESTION)
+        assert shards.maximum() <= 2.0
+        # The bound really bit: the loop's actuator recorded clamps.
+        actuator = result.loops[LayerKind.INGESTION].actuator
+        assert isinstance(actuator, BoundedActuator)
+        assert actuator.clamped_requests > 0
+
+    def test_share_bounds_accepts_resource_share(self):
+        from repro.optimization.share_analyzer import ResourceShare
+
+        share = ResourceShare(
+            shares=((LayerKind.INGESTION, 3), (LayerKind.ANALYTICS, 2),
+                    (LayerKind.STORAGE, 500)),
+            hourly_cost=1.0,
+        )
+        manager = (
+            FlowBuilder("bounded", seed=3)
+            .workload(ConstantRate(500))
+            .control_all(style="adaptive")
+            .share_bounds(share)
+            .build()
+        )
+        assert manager.share_bounds == {
+            LayerKind.INGESTION: 3,
+            LayerKind.ANALYTICS: 2,
+            LayerKind.STORAGE: 500,
+        }
+
+    def test_invalid_bound_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            (
+                FlowBuilder()
+                .workload(ConstantRate(100))
+                .share_bounds({LayerKind.INGESTION: 0})
+                .build()
+            )
+
+    def test_unbounded_layers_unaffected(self):
+        manager = (
+            FlowBuilder("bounded", seed=3)
+            .workload(ConstantRate(500))
+            .control_all(style="adaptive")
+            .share_bounds({LayerKind.INGESTION: 4})
+            .build()
+        )
+        assert isinstance(manager.loops[LayerKind.INGESTION].actuator, BoundedActuator)
+        assert not isinstance(manager.loops[LayerKind.ANALYTICS].actuator, BoundedActuator)

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.duration == 7200
+        assert args.style == "adaptive"
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--style", "pid"])
+
+
+class TestCommands:
+    def test_demo_prints_dashboard_and_cost(self, capsys):
+        assert main(["demo", "--duration", "1800", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ingestion.records" in out
+        assert "total cost: $" in out
+
+    def test_fig2_prints_panels_and_model(self, capsys):
+        assert main(["fig2", "--duration", "3600", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Ingestion Layer (Kinesis)" in out
+        assert "correlation: r = +" in out
+        assert "CPU ~" in out
+
+    def test_pareto_prints_front(self, capsys):
+        assert main(["pareto", "--budget", "1.0", "--generations", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal plans" in out
+        assert "Shards" in out
+        assert "picked (balanced)" in out
+
+    def test_pareto_pick_strategy_flag(self, capsys):
+        assert main(["pareto", "--budget", "1.0", "--generations", "60",
+                     "--pick", "cheapest"]) == 0
+        assert "picked (cheapest)" in capsys.readouterr().out
+
+    def test_pareto_reports_infeasible_gracefully(self, capsys):
+        # A hopeless budget: even the minimum allocation costs more.
+        assert main(["pareto", "--budget", "0.0001", "--generations", "5"]) == 1
+        assert "no feasible plan" in capsys.readouterr().out
+
+    def test_shootout_compares_all_styles(self, capsys):
+        assert main(["shootout", "--duration", "1800"]) == 0
+        out = capsys.readouterr().out
+        for style in ("adaptive", "fixed", "quasi", "rule"):
+            assert style in out
+        assert "best on SLO violations" in out

@@ -1,0 +1,109 @@
+"""Unit tests for the click-stream generator."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.simulation import SimClock, derive_rng
+from repro.workload import ClickStreamConfig, ClickStreamGenerator, ConstantRate
+
+
+def make_generator(rate=1000.0, seed=0, **config_kwargs):
+    return ClickStreamGenerator(
+        ConstantRate(rate),
+        rng=derive_rng(seed, "clicks"),
+        config=ClickStreamConfig(**config_kwargs) if config_kwargs else None,
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClickStreamConfig(mean_record_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ClickStreamConfig(catalog_pages=0)
+        with pytest.raises(ConfigurationError):
+            ClickStreamConfig(record_bytes_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            ClickStreamConfig(zipf_exponent=-1)
+
+
+class TestGeneration:
+    def test_mean_rate_matches_pattern(self):
+        generator = make_generator(rate=1000)
+        clock = SimClock(tick_seconds=1)
+        total = 0
+        for _ in range(500):
+            clock.advance()
+            total += generator.generate(clock).records
+        assert total / 500 == pytest.approx(1000, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        clock1, clock2 = SimClock(), SimClock()
+        g1, g2 = make_generator(seed=9), make_generator(seed=9)
+        for _ in range(10):
+            clock1.advance()
+            clock2.advance()
+            assert g1.generate(clock1) == g2.generate(clock2)
+
+    def test_zero_rate_yields_empty_batches(self):
+        generator = make_generator(rate=0)
+        clock = SimClock()
+        clock.advance()
+        batch = generator.generate(clock)
+        assert batch.records == 0
+        assert batch.payload_bytes == 0
+        assert batch.distinct_keys == 0
+
+    def test_payload_scales_with_records(self):
+        generator = make_generator(rate=1000, mean_record_bytes=200, record_bytes_sigma=0.0)
+        clock = SimClock()
+        clock.advance()
+        batch = generator.generate(clock)
+        assert batch.payload_bytes == batch.records * 200
+
+    def test_totals_accumulate(self):
+        generator = make_generator(rate=100)
+        clock = SimClock()
+        produced = 0
+        for _ in range(20):
+            clock.advance()
+            produced += generator.generate(clock).records
+        assert generator.total_records == produced
+        assert generator.total_bytes > 0
+
+
+class TestDistinctPages:
+    def test_distinct_capped_by_catalog(self):
+        generator = make_generator(rate=100_000, catalog_pages=50)
+        clock = SimClock()
+        clock.advance()
+        batch = generator.generate(clock)
+        assert batch.distinct_keys <= 50
+
+    def test_distinct_grows_sublinearly_with_volume(self):
+        """Zipf popularity: 10x the clicks does not mean 10x the pages.
+
+        This sublinearity is why the paper saw no correlation between
+        ingestion write volume and storage write capacity.
+        """
+        lows, highs = [], []
+        for seed in range(5):
+            low = make_generator(rate=500, seed=seed, catalog_pages=2000)
+            high = make_generator(rate=5000, seed=seed, catalog_pages=2000)
+            clock_low, clock_high = SimClock(), SimClock()
+            clock_low.advance()
+            clock_high.advance()
+            lows.append(low.generate(clock_low).distinct_keys)
+            highs.append(high.generate(clock_high).distinct_keys)
+        ratio = sum(highs) / sum(lows)
+        assert 1.0 < ratio < 5.0  # far below the 10x volume ratio
+
+    def test_uniform_catalog_distinct_count(self):
+        # With zipf_exponent=0 (uniform), distinct count follows the
+        # classic occupancy expectation.
+        generator = make_generator(rate=1000, seed=3, catalog_pages=100, zipf_exponent=0.0)
+        clock = SimClock()
+        clock.advance()
+        batch = generator.generate(clock)
+        expected = 100 * (1 - (1 - 1 / 100) ** batch.records)
+        assert batch.distinct_keys == pytest.approx(expected, rel=0.25)

@@ -1,0 +1,147 @@
+"""Unit tests for the simulated CloudWatch metric store and alarms."""
+
+import pytest
+
+from repro.cloud import MetricAlarm, SimCloudWatch
+from repro.core.errors import MonitoringError
+
+
+@pytest.fixture
+def cw():
+    return SimCloudWatch()
+
+
+def _fill(cw, values, namespace="NS", metric="M", start=1, step=1, dims=None):
+    for i, v in enumerate(values):
+        cw.put_metric_data(namespace, metric, v, start + i * step, dims)
+
+
+class TestPutAndGet:
+    def test_raw_series_roundtrip(self, cw):
+        _fill(cw, [1.0, 2.0, 3.0])
+        times, values = cw.get_series("NS", "M")
+        assert times == [1, 2, 3]
+        assert values == [1.0, 2.0, 3.0]
+
+    def test_rejects_time_regression(self, cw):
+        cw.put_metric_data("NS", "M", 1.0, 10)
+        with pytest.raises(MonitoringError):
+            cw.put_metric_data("NS", "M", 2.0, 5)
+
+    def test_same_timestamp_allowed(self, cw):
+        cw.put_metric_data("NS", "M", 1.0, 10)
+        cw.put_metric_data("NS", "M", 2.0, 10)
+        assert cw.get_series("NS", "M")[1] == [1.0, 2.0]
+
+    def test_dimensions_separate_series(self, cw):
+        cw.put_metric_data("NS", "M", 1.0, 1, {"Stream": "a"})
+        cw.put_metric_data("NS", "M", 9.0, 1, {"Stream": "b"})
+        assert cw.get_series("NS", "M", {"Stream": "a"})[1] == [1.0]
+        assert cw.get_series("NS", "M", {"Stream": "b"})[1] == [9.0]
+
+    def test_unknown_metric_raises_with_known_list(self, cw):
+        cw.put_metric_data("NS", "M", 1.0, 1)
+        with pytest.raises(MonitoringError, match="NS/M"):
+            cw.get_series("NS", "Nope")
+
+    def test_list_metrics_filters_by_namespace(self, cw):
+        cw.put_metric_data("A", "x", 1.0, 1)
+        cw.put_metric_data("B", "y", 1.0, 1)
+        assert cw.list_metrics("A") == [("A", "x")]
+        assert set(cw.list_metrics()) == {("A", "x"), ("B", "y")}
+
+
+class TestStatistics:
+    def test_average_per_period(self, cw):
+        _fill(cw, [10.0, 20.0, 30.0, 40.0])  # t=1..4
+        stats = cw.get_metric_statistics("NS", "M", 0, 4, period=2)
+        assert stats == [(2, 15.0), (4, 35.0)]
+
+    def test_sum_max_min_count(self, cw):
+        _fill(cw, [1.0, 2.0, 3.0])
+        assert cw.get_metric_statistics("NS", "M", 0, 3, 3, "Sum") == [(3, 6.0)]
+        assert cw.get_metric_statistics("NS", "M", 0, 3, 3, "Maximum") == [(3, 3.0)]
+        assert cw.get_metric_statistics("NS", "M", 0, 3, 3, "Minimum") == [(3, 1.0)]
+        assert cw.get_metric_statistics("NS", "M", 0, 3, 3, "SampleCount") == [(3, 3.0)]
+
+    def test_percentile_statistic(self, cw):
+        _fill(cw, [float(v) for v in range(1, 101)])
+        stats = cw.get_metric_statistics("NS", "M", 0, 100, 100, "p50")
+        assert stats[0][1] == pytest.approx(50.5)
+
+    def test_windows_are_right_closed(self, cw):
+        _fill(cw, [1.0, 2.0])  # t=1, t=2
+        # Period (0, 1] contains t=1 only.
+        stats = cw.get_metric_statistics("NS", "M", 0, 2, period=1)
+        assert stats == [(1, 1.0), (2, 2.0)]
+
+    def test_empty_periods_are_omitted(self, cw):
+        cw.put_metric_data("NS", "M", 5.0, 10)
+        stats = cw.get_metric_statistics("NS", "M", 0, 30, period=10)
+        assert stats == [(10, 5.0)]
+
+    def test_rejects_bad_period_and_range(self, cw):
+        _fill(cw, [1.0])
+        with pytest.raises(MonitoringError):
+            cw.get_metric_statistics("NS", "M", 0, 10, period=0)
+        with pytest.raises(MonitoringError):
+            cw.get_metric_statistics("NS", "M", 10, 10, period=1)
+
+    def test_get_metric_value_with_default(self, cw):
+        assert cw.get_metric_value("NS", "Missing", now=10, window=10, default=7.0) == 7.0
+
+    def test_get_metric_value_without_default_raises(self, cw):
+        with pytest.raises(MonitoringError):
+            cw.get_metric_value("NS", "Missing", now=10, window=10)
+
+    def test_get_metric_value_window(self, cw):
+        _fill(cw, [1.0, 2.0, 3.0, 4.0])  # t=1..4
+        # Window (2, 4] -> values 3, 4.
+        assert cw.get_metric_value("NS", "M", now=4, window=2) == 3.5
+
+
+class TestAlarms:
+    def test_alarm_fires_after_evaluation_periods(self, cw):
+        fired = []
+        alarm = MetricAlarm(
+            name="high", namespace="NS", metric_name="M", threshold=50.0,
+            comparison=">", period=1, evaluation_periods=2, on_alarm=fired.append,
+        )
+        cw.put_alarm(alarm)
+        _fill(cw, [60.0, 40.0, 70.0, 80.0])  # t=1..4
+        assert alarm.evaluate(cw, 2) == "OK"  # 60, 40 -> not all above
+        assert alarm.evaluate(cw, 4) == "ALARM"  # 70, 80
+        assert fired == [4]
+
+    def test_insufficient_data_state(self, cw):
+        alarm = MetricAlarm("a", "NS", "M", threshold=1.0, period=1, evaluation_periods=3)
+        cw.put_metric_data("NS", "M", 5.0, 1)
+        assert alarm.evaluate(cw, 1) == "INSUFFICIENT_DATA"
+
+    def test_ok_callback_on_recovery(self, cw):
+        recovered = []
+        alarm = MetricAlarm(
+            "a", "NS", "M", threshold=50.0, comparison=">",
+            period=1, evaluation_periods=1, on_ok=recovered.append,
+        )
+        _fill(cw, [60.0, 10.0])
+        assert alarm.evaluate(cw, 1) == "ALARM"
+        assert alarm.evaluate(cw, 2) == "OK"
+        assert recovered == [2]
+
+    def test_evaluate_alarms_returns_breaching(self, cw):
+        a1 = MetricAlarm("hot", "NS", "M", threshold=5.0, comparison=">", period=1)
+        a2 = MetricAlarm("cold", "NS", "M", threshold=100.0, comparison=">", period=1)
+        cw.put_alarm(a1)
+        cw.put_alarm(a2)
+        cw.put_metric_data("NS", "M", 50.0, 1)
+        breaching = cw.evaluate_alarms(1)
+        assert breaching == [a1]
+
+    def test_rejects_bad_comparison(self):
+        with pytest.raises(MonitoringError):
+            MetricAlarm("a", "NS", "M", threshold=1.0, comparison="!=")
+
+    def test_rejects_bad_evaluation_periods(self):
+        with pytest.raises(MonitoringError):
+            MetricAlarm("a", "NS", "M", threshold=1.0, evaluation_periods=0)

@@ -1,0 +1,79 @@
+"""Unit tests for the cross-platform metric collector."""
+
+import pytest
+
+from repro.cloud import SimCloudWatch
+from repro.core.errors import MonitoringError
+from repro.monitoring import MetricCollector, MetricSpec
+
+
+@pytest.fixture
+def cw():
+    cw = SimCloudWatch()
+    for t in range(10, 130, 10):
+        cw.put_metric_data("AWS/Kinesis", "IncomingRecords", float(t), t)
+        cw.put_metric_data("Custom/Storm", "CPUUtilization", t / 2.0, t)
+    return cw
+
+
+@pytest.fixture
+def collector(cw):
+    collector = MetricCollector(cw, window=60)
+    collector.add_metric("in.records", "AWS/Kinesis", "IncomingRecords", "Sum")
+    collector.add_metric("cpu", "Custom/Storm", "CPUUtilization")
+    return collector
+
+
+class TestCollect:
+    def test_snapshot_spans_namespaces(self, collector):
+        snapshot = collector.collect(120)
+        # Sum over (60, 120]: 70+80+...+120.
+        assert snapshot["in.records"] == sum(range(70, 130, 10))
+        assert snapshot["cpu"] == pytest.approx(sum(range(70, 130, 10)) / 2 / 6)
+
+    def test_missing_data_reads_zero(self, cw):
+        collector = MetricCollector(cw, window=60)
+        collector.add_metric("ghost", "NS", "NotThere")
+        assert collector.collect(60)["ghost"] == 0.0
+
+    def test_history_accumulates(self, collector):
+        collector.collect(60)
+        collector.collect(120)
+        assert len(collector.snapshots) == 2
+        assert [s.time for s in collector.snapshots] == [60, 120]
+
+    def test_series_returns_trace(self, collector):
+        collector.collect(60)
+        collector.collect(120)
+        trace = collector.series("cpu")
+        assert trace.times == [60, 120]
+
+    def test_series_unknown_label(self, collector):
+        with pytest.raises(MonitoringError):
+            collector.series("nope")
+
+    def test_snapshot_unknown_label(self, collector):
+        snapshot = collector.collect(60)
+        with pytest.raises(MonitoringError):
+            snapshot["nope"]
+
+
+class TestRegistration:
+    def test_duplicate_label_rejected(self, collector):
+        with pytest.raises(MonitoringError):
+            collector.add_metric("cpu", "Custom/Storm", "CPUUtilization")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(MonitoringError):
+            MetricSpec("", "NS", "M")
+
+    def test_collect_without_specs_rejected(self, cw):
+        with pytest.raises(MonitoringError):
+            MetricCollector(cw).collect(60)
+
+    def test_window_validation(self, cw):
+        with pytest.raises(MonitoringError):
+            MetricCollector(cw, window=0)
+
+    def test_labels_order_preserved(self, collector):
+        assert collector.labels == ["in.records", "cpu"]

@@ -1,0 +1,66 @@
+"""Unit tests for controller configuration factories."""
+
+import pytest
+
+from repro.control import (
+    AdaptiveGainController,
+    FixedGainController,
+    QuasiAdaptiveController,
+    RuleBasedController,
+)
+from repro.core import LayerControlConfig, LayerKind, make_controller
+from repro.core.config import (
+    CONTROLLER_FACTORIES,
+    default_adaptive_controller,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestFactories:
+    @pytest.mark.parametrize("kind", list(LayerKind))
+    def test_adaptive_for_every_layer(self, kind):
+        controller = default_adaptive_controller(kind)
+        assert isinstance(controller, AdaptiveGainController)
+        assert controller.config.l_min < controller.config.l_max
+        assert controller.memory is not None
+
+    def test_adaptive_memory_can_be_disabled(self):
+        controller = default_adaptive_controller(LayerKind.ANALYTICS, use_memory=False)
+        assert controller.memory is None
+
+    @pytest.mark.parametrize("style,cls", [
+        ("adaptive", AdaptiveGainController),
+        ("fixed", FixedGainController),
+        ("quasi", QuasiAdaptiveController),
+        ("rule", RuleBasedController),
+    ])
+    def test_make_controller_styles(self, style, cls):
+        controller = make_controller(style, LayerKind.STORAGE, reference=70.0)
+        assert isinstance(controller, cls)
+
+    def test_all_registered_styles_work_for_all_layers(self):
+        for style in CONTROLLER_FACTORIES:
+            for kind in LayerKind:
+                assert make_controller(style, kind) is not None
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_controller("pid", LayerKind.ANALYTICS)
+
+    def test_reference_propagates(self):
+        controller = make_controller("adaptive", LayerKind.ANALYTICS, reference=45.0)
+        assert controller.config.reference == 45.0
+
+
+class TestLayerControlConfig:
+    def test_defaults(self):
+        config = LayerControlConfig(controller=make_controller("adaptive", LayerKind.ANALYTICS))
+        assert config.period == 60
+        assert config.window == 60
+
+    def test_validation(self):
+        controller = make_controller("adaptive", LayerKind.ANALYTICS)
+        with pytest.raises(ConfigurationError):
+            LayerControlConfig(controller=controller, period=0)
+        with pytest.raises(ConfigurationError):
+            LayerControlConfig(controller=controller, window=-1)

@@ -1,0 +1,139 @@
+"""Conservation-law property tests for the service simulators.
+
+No simulator may create or destroy records: everything offered is
+accepted or throttled; everything accepted is read, processed or still
+buffered. These invariants hold under arbitrary interleavings of puts,
+reads and capacity changes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud import (
+    DynamoDBConfig,
+    EC2Config,
+    SimDynamoDBTable,
+    SimEC2Fleet,
+    SimKinesisStream,
+    SimStormCluster,
+    StormConfig,
+)
+from repro.simulation import SimClock
+
+put_amounts = st.lists(st.integers(min_value=0, max_value=5000), min_size=1, max_size=50)
+
+
+class TestKinesisConservation:
+    @given(put_amounts)
+    @settings(max_examples=30)
+    def test_put_splits_into_accepted_plus_throttled(self, amounts):
+        stream = SimKinesisStream(shards=2)
+        clock = SimClock()
+        for records in amounts:
+            clock.advance()
+            result = stream.put_records(records, records * 100, clock)
+            assert result.accepted_records + result.throttled_records == records
+            assert result.accepted_records >= 0
+            assert result.throttled_records >= 0
+
+    @given(put_amounts, st.lists(st.integers(min_value=0, max_value=5000), min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_reads_never_exceed_accepted(self, puts, reads):
+        stream = SimKinesisStream(shards=2)
+        clock = SimClock()
+        total_accepted = 0
+        total_read = 0
+        for i in range(max(len(puts), len(reads))):
+            clock.advance()
+            if i < len(puts):
+                total_accepted += stream.put_records(puts[i], 0, clock).accepted_records
+            if i < len(reads):
+                total_read += stream.get_records(reads[i], clock)
+        assert total_read + stream.backlog_records == total_accepted
+
+    @given(put_amounts, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20)
+    def test_conservation_across_resharding(self, amounts, target):
+        stream = SimKinesisStream(shards=2)
+        clock = SimClock()
+        accepted = 0
+        read = 0
+        for i, records in enumerate(amounts):
+            clock.advance()
+            if i == len(amounts) // 2:
+                stream.update_shard_count(target, clock.now)
+            accepted += stream.put_records(records, 0, clock).accepted_records
+            read += stream.get_records(records // 2, clock)
+        assert read + stream.backlog_records == accepted
+
+
+class TestStormConservation:
+    @given(put_amounts)
+    @settings(max_examples=20)
+    def test_pulled_equals_processed_plus_pending(self, amounts):
+        fleet = SimEC2Fleet(config=EC2Config(boot_seconds=0), initial_instances=1)
+        cluster = SimStormCluster(fleet, StormConfig(cpu_noise_std=0.0),
+                                  np.random.default_rng(0))
+        stream = SimKinesisStream(shards=8)
+        clock = SimClock()
+        accepted = 0
+        processed = 0
+        for records in amounts:
+            clock.advance()
+            accepted += stream.put_records(records, 0, clock).accepted_records
+            cluster.pull_and_process(stream, 0, clock)
+            processed += cluster._tick_processed
+        assert processed + cluster.pending_records + stream.backlog_records == accepted
+
+
+class TestDynamoDBConservation:
+    @given(put_amounts)
+    @settings(max_examples=30)
+    def test_write_splits_into_accepted_plus_throttled(self, amounts):
+        table = SimDynamoDBTable(write_units=500, config=DynamoDBConfig(burst_seconds=100))
+        clock = SimClock()
+        for units in amounts:
+            clock.advance()
+            result = table.write(units, clock)
+            assert result.accepted_units + result.throttled_units == units
+
+    @given(put_amounts)
+    @settings(max_examples=30)
+    def test_burst_bucket_never_negative_or_above_cap(self, amounts):
+        config = DynamoDBConfig(burst_seconds=60)
+        table = SimDynamoDBTable(write_units=200, config=config)
+        clock = SimClock()
+        for units in amounts:
+            clock.advance()
+            table.write(units, clock)
+            assert 0.0 <= table.burst_balance <= 60 * 200
+
+
+class TestManagedFlowConservation:
+    def test_end_to_end_record_accounting(self):
+        """Generated = ingested + producer backlog + dropped, and
+        ingested = processed + stream backlog + storm pending."""
+        from repro import FlowBuilder, LayerKind
+        from repro.workload import StepRate
+
+        manager = (
+            FlowBuilder("conserve", seed=13)
+            .ingestion(shards=1)
+            .analytics(vms=1)
+            .storage(write_units=200)
+            .workload(StepRate(base=500, level=3000, at=600))  # overload
+            .build()
+        )
+        result = manager.run(1800)
+        generated = manager.generator.total_records
+        ingested = sum(result.trace(
+            "AWS/Kinesis", "IncomingRecords", statistic="Sum",
+            dimensions=result.layer_dimensions[LayerKind.INGESTION]).values)
+        processed = sum(result.trace(
+            "Custom/Storm", "ProcessedRecords", statistic="Sum",
+            dimensions=result.layer_dimensions[LayerKind.ANALYTICS]).values)
+        producer_backlog = manager._pipeline._producer_backlog_records
+        assert ingested + producer_backlog + result.dropped_records == generated
+        assert processed + manager.stream.backlog_records + manager.cluster.pending_records \
+            == ingested

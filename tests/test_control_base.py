@@ -1,0 +1,129 @@
+"""Unit tests for the control loop plumbing."""
+
+import pytest
+
+from repro.control import CallbackActuator, ControlLoop, Controller, Sensor
+from repro.core.errors import ControlError
+
+
+class StubSensor(Sensor):
+    def __init__(self, values):
+        self.values = list(values)
+
+    def measure(self, now):
+        return self.values.pop(0) if self.values else None
+
+
+class GainOne(Controller):
+    """u' = u + (y - 60): a unit-gain integral controller for tests."""
+
+    def compute(self, u_current, y_measured, now):
+        return u_current + (y_measured - 60.0)
+
+    def reset(self):
+        pass
+
+
+class Plant:
+    """Integer capacity store used as the actuator target."""
+
+    def __init__(self, capacity=10.0):
+        self.capacity = capacity
+
+    def actuator(self, minimum=1.0, maximum=100.0):
+        return CallbackActuator(
+            getter=lambda now: self.capacity,
+            setter=lambda value, now: setattr(self, "capacity", value),
+            minimum=minimum,
+            maximum=maximum,
+        )
+
+
+class TestCallbackActuator:
+    def test_clamps_and_rounds(self):
+        plant = Plant()
+        actuator = plant.actuator(minimum=2, maximum=20)
+        assert actuator.apply(25.7, 0) == 20.0
+        assert actuator.apply(0.2, 0) == 2.0
+        assert actuator.apply(7.6, 0) == 8.0
+        assert plant.capacity == 8.0
+
+    def test_non_integer_mode(self):
+        plant = Plant()
+        actuator = CallbackActuator(
+            getter=lambda now: plant.capacity,
+            setter=lambda value, now: setattr(plant, "capacity", value),
+            integer=False,
+        )
+        assert actuator.apply(7.6, 0) == 7.6
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            CallbackActuator(lambda n: 0, lambda v, n: None, minimum=5, maximum=1)
+
+
+class TestControlLoop:
+    def test_skips_when_no_sensor_data(self):
+        plant = Plant()
+        loop = ControlLoop("l", StubSensor([]), GainOne(), plant.actuator())
+        assert loop.step(60) is None
+        assert loop.records == []
+
+    def test_records_each_invocation(self):
+        plant = Plant(capacity=10.0)
+        loop = ControlLoop("l", StubSensor([80.0, 50.0]), GainOne(), plant.actuator())
+        record = loop.step(60)
+        assert record.measurement == 80.0
+        assert record.capacity_before == 10.0
+        assert record.capacity_requested == 30.0
+        assert record.capacity_applied == 30.0
+        loop.step(120)
+        assert len(loop.records) == 2
+        assert loop.actions_taken == 2
+
+    def test_integrator_accumulates_subunit_steps(self):
+        """Small gain x error must not deadlock on integer actuators."""
+
+        class TinyGain(Controller):
+            def compute(self, u, y, now):
+                return u - 0.3  # persistent scale-down pressure
+
+            def reset(self):
+                pass
+
+        plant = Plant(capacity=10.0)
+        loop = ControlLoop("l", StubSensor([50.0] * 5), TinyGain(), plant.actuator())
+        for k in range(5):
+            loop.step(60 * (k + 1))
+        # 5 steps of -0.3 = -1.5: capacity must have dropped by >= 1.
+        assert plant.capacity <= 9.0
+
+    def test_integrator_resyncs_after_clamp(self):
+        """Anti-windup: the integrator must not run away past actuator limits."""
+
+        class BigGain(Controller):
+            def compute(self, u, y, now):
+                return u + 1000.0
+
+            def reset(self):
+                pass
+
+        plant = Plant(capacity=10.0)
+        loop = ControlLoop("l", StubSensor([90.0] * 3), BigGain(), plant.actuator(maximum=20))
+        loop.step(60)
+        assert plant.capacity == 20.0
+        # Next step resyncs to the applied 20 rather than integrating from 1010.
+        record = loop.step(120)
+        assert record.capacity_before == 20.0
+
+    def test_acted_flag(self):
+        plant = Plant(capacity=10.0)
+        loop = ControlLoop("l", StubSensor([60.0]), GainOne(), plant.actuator())
+        record = loop.step(60)
+        assert record.capacity_applied == record.capacity_before
+        assert not record.acted
+        assert loop.actions_taken == 0
+
+    def test_period_validation(self):
+        with pytest.raises(ControlError):
+            ControlLoop("l", StubSensor([]), GainOne(), Plant().actuator(), period=0)

@@ -1,0 +1,66 @@
+"""Unit tests for cost accounting."""
+
+import pytest
+
+from repro.analysis import CostSummary, capacity_trace_cost, savings_vs_peak, static_peak_cost
+from repro.cloud.pricing import PriceBook, ResourcePrice
+from repro.core.errors import ConfigurationError
+from repro.workload import Trace
+
+
+@pytest.fixture
+def book():
+    return PriceBook({
+        "vm": ResourcePrice("vm", hourly=1.0),
+        "shard": ResourcePrice("shard", hourly=0.5),
+    })
+
+
+class TestCapacityTraceCost:
+    def test_flat_trace(self, book):
+        trace = Trace("c", [(0, 2.0), (3600, 2.0)])
+        # 2 VMs for 1 h + final sample held for the median interval (1 h).
+        assert capacity_trace_cost(trace, "vm", book) == pytest.approx(4.0)
+
+    def test_scaling_down_costs_less(self, book):
+        flat = Trace("flat", [(0, 4.0), (1800, 4.0), (3600, 4.0)])
+        elastic = Trace("elastic", [(0, 4.0), (1800, 1.0), (3600, 1.0)])
+        assert capacity_trace_cost(elastic, "vm", book) < capacity_trace_cost(flat, "vm", book)
+
+
+class TestStaticPeakCost:
+    def test_uses_peak_over_span(self, book):
+        trace = Trace("c", [(0, 1.0), (1800, 8.0), (3600, 1.0)])
+        # Peak 8 units held for the full 1 h span.
+        assert static_peak_cost(trace, "vm", book) == pytest.approx(12.0)  # 8 units x 1.5 h effective span
+
+    def test_needs_two_samples(self, book):
+        with pytest.raises(ConfigurationError):
+            static_peak_cost(Trace("c", [(0, 1.0)]), "vm", book)
+
+
+class TestSavings:
+    def test_fraction(self):
+        assert savings_vs_peak(35.0, 100.0) == pytest.approx(0.65)
+
+    def test_peak_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            savings_vs_peak(1.0, 0.0)
+
+
+class TestCostSummary:
+    def test_from_traces(self, book):
+        traces = {
+            "vm": Trace("vm", [(0, 4.0), (1800, 2.0), (3600, 2.0)]),
+            "shard": Trace("shard", [(0, 2.0), (1800, 2.0), (3600, 2.0)]),
+        }
+        summary = CostSummary.from_traces(traces, book)
+        assert summary.per_resource["vm"] == pytest.approx((4 + 2 + 2) * 0.5 * 1.0)
+        # Peak 4 units over the same 1.5 h effective span.
+        assert summary.peak_per_resource["vm"] == pytest.approx(6.0)
+        assert summary.total == pytest.approx(summary.per_resource["vm"] + summary.per_resource["shard"])
+        assert 0.0 < summary.savings < 1.0
+
+    def test_empty_rejected(self, book):
+        with pytest.raises(ConfigurationError):
+            CostSummary.from_traces({}, book)

@@ -1,0 +1,83 @@
+"""Unit tests for the text dashboard and its rendering helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud import SimCloudWatch
+from repro.core.errors import MonitoringError
+from repro.monitoring import Dashboard, MetricCollector, render_table, sparkline
+
+
+class TestSparkline:
+    def test_constant_series_is_flat(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_ramp_is_monotone(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert line == "".join(sorted(line))
+
+    def test_empty_series_is_blank(self):
+        assert sparkline([], width=5) == "     "
+
+    def test_downsamples_to_width(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0], width=10)) == 2
+
+    def test_width_validation(self):
+        with pytest.raises(MonitoringError):
+            sparkline([1.0], width=0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_output_length_never_exceeds_width(self, values):
+        assert len(sparkline(values, width=16)) <= 16
+
+
+class TestRenderTable:
+    def test_columns_align(self):
+        table = render_table(["name", "v"], [["a", "1"], ["longer", "22"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+
+    def test_row_width_validation(self):
+        with pytest.raises(MonitoringError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(MonitoringError):
+            render_table([], [])
+
+
+class TestDashboard:
+    def _collector(self):
+        cw = SimCloudWatch()
+        for t in range(10, 310, 10):
+            cw.put_metric_data("NS", "M", float(t % 70), t)
+        collector = MetricCollector(cw, window=60)
+        collector.add_metric("layer.metric", "NS", "M")
+        for t in (60, 120, 180, 240, 300):
+            collector.collect(t)
+        return collector
+
+    def test_render_contains_all_measures(self):
+        dashboard = Dashboard(self._collector(), title="Test view")
+        output = dashboard.render()
+        assert "Test view" in output
+        assert "layer.metric" in output
+        assert "last" in output and "mean" in output
+
+    def test_render_without_snapshots_raises(self):
+        cw = SimCloudWatch()
+        collector = MetricCollector(cw)
+        collector.add_metric("x", "NS", "M")
+        with pytest.raises(MonitoringError):
+            Dashboard(collector).render()
+
+    def test_history_parameter_limits_sparkline_window(self):
+        dashboard = Dashboard(self._collector())
+        # Should not raise with a tiny history.
+        assert dashboard.render(history=2)

@@ -1,0 +1,121 @@
+"""Unit tests for the simulated DynamoDB table."""
+
+import pytest
+
+from repro.cloud import DynamoDBConfig, SimCloudWatch, SimDynamoDBTable
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.simulation import SimClock
+
+
+@pytest.fixture
+def clock():
+    clock = SimClock(tick_seconds=1)
+    clock.advance()
+    return clock
+
+
+def drained_table(write_units=100, **config_kwargs):
+    """A table whose burst bucket starts empty (it fills from unused capacity)."""
+    return SimDynamoDBTable(write_units=write_units, config=DynamoDBConfig(**config_kwargs))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DynamoDBConfig(min_write_units=0)
+        with pytest.raises(ConfigurationError):
+            DynamoDBConfig(min_write_units=10, max_write_units=5)
+        with pytest.raises(ConfigurationError):
+            DynamoDBConfig(burst_seconds=-1)
+
+    def test_initial_capacity_respects_limits(self):
+        with pytest.raises(CapacityError):
+            SimDynamoDBTable(write_units=50000)
+
+
+class TestWrites:
+    def test_accepts_within_provision(self, clock):
+        table = drained_table(write_units=100)
+        result = table.write(80, clock)
+        assert result.accepted_units == 80
+        assert result.throttled_units == 0
+
+    def test_throttles_above_provision_with_empty_bucket(self, clock):
+        table = drained_table(write_units=100)
+        result = table.write(150, clock)
+        assert result.accepted_units == 100
+        assert result.throttled_units == 50
+
+    def test_burst_bucket_absorbs_spikes(self, clock):
+        table = drained_table(write_units=100, burst_seconds=300)
+        # Ten idle ticks bank 10 * 100 unused units.
+        for _ in range(10):
+            table.write(0, clock)
+            clock.advance()
+        assert table.burst_balance == 1000
+        result = table.write(600, clock)
+        assert result.accepted_units == 600
+        assert result.throttled_units == 0
+        assert table.burst_balance == 500
+
+    def test_burst_bucket_capped(self, clock):
+        table = drained_table(write_units=100, burst_seconds=5)
+        for _ in range(100):
+            table.write(0, clock)
+            clock.advance()
+        assert table.burst_balance == 500  # 5 s * 100 units
+
+    def test_rejects_negative_units(self, clock):
+        with pytest.raises(ConfigurationError):
+            drained_table().write(-1, clock)
+
+
+class TestCapacityUpdates:
+    def test_update_applies_after_delay(self):
+        table = drained_table(write_units=100, update_delay_seconds=30)
+        table.update_write_capacity(200, now=0)
+        assert table.write_capacity(29) == 100
+        assert table.updating(29)
+        assert table.write_capacity(30) == 200
+
+    def test_update_while_in_flight_ignored(self):
+        table = drained_table(write_units=100, update_delay_seconds=30)
+        table.update_write_capacity(200, now=0)
+        assert table.update_write_capacity(300, now=10) == 200
+
+    def test_decrease_cooldown_blocks_second_decrease(self):
+        table = drained_table(write_units=100, update_delay_seconds=0,
+                              decrease_cooldown_seconds=3600)
+        assert table.update_write_capacity(80, now=0) == 80
+        # Second decrease within the cooldown is refused.
+        assert table.update_write_capacity(60, now=100) == 80
+        # Increases are always allowed.
+        assert table.update_write_capacity(120, now=200) == 120
+        # After the cooldown the decrease goes through.
+        assert table.update_write_capacity(60, now=3601) == 60
+
+    def test_target_clamped_to_limits(self):
+        table = SimDynamoDBTable(write_units=100, config=DynamoDBConfig(max_write_units=500))
+        assert table.update_write_capacity(10_000, now=0) == 500
+        assert table.update_write_capacity(0, now=100) == 1
+
+    def test_same_target_is_noop(self):
+        table = drained_table(write_units=100)
+        assert table.update_write_capacity(100, now=0) == 100
+        assert not table.updating(0)
+
+
+class TestMetrics:
+    def test_emits_and_resets(self, clock):
+        table = drained_table(write_units=100)
+        cw = SimCloudWatch()
+        table.write(150, clock)
+        table.emit_metrics(cw, clock)
+        dims = {"TableName": table.name}
+        assert cw.get_series("AWS/DynamoDB", "ConsumedWriteCapacityUnits", dims)[1] == [100.0]
+        assert cw.get_series("AWS/DynamoDB", "WriteThrottleEvents", dims)[1] == [50.0]
+        util = cw.get_series("AWS/DynamoDB", "WriteUtilization", dims)[1][0]
+        assert util == pytest.approx(100.0)
+        clock.advance()
+        table.emit_metrics(cw, clock)
+        assert cw.get_series("AWS/DynamoDB", "WriteThrottleEvents", dims)[1][-1] == 0.0

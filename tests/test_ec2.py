@@ -1,0 +1,75 @@
+"""Unit tests for the simulated EC2 fleet."""
+
+import pytest
+
+from repro.cloud import EC2Config, SimEC2Fleet
+from repro.cloud.ec2 import InstanceState
+from repro.core.errors import CapacityError, ConfigurationError
+
+
+class TestEC2Config:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            EC2Config(min_instances=5, max_instances=2)
+        with pytest.raises(ConfigurationError):
+            EC2Config(min_instances=0)
+
+    def test_rejects_negative_boot(self):
+        with pytest.raises(ConfigurationError):
+            EC2Config(boot_seconds=-1)
+
+
+class TestSimEC2Fleet:
+    def test_initial_instances_ready_immediately(self):
+        fleet = SimEC2Fleet(initial_instances=3)
+        assert fleet.running_count(0) == 3
+        assert fleet.provisioned_count(0) == 3
+
+    def test_initial_count_respects_limits(self):
+        with pytest.raises(CapacityError):
+            SimEC2Fleet(config=EC2Config(max_instances=2), initial_instances=3)
+
+    def test_scale_up_has_boot_latency(self):
+        fleet = SimEC2Fleet(config=EC2Config(boot_seconds=90), initial_instances=1)
+        fleet.set_desired(3, now=100)
+        assert fleet.provisioned_count(100) == 3
+        assert fleet.running_count(100) == 1
+        assert fleet.running_count(189) == 1
+        assert fleet.running_count(190) == 3
+
+    def test_scale_down_is_immediate(self):
+        fleet = SimEC2Fleet(initial_instances=4)
+        fleet.set_desired(2, now=50)
+        assert fleet.running_count(50) == 2
+        assert fleet.provisioned_count(50) == 2
+
+    def test_scale_down_terminates_newest_first(self):
+        fleet = SimEC2Fleet(config=EC2Config(boot_seconds=0), initial_instances=1)
+        fleet.set_desired(2, now=100)  # newer instance launched at t=100
+        fleet.set_desired(1, now=200)
+        survivors = fleet.instances(200)
+        assert len(survivors) == 1
+        assert survivors[0].launched_at == 0
+
+    def test_desired_clamped_to_limits(self):
+        fleet = SimEC2Fleet(config=EC2Config(min_instances=1, max_instances=4), initial_instances=2)
+        assert fleet.set_desired(100, now=0) == 4
+        assert fleet.set_desired(0, now=10) == 1
+
+    def test_billing_stops_at_termination(self):
+        fleet = SimEC2Fleet(initial_instances=2)
+        assert fleet.billable_count(10) == 2
+        fleet.set_desired(1, now=20)
+        assert fleet.billable_count(20) == 1
+
+    def test_pending_instances_listed_by_state(self):
+        fleet = SimEC2Fleet(config=EC2Config(boot_seconds=60), initial_instances=1)
+        fleet.set_desired(2, now=10)
+        assert len(fleet.instances(10, InstanceState.PENDING)) == 1
+        assert len(fleet.instances(10, InstanceState.RUNNING)) == 1
+
+    def test_instance_ids_are_unique(self):
+        fleet = SimEC2Fleet(initial_instances=2)
+        fleet.set_desired(5, now=0)
+        ids = [i.instance_id for i in fleet.instances(0)]
+        assert len(set(ids)) == 5

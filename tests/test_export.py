@@ -1,0 +1,66 @@
+"""Unit tests for monitoring exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.errors import MonitoringError
+from repro.monitoring import snapshots_to_csv, snapshots_to_json, traces_to_csv
+from repro.monitoring.collector import FlowSnapshot
+from repro.workload import Trace
+
+
+@pytest.fixture
+def snapshots():
+    return [
+        FlowSnapshot(time=60, values={"cpu": 50.0, "shards": 2.0}),
+        FlowSnapshot(time=120, values={"cpu": 55.0, "shards": 3.0}),
+    ]
+
+
+class TestSnapshotsToCsv:
+    def test_wide_format(self, snapshots, tmp_path):
+        path = tmp_path / "snapshots.csv"
+        snapshots_to_csv(snapshots, path)
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["time", "cpu", "shards"]
+        assert rows[1] == ["60", "50.0", "2.0"]
+        assert rows[2] == ["120", "55.0", "3.0"]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(MonitoringError):
+            snapshots_to_csv([], tmp_path / "x.csv")
+
+
+class TestSnapshotsToJson:
+    def test_roundtrip(self, snapshots, tmp_path):
+        path = tmp_path / "snapshots.json"
+        snapshots_to_json(snapshots, path)
+        with open(path) as f:
+            data = json.load(f)
+        assert data[0] == {"time": 60, "values": {"cpu": 50.0, "shards": 2.0}}
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(MonitoringError):
+            snapshots_to_json([], tmp_path / "x.json")
+
+
+class TestTracesToCsv:
+    def test_long_format(self, tmp_path):
+        traces = [
+            Trace("a", [(0, 1.0), (60, 2.0)]),
+            Trace("b", [(0, 9.0)]),
+        ]
+        path = tmp_path / "traces.csv"
+        traces_to_csv(traces, path)
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["trace", "time", "value"]
+        assert ["a", "0", "1.0"] in rows
+        assert ["b", "0", "9.0"] in rows
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(MonitoringError):
+            traces_to_csv([], tmp_path / "x.csv")

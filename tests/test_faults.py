@@ -1,0 +1,132 @@
+"""Failure-injection tests: controllers must survive infrastructure loss."""
+
+import pytest
+
+from repro import FlowBuilder, LayerKind
+from repro.cloud import EC2Config, SimEC2Fleet
+from repro.core.errors import SimulationError
+from repro.simulation import SimClock, derive_rng
+from repro.simulation.faults import RandomVMFaults, ScheduledVMFaults
+from repro.workload import ConstantRate
+
+
+class TestFailInstance:
+    def test_failed_instance_stops_serving_and_billing(self):
+        fleet = SimEC2Fleet(initial_instances=3)
+        victim = fleet.instances(0)[0].instance_id
+        assert fleet.fail_instance(victim, now=100)
+        assert fleet.running_count(100) == 2
+        assert fleet.billable_count(100) == 2
+
+    def test_unknown_or_dead_instance_returns_false(self):
+        fleet = SimEC2Fleet(initial_instances=1)
+        assert not fleet.fail_instance("i-999999", now=0)
+        victim = fleet.instances(0)[0].instance_id
+        assert fleet.fail_instance(victim, now=10)
+        assert not fleet.fail_instance(victim, now=20)
+
+
+class TestScheduledVMFaults:
+    def test_kills_at_scheduled_times(self):
+        fleet = SimEC2Fleet(initial_instances=3)
+        faults = ScheduledVMFaults(fleet, kill_times=[5, 10])
+        clock = SimClock()
+        for _ in range(12):
+            clock.advance()
+            faults.on_tick(clock)
+        assert fleet.running_count(12) == 1
+        assert [e.time for e in faults.events] == [5, 10]
+
+    def test_kills_oldest_running_instance(self):
+        fleet = SimEC2Fleet(config=EC2Config(boot_seconds=0), initial_instances=1)
+        fleet.set_desired(2, now=3)  # the newer instance launches at t=3
+        faults = ScheduledVMFaults(fleet, kill_times=[5])
+        clock = SimClock()
+        for _ in range(6):
+            clock.advance()
+            faults.on_tick(clock)
+        survivors = fleet.instances(6)
+        assert len(survivors) == 1
+        assert survivors[0].launched_at == 3
+
+    def test_no_victims_left(self):
+        fleet = SimEC2Fleet(initial_instances=1)
+        faults = ScheduledVMFaults(fleet, kill_times=[1, 2])
+        clock = SimClock()
+        for _ in range(3):
+            clock.advance()
+            faults.on_tick(clock)
+        # Only one kill possible; the second finds no running instance.
+        assert len(faults.events) == 1
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ScheduledVMFaults(SimEC2Fleet(), kill_times=[-1])
+
+
+class TestRandomVMFaults:
+    def test_seeded_and_roughly_exponential(self):
+        fleet = SimEC2Fleet(config=EC2Config(max_instances=512), initial_instances=200)
+        faults = RandomVMFaults(fleet, derive_rng(5, "faults"), mtbf_seconds=1000.0)
+        clock = SimClock()
+        for _ in range(100):
+            clock.advance()
+            faults.on_tick(clock)
+        # ~200 instances * 100 ticks / 1000 s MTBF ~= 20 expected kills.
+        assert 5 <= len(faults.events) <= 40
+
+    def test_determinism(self):
+        def run():
+            fleet = SimEC2Fleet(initial_instances=50)
+            faults = RandomVMFaults(fleet, derive_rng(5, "faults"), mtbf_seconds=500.0)
+            clock = SimClock()
+            for _ in range(50):
+                clock.advance()
+                faults.on_tick(clock)
+            return [(e.time, e.instance_id) for e in faults.events]
+
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RandomVMFaults(SimEC2Fleet(), derive_rng(0, "x"), mtbf_seconds=0)
+
+
+class TestControllerRecovery:
+    def test_adaptive_controller_replaces_failed_vms(self):
+        """Kill two analytics VMs mid-run; the CPU controller must
+        scale the fleet back and the flow must end healthy."""
+        from repro.cloud.storm import StormConfig
+
+        manager = (
+            FlowBuilder("faulty", seed=17)
+            .ingestion(shards=4)
+            .analytics(vms=5, storm=StormConfig(records_per_vm_per_second=1000))
+            .storage(write_units=300)
+            .workload(ConstantRate(2800))  # wants ~4-5 VMs at 60% CPU
+            .control(LayerKind.ANALYTICS, style="adaptive", reference=60.0)
+            .build()
+        )
+        faults = ScheduledVMFaults(manager.fleet, kill_times=[1800, 1801])
+        manager.engine.add_component(faults)
+        result = manager.run(5400)
+
+        assert len(faults.events) == 2
+        vms = result.trace(
+            "Custom/Storm", "RunningVMs",
+            dimensions=result.layer_dimensions[LayerKind.ANALYTICS],
+        )
+        steady_before = vms.slice(1200, 1800).mean()
+        # Capacity dipped right after the failures...
+        assert vms.slice(1810, 2100).minimum() <= steady_before - 1.9
+        # ...and was restored by the controller before the end.
+        assert vms.slice(4200, 5400).mean() >= steady_before - 1.0
+        # The flow ends healthy: no persistent tuple backlog and CPU
+        # back near the reference.
+        pending = result.trace(
+            "Custom/Storm", "PendingTuples",
+            dimensions=result.layer_dimensions[LayerKind.ANALYTICS],
+        )
+        assert pending.values[-1] == 0.0
+        cpu_tail = result.utilization_trace(LayerKind.ANALYTICS).slice(4200, 5400)
+        assert cpu_tail.mean() < 85.0

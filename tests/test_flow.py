@@ -1,0 +1,51 @@
+"""Unit tests for the flow model."""
+
+import pytest
+
+from repro.core import FlowSpec, LayerKind, LayerSpec, clickstream_flow_spec
+from repro.core.errors import ConfigurationError
+
+
+class TestLayerKind:
+    def test_paper_codes(self):
+        assert LayerKind.INGESTION.code == "I"
+        assert LayerKind.ANALYTICS.code == "A"
+        assert LayerKind.STORAGE.code == "S"
+
+
+class TestLayerSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LayerSpec(LayerKind.INGESTION, "", "kinesis.shard", "Shards")
+        with pytest.raises(ConfigurationError):
+            LayerSpec(LayerKind.INGESTION, "Kinesis", "", "Shards")
+        with pytest.raises(ConfigurationError):
+            LayerSpec(LayerKind.INGESTION, "Kinesis", "kinesis.shard", "Shards",
+                      min_units=5, max_units=2)
+
+
+class TestFlowSpec:
+    def test_clickstream_reference_flow(self):
+        flow = clickstream_flow_spec()
+        assert flow.ingestion.platform == "Amazon Kinesis"
+        assert flow.analytics.resource == "ec2.m4.large"
+        assert flow.storage.resource_label == "WCU"
+
+    def test_layer_lookup(self):
+        flow = clickstream_flow_spec()
+        assert flow.layer(LayerKind.ANALYTICS) is flow.analytics
+
+    def test_requires_all_three_layers_in_order(self):
+        ingestion = LayerSpec(LayerKind.INGESTION, "K", "kinesis.shard", "Shards")
+        analytics = LayerSpec(LayerKind.ANALYTICS, "S", "ec2.m4.large", "VMs")
+        storage = LayerSpec(LayerKind.STORAGE, "D", "dynamodb.wcu", "WCU")
+        with pytest.raises(ConfigurationError):
+            FlowSpec("bad", (ingestion, analytics))  # missing storage
+        with pytest.raises(ConfigurationError):
+            FlowSpec("bad", (storage, analytics, ingestion))  # wrong order
+        with pytest.raises(ConfigurationError):
+            FlowSpec("bad", (ingestion, ingestion, storage))  # duplicate kind
+
+    def test_name_required(self):
+        with pytest.raises(ConfigurationError):
+            clickstream_flow_spec("")

@@ -1,0 +1,101 @@
+"""Unit and property tests for the gain memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.control import GainMemory
+from repro.core.errors import ControlError
+
+
+class TestBuckets:
+    def test_quantizes_by_bin_width(self):
+        memory = GainMemory(bin_width=10.0)
+        assert memory.bucket(0.0) == 0
+        assert memory.bucket(9.9) == 0
+        assert memory.bucket(10.0) == 1
+        assert memory.bucket(-0.1) == -1
+        assert memory.bucket(-10.0) == -1
+
+    def test_sign_distinguishes_regimes(self):
+        memory = GainMemory(bin_width=10.0)
+        assert memory.bucket(5.0) != memory.bucket(-5.0)
+
+
+class TestRememberRecall:
+    def test_roundtrip(self):
+        memory = GainMemory(bin_width=10.0)
+        memory.remember(25.0, 0.8)
+        assert memory.recall(21.0) == 0.8  # same bucket
+        assert memory.recall(35.0) is None  # different bucket
+
+    def test_latest_value_wins(self):
+        memory = GainMemory(bin_width=10.0)
+        memory.remember(25.0, 0.8)
+        memory.remember(27.0, 0.9)
+        assert memory.recall(25.0) == 0.9
+
+    def test_lru_eviction(self):
+        memory = GainMemory(bin_width=1.0, max_bins=2)
+        memory.remember(0.5, 0.1)
+        memory.remember(1.5, 0.2)
+        memory.remember(2.5, 0.3)  # evicts the 0-bucket
+        assert memory.recall(0.5) is None
+        assert memory.recall(1.5) == 0.2
+        assert memory.recall(2.5) == 0.3
+
+    def test_rewriting_refreshes_lru_position(self):
+        memory = GainMemory(bin_width=1.0, max_bins=2)
+        memory.remember(0.5, 0.1)
+        memory.remember(1.5, 0.2)
+        memory.remember(0.5, 0.15)  # refresh bucket 0
+        memory.remember(2.5, 0.3)  # now evicts bucket 1
+        assert memory.recall(0.5) == 0.15
+        assert memory.recall(1.5) is None
+
+    def test_clear_and_len(self):
+        memory = GainMemory()
+        memory.remember(5.0, 0.5)
+        assert len(memory) == 1
+        memory.clear()
+        assert len(memory) == 0
+
+    def test_snapshot_is_a_copy(self):
+        memory = GainMemory()
+        memory.remember(5.0, 0.5)
+        snapshot = memory.snapshot()
+        snapshot.clear()
+        assert len(memory) == 1
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ControlError):
+            GainMemory(bin_width=0)
+        with pytest.raises(ControlError):
+            GainMemory(max_bins=0)
+        with pytest.raises(ControlError):
+            GainMemory().remember(1.0, gain=0.0)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6),
+        st.floats(min_value=1e-6, max_value=100),
+    )
+    def test_recall_after_remember_same_error(self, error, gain):
+        memory = GainMemory(bin_width=10.0)
+        memory.remember(error, gain)
+        assert memory.recall(error) == gain
+
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=-1e4, max_value=1e4),
+            st.floats(min_value=1e-6, max_value=10),
+        ),
+        max_size=50,
+    ))
+    def test_size_never_exceeds_max_bins(self, entries):
+        memory = GainMemory(bin_width=5.0, max_bins=8)
+        for error, gain in entries:
+            memory.remember(error, gain)
+        assert len(memory) <= 8

@@ -1,0 +1,189 @@
+"""Unit tests for rate patterns."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.simulation import derive_rng
+from repro.workload import (
+    BurstyRate,
+    CompositeRate,
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowdRate,
+    NoisyRate,
+    RampRate,
+    ReplayRate,
+    SinusoidalRate,
+    StepRate,
+    Trace,
+)
+
+
+class TestConstantAndStep:
+    def test_constant(self):
+        assert ConstantRate(5.0).rate(0) == 5.0
+        assert ConstantRate(5.0).rate(10_000) == 5.0
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRate(-1)
+
+    def test_step_up_and_back(self):
+        step = StepRate(base=10, level=100, at=60, until=120)
+        assert step.rate(59) == 10
+        assert step.rate(60) == 100
+        assert step.rate(119) == 100
+        assert step.rate(120) == 10
+
+    def test_step_without_until_is_permanent(self):
+        step = StepRate(base=10, level=100, at=60)
+        assert step.rate(10_000) == 100
+
+    def test_step_validation(self):
+        with pytest.raises(ConfigurationError):
+            StepRate(base=10, level=100, at=60, until=60)
+
+
+class TestRamp:
+    def test_linear_interpolation(self):
+        ramp = RampRate(0, 100, t0=0, t1=100)
+        assert ramp.rate(0) == 0
+        assert ramp.rate(50) == 50
+        assert ramp.rate(100) == 100
+        assert ramp.rate(200) == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RampRate(0, 10, t0=10, t1=10)
+
+
+class TestSinusoidal:
+    def test_mean_and_extremes(self):
+        wave = SinusoidalRate(mean=100, amplitude=50, period=3600)
+        assert wave.rate(0) == pytest.approx(100)
+        assert wave.rate(900) == pytest.approx(150)
+        assert wave.rate(2700) == pytest.approx(50)
+
+    def test_floored_at_zero(self):
+        wave = SinusoidalRate(mean=10, amplitude=100, period=3600)
+        assert wave.rate(2700) == 0.0
+
+    def test_diurnal_peaks_at_peak_hour(self):
+        diurnal = DiurnalRate(mean=100, amplitude=50, peak_hour=20)
+        peak = diurnal.rate(20 * 3600)
+        trough = diurnal.rate(8 * 3600)
+        assert peak == pytest.approx(150)
+        assert trough == pytest.approx(50)
+
+
+class TestFlashCrowd:
+    def test_rise_and_decay(self):
+        crowd = FlashCrowdRate(peak=1000, at=100, rise_seconds=10, decay_seconds=100)
+        assert crowd.rate(99) == 0.0
+        assert crowd.rate(105) == pytest.approx(500)
+        assert crowd.rate(110) == pytest.approx(1000)
+        # One decay constant later: peak / e.
+        assert crowd.rate(210) == pytest.approx(1000 / 2.71828, rel=1e-3)
+
+    def test_additive_composition(self):
+        total = ConstantRate(100) + FlashCrowdRate(peak=900, at=0, rise_seconds=1)
+        assert total.rate(1) == pytest.approx(1000)
+
+
+class TestBursty:
+    def test_deterministic_given_seed(self):
+        rng1 = derive_rng(3, "bursts")
+        rng2 = derive_rng(3, "bursts")
+        a = BurstyRate(ConstantRate(10), rng1, horizon=36000, bursts_per_hour=2)
+        b = BurstyRate(ConstantRate(10), rng2, horizon=36000, bursts_per_hour=2)
+        assert a.burst_starts == b.burst_starts
+
+    def test_burst_multiplies_rate(self):
+        rng = derive_rng(5, "bursts")
+        pattern = BurstyRate(
+            ConstantRate(10), rng, horizon=36000, bursts_per_hour=3,
+            multiplier=4.0, duration_seconds=60,
+        )
+        assert pattern.burst_starts, "expected at least one burst at this rate"
+        start = pattern.burst_starts[0]
+        assert pattern.rate(start) == 40.0
+        assert pattern.rate(start + 60) in (10.0, 40.0)  # next burst may overlap
+
+    def test_zero_bursts_per_hour(self):
+        pattern = BurstyRate(ConstantRate(10), derive_rng(1, "b"), horizon=3600, bursts_per_hour=0)
+        assert pattern.burst_starts == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstyRate(ConstantRate(1), derive_rng(0, "x"), horizon=0)
+
+
+class TestNoisy:
+    def test_pure_function_of_time(self):
+        pattern = NoisyRate(ConstantRate(100), derive_rng(1, "n"), horizon=3600, sigma=0.2)
+        assert pattern.rate(500) == pattern.rate(500)
+
+    def test_noise_is_multiplicative_and_unbiased(self):
+        pattern = NoisyRate(ConstantRate(100), derive_rng(1, "n"), horizon=360000, sigma=0.1)
+        samples = [pattern.rate(t) for t in range(0, 360000, 60)]
+        assert all(s > 0 for s in samples)
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(100, rel=0.05)
+
+    def test_zero_sigma_is_identity(self):
+        pattern = NoisyRate(ConstantRate(42), derive_rng(1, "n"), horizon=3600, sigma=0.0)
+        assert pattern.rate(100) == 42.0
+
+
+class TestComposite:
+    def test_sum_and_product(self):
+        total = CompositeRate([ConstantRate(2), ConstantRate(3)], mode="sum")
+        assert total.rate(0) == 5.0
+        product = CompositeRate([ConstantRate(2), ConstantRate(3)], mode="product")
+        assert product.rate(0) == 6.0
+
+    def test_operators(self):
+        assert (ConstantRate(2) * ConstantRate(3)).rate(0) == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompositeRate([], mode="sum")
+        with pytest.raises(ConfigurationError):
+            CompositeRate([ConstantRate(1)], mode="average")
+
+
+class TestReplay:
+    def test_replays_trace_step_hold(self):
+        trace = Trace("w", [(0, 10.0), (60, 20.0)])
+        replay = ReplayRate(trace)
+        assert replay.rate(30) == 10.0
+        assert replay.rate(61) == 20.0
+
+    def test_before_first_point_holds_first_value(self):
+        trace = Trace("w", [(100, 10.0)])
+        assert ReplayRate(trace).rate(0) == 10.0
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ConfigurationError):
+            ReplayRate(Trace("empty"))
+
+
+class TestSample:
+    def test_sample_grid(self):
+        trace = ConstantRate(5).sample(0, 300, step=60)
+        assert trace.times == [0, 60, 120, 180, 240]
+        assert all(v == 5.0 for v in trace.values)
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    def test_rates_are_never_negative(self, t):
+        patterns = [
+            SinusoidalRate(mean=10, amplitude=100, period=3600),
+            RampRate(5, 50, 0, 100),
+            FlashCrowdRate(peak=10, at=100),
+            DiurnalRate(mean=10, amplitude=30),
+        ]
+        for pattern in patterns:
+            assert pattern.rate(t) >= 0.0

@@ -1,0 +1,147 @@
+"""Unit tests for the simulated Kinesis stream."""
+
+import pytest
+
+from repro.cloud import KinesisConfig, SimKinesisStream, SimCloudWatch
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.simulation import SimClock
+
+
+@pytest.fixture
+def clock():
+    clock = SimClock(tick_seconds=1)
+    clock.advance()  # services see t >= 1
+    return clock
+
+
+class TestCapacityModel:
+    def test_per_shard_limits_match_paper(self):
+        stream = SimKinesisStream(shards=1)
+        # "each Shard supports up to 1,000 records/second for writes"
+        assert stream.write_capacity_records(0) == 1000
+        assert stream.write_capacity_bytes(0) == 1024 * 1024
+
+    def test_capacity_scales_with_shards(self):
+        stream = SimKinesisStream(shards=4)
+        assert stream.write_capacity_records(0) == 4000
+
+    def test_initial_shards_respect_limits(self):
+        with pytest.raises(CapacityError):
+            SimKinesisStream(shards=9999, config=KinesisConfig(max_shards=512))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            KinesisConfig(records_per_shard_per_second=0)
+        with pytest.raises(ConfigurationError):
+            KinesisConfig(min_shards=5, max_shards=2)
+
+
+class TestPutRecords:
+    def test_accepts_within_capacity(self, clock):
+        stream = SimKinesisStream(shards=2)
+        result = stream.put_records(1500, 1500 * 300, clock)
+        assert result.accepted_records == 1500
+        assert result.throttled_records == 0
+
+    def test_throttles_above_record_capacity(self, clock):
+        stream = SimKinesisStream(shards=1)
+        result = stream.put_records(2500, 2500 * 100, clock)
+        assert result.accepted_records == 1000
+        assert result.throttled_records == 1500
+
+    def test_throttles_on_byte_limit(self, clock):
+        stream = SimKinesisStream(shards=1)
+        # 500 records but 4 MiB payload: byte limit binds.
+        result = stream.put_records(500, 4 * 1024 * 1024, clock)
+        assert result.accepted_records == 125
+        assert result.accepted_bytes == 1024 * 1024
+
+    def test_zero_put_is_noop(self, clock):
+        stream = SimKinesisStream()
+        result = stream.put_records(0, 0, clock)
+        assert result == type(result)(0, 0, 0, 0)
+
+    def test_rejects_negative_input(self, clock):
+        stream = SimKinesisStream()
+        with pytest.raises(ConfigurationError):
+            stream.put_records(-1, 0, clock)
+
+
+class TestConsumerBuffer:
+    def test_get_records_drains_buffer(self, clock):
+        stream = SimKinesisStream(shards=2)
+        stream.put_records(1000, 100_000, clock)
+        assert stream.backlog_records == 1000
+        handed = stream.get_records(600, clock)
+        assert handed == 600
+        assert stream.backlog_records == 400
+
+    def test_read_limited_by_shard_read_capacity(self, clock):
+        config = KinesisConfig(read_records_per_shard_per_second=100)
+        stream = SimKinesisStream(shards=1, config=config)
+        stream.put_records(1000, 0, clock)
+        assert stream.get_records(1000, clock) == 100
+
+    def test_backlog_grows_when_consumer_slow(self, clock):
+        stream = SimKinesisStream(shards=2)
+        for _ in range(3):
+            stream.put_records(1000, 0, clock)
+            stream.get_records(400, clock)
+            clock.advance()
+        assert stream.backlog_records == 1800
+
+
+class TestResharding:
+    def test_reshard_takes_time(self):
+        config = KinesisConfig(base_reshard_seconds=30, reshard_seconds_per_shard=15)
+        stream = SimKinesisStream(shards=2, config=config)
+        stream.update_shard_count(4, now=100)
+        # 30 + 2*15 = 60 s of resharding.
+        assert stream.shard_count(100) == 2
+        assert stream.resharding(159)
+        assert stream.shard_count(160) == 4
+
+    def test_reshard_while_in_flight_is_ignored(self):
+        stream = SimKinesisStream(shards=2)
+        stream.update_shard_count(4, now=0)
+        result = stream.update_shard_count(10, now=5)
+        assert result == 4  # the in-flight target wins
+
+    def test_target_clamped_to_limits(self):
+        stream = SimKinesisStream(shards=2, config=KinesisConfig(max_shards=8))
+        assert stream.update_shard_count(100, now=0) == 8
+
+    def test_same_target_is_noop(self):
+        stream = SimKinesisStream(shards=2)
+        assert stream.update_shard_count(2, now=0) == 2
+        assert not stream.resharding(1)
+
+
+class TestMetrics:
+    def test_emits_and_resets_counters(self, clock):
+        stream = SimKinesisStream(shards=1)
+        cw = SimCloudWatch()
+        stream.put_records(1500, 1500 * 100, clock)
+        stream.emit_metrics(cw, clock)
+        dims = {"StreamName": stream.name}
+        assert cw.get_series("AWS/Kinesis", "IncomingRecords", dims)[1] == [1000.0]
+        assert cw.get_series("AWS/Kinesis", "WriteProvisionedThroughputExceeded", dims)[1] == [500.0]
+        # Counters reset: the next tick reports zero.
+        clock.advance()
+        stream.emit_metrics(cw, clock)
+        assert cw.get_series("AWS/Kinesis", "IncomingRecords", dims)[1] == [1000.0, 0.0]
+
+    def test_utilization_saturates_at_100(self, clock):
+        """Overload shows as 100% utilisation + throttle events, the way
+        real dashboards present it — not as >100% utilisation."""
+        stream = SimKinesisStream(shards=1)
+        cw = SimCloudWatch()
+        stream.put_records(2000, 0, clock)
+        stream.emit_metrics(cw, clock)
+        dims = {"StreamName": stream.name}
+        util = cw.get_series("AWS/Kinesis", "WriteUtilization", dims)[1][0]
+        throttled = cw.get_series(
+            "AWS/Kinesis", "WriteProvisionedThroughputExceeded", dims
+        )[1][0]
+        assert util == pytest.approx(100.0)
+        assert throttled == 1000.0

@@ -1,0 +1,67 @@
+"""Tests for partition-key skew (hot shards) in the Kinesis simulator."""
+
+import pytest
+
+from repro.cloud import KinesisConfig, SimKinesisStream
+from repro.core.errors import ConfigurationError
+from repro.simulation import SimClock
+
+
+@pytest.fixture
+def clock():
+    clock = SimClock(tick_seconds=1)
+    clock.advance()
+    return clock
+
+
+class TestHotShardShare:
+    def test_uniform_keys(self):
+        config = KinesisConfig(hash_key_skew=0.0)
+        assert config.hot_shard_share(4) == pytest.approx(0.25)
+
+    def test_skewed_keys(self):
+        config = KinesisConfig(hash_key_skew=0.5)
+        # Hot shard gets its fair quarter plus half of all traffic.
+        assert config.hot_shard_share(4) == pytest.approx(0.625)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KinesisConfig(hash_key_skew=1.0)
+        with pytest.raises(ConfigurationError):
+            KinesisConfig(hash_key_skew=-0.1)
+
+
+class TestSkewedCapacity:
+    def test_uniform_keys_scale_linearly(self):
+        stream = SimKinesisStream(shards=8, config=KinesisConfig(hash_key_skew=0.0))
+        assert stream.write_capacity_records(0) == 8000
+
+    def test_skew_caps_usable_capacity(self):
+        # With 30% of keys on one shard, the hot shard saturates at
+        # 1000/0.3875 ~ 2580 rec/s aggregate, regardless of 8 shards.
+        stream = SimKinesisStream(shards=8, config=KinesisConfig(hash_key_skew=0.3))
+        assert stream.write_capacity_records(0) == int(1000 / (0.3 + 0.7 / 8))
+
+    def test_adding_shards_helps_sublinearly(self):
+        config = KinesisConfig(hash_key_skew=0.3)
+        small = SimKinesisStream(shards=2, config=config).write_capacity_records(0)
+        big = SimKinesisStream(shards=8, config=config).write_capacity_records(0)
+        assert big > small
+        assert big < 4 * small  # far below the 4x shard ratio
+
+    def test_skew_asymptote_is_per_shard_limit_over_skew(self):
+        config = KinesisConfig(hash_key_skew=0.5, max_shards=512)
+        huge = SimKinesisStream(shards=512, config=config)
+        # Even 512 shards cannot beat the single hottest key group.
+        assert huge.write_capacity_records(0) <= int(1000 / 0.5)
+
+    def test_throttling_reflects_hot_shard(self, clock):
+        stream = SimKinesisStream(shards=4, config=KinesisConfig(hash_key_skew=0.5))
+        # Aggregate 4000 rec/s but the hot shard caps usable at 1600.
+        result = stream.put_records(3000, 0, clock)
+        assert result.accepted_records == 1600
+        assert result.throttled_records == 1400
+
+    def test_single_shard_unaffected_by_skew(self):
+        skewed = SimKinesisStream(shards=1, config=KinesisConfig(hash_key_skew=0.9))
+        assert skewed.write_capacity_records(0) == 1000

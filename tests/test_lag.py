@@ -1,0 +1,53 @@
+"""Unit tests for lagged cross-correlation."""
+
+import math
+
+import pytest
+
+from repro.core.errors import RegressionError
+from repro.dependency import cross_correlation
+
+
+def sine(n, phase=0):
+    return [math.sin(2 * math.pi * (i + phase) / 50) for i in range(n)]
+
+
+class TestCrossCorrelation:
+    def test_zero_lag_matches_pearson(self):
+        x = sine(200)
+        result = cross_correlation(x, x, max_lag=0)
+        assert result.lags == (0,)
+        assert result.correlations[0] == pytest.approx(1.0)
+
+    def test_detects_known_lag(self):
+        x = sine(400)
+        y = sine(400, phase=-5)  # y lags x by 5 samples
+        result = cross_correlation(x, y, max_lag=10)
+        lag, r = result.best()
+        assert lag == 5
+        assert r == pytest.approx(1.0, abs=1e-6)
+
+    def test_detects_leading_series(self):
+        x = sine(400, phase=-5)
+        y = sine(400)
+        lag, _r = cross_correlation(x, y, max_lag=10).best()
+        assert lag == -5
+
+    def test_at_accessor(self):
+        x = sine(100)
+        result = cross_correlation(x, x, max_lag=3)
+        assert result.at(0) == pytest.approx(1.0)
+        with pytest.raises(RegressionError):
+            result.at(99)
+
+    def test_lag_range_is_symmetric(self):
+        result = cross_correlation(sine(100), sine(100), max_lag=4)
+        assert result.lags == tuple(range(-4, 5))
+
+    def test_validation(self):
+        with pytest.raises(RegressionError):
+            cross_correlation([1, 2, 3], [1, 2], max_lag=0)
+        with pytest.raises(RegressionError):
+            cross_correlation(sine(10), sine(10), max_lag=-1)
+        with pytest.raises(RegressionError):
+            cross_correlation(sine(5), sine(5), max_lag=4)  # too little overlap

@@ -1,0 +1,106 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.analysis import (
+    integral_absolute_error,
+    overshoot,
+    resource_unit_hours,
+    settling_time,
+    slo_violation_rate,
+)
+from repro.core.errors import ConfigurationError
+from repro.workload import Trace
+
+
+class TestSloViolationRate:
+    def test_counts_violations(self):
+        trace = Trace("u", [(0, 50.0), (60, 90.0), (120, 70.0), (180, 95.0)])
+        # SLO: utilisation <= 80. Violated at 90 and 95.
+        assert slo_violation_rate(trace, "<=", 80.0) == 0.5
+
+    def test_all_compliant(self):
+        trace = Trace("u", [(0, 10.0), (60, 20.0)])
+        assert slo_violation_rate(trace, "<=", 80.0) == 0.0
+
+    def test_lower_bound_slo(self):
+        trace = Trace("u", [(0, 5.0), (60, 20.0)])
+        # SLO: throughput >= 10.
+        assert slo_violation_rate(trace, ">=", 10.0) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            slo_violation_rate(Trace("e"), "<=", 1.0)
+        with pytest.raises(ConfigurationError):
+            slo_violation_rate(Trace("t", [(0, 1.0)]), "~", 1.0)
+
+
+class TestSettlingTime:
+    def trace(self):
+        # Disturbed at t=300, back in band from t=540 onward.
+        points = [(t, 60.0) for t in range(0, 300, 60)]
+        points += [(300, 95.0), (360, 85.0), (420, 75.0), (480, 71.0)]
+        points += [(t, 62.0) for t in range(540, 900, 60)]
+        return Trace("u", points)
+
+    def test_measures_from_disturbance(self):
+        assert settling_time(self.trace(), 50.0, 70.0, start=300) == 240
+
+    def test_none_when_never_settles(self):
+        trace = Trace("u", [(0, 90.0), (60, 95.0), (120, 91.0)])
+        assert settling_time(trace, 50.0, 70.0, start=0) is None
+
+    def test_hold_requirement(self):
+        # Enters the band at 540 but the trace ends at 840: a hold of
+        # 600 s cannot be demonstrated.
+        assert settling_time(self.trace(), 50.0, 70.0, start=300, hold_seconds=600) is None
+        assert settling_time(self.trace(), 50.0, 70.0, start=300, hold_seconds=240) == 240
+
+    def test_reentry_resets_candidate(self):
+        points = [(0, 90.0), (60, 60.0), (120, 90.0), (180, 60.0), (240, 61.0)]
+        trace = Trace("u", points)
+        assert settling_time(trace, 50.0, 70.0, start=0) == 180
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            settling_time(self.trace(), 70.0, 50.0, start=0)
+        with pytest.raises(ConfigurationError):
+            settling_time(self.trace(), 50.0, 70.0, start=10_000)
+
+
+class TestOvershoot:
+    def test_max_excursion(self):
+        trace = Trace("u", [(0, 60.0), (60, 95.0), (120, 80.0)])
+        assert overshoot(trace, reference=60.0) == 35.0
+
+    def test_zero_when_never_above(self):
+        trace = Trace("u", [(0, 50.0), (60, 55.0)])
+        assert overshoot(trace, reference=60.0) == 0.0
+
+    def test_start_filters_early_samples(self):
+        trace = Trace("u", [(0, 99.0), (60, 61.0)])
+        assert overshoot(trace, reference=60.0, start=30) == 1.0
+
+
+class TestIntegralAbsoluteError:
+    def test_weights_by_hold_time(self):
+        trace = Trace("u", [(0, 70.0), (100, 60.0)])
+        # |70-60| held 100 s, |60-60| held median(100)=100 s.
+        assert integral_absolute_error(trace, 60.0) == pytest.approx(1000.0)
+
+    def test_single_point(self):
+        assert integral_absolute_error(Trace("u", [(0, 65.0)]), 60.0) == 5.0
+
+
+class TestResourceUnitHours:
+    def test_integrates_capacity(self):
+        trace = Trace("c", [(0, 2.0), (1800, 4.0), (3600, 2.0)])
+        # 2 units * 0.5 h + 4 * 0.5 h + 2 * 0.5 h (median hold).
+        assert resource_unit_hours(trace) == pytest.approx(4.0)
+
+    def test_single_point_is_zero(self):
+        assert resource_unit_hours(Trace("c", [(0, 5.0)])) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resource_unit_hours(Trace("c"))

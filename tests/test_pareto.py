@@ -1,0 +1,110 @@
+"""Unit and property tests for Pareto utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import OptimizationError
+from repro.optimization import dominates, hypervolume, pareto_filter
+from repro.optimization.pareto import hypervolume_2d, hypervolume_monte_carlo
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1, 1], [2, 2])
+        assert dominates([1, 2], [2, 2])
+
+    def test_no_dominance_on_tradeoff(self):
+        assert not dominates([1, 3], [2, 2])
+        assert not dominates([2, 2], [1, 3])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1, 1], [1, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(OptimizationError):
+            dominates([1, 2], [1, 2, 3])
+
+
+class TestParetoFilter:
+    def test_filters_dominated(self):
+        F = [[1, 4], [2, 2], [4, 1], [3, 3], [5, 5]]
+        assert pareto_filter(F) == [0, 1, 2]
+
+    def test_all_nondominated(self):
+        F = [[1, 3], [2, 2], [3, 1]]
+        assert pareto_filter(F) == [0, 1, 2]
+
+    def test_duplicates_kept(self):
+        F = [[1, 1], [1, 1]]
+        assert pareto_filter(F) == [0, 1]
+
+    def test_requires_2d(self):
+        with pytest.raises(OptimizationError):
+            pareto_filter([1, 2, 3])
+
+
+class TestHypervolume2D:
+    def test_single_point(self):
+        assert hypervolume_2d([[1, 1]], reference=[3, 3]) == pytest.approx(4.0)
+
+    def test_staircase(self):
+        front = [[1, 3], [2, 2], [3, 1]]
+        # Rectangles: (4-1)*(4-3) + (4-2)*(3-2) + (4-3)*(2-1) = 3+2+1.
+        assert hypervolume_2d(front, reference=[4, 4]) == pytest.approx(6.0)
+
+    def test_points_beyond_reference_ignored(self):
+        assert hypervolume_2d([[5, 5], [1, 1]], reference=[3, 3]) == pytest.approx(4.0)
+
+    def test_empty_contribution(self):
+        assert hypervolume_2d([[5, 5]], reference=[3, 3]) == 0.0
+
+    def test_dominated_points_do_not_change_volume(self):
+        base = hypervolume_2d([[1, 3], [3, 1]], reference=[4, 4])
+        extra = hypervolume_2d([[1, 3], [3, 1], [3.5, 3.5]], reference=[4, 4])
+        assert base == pytest.approx(extra)
+
+
+class TestHypervolumeMonteCarlo:
+    def test_approximates_exact_2d(self):
+        front = [[1, 3], [2, 2], [3, 1]]
+        rng = np.random.default_rng(0)
+        estimate = hypervolume_monte_carlo(front, [4, 4], rng, samples=100_000)
+        assert estimate == pytest.approx(6.0, rel=0.05)
+
+    def test_3d_cube(self):
+        rng = np.random.default_rng(1)
+        estimate = hypervolume_monte_carlo([[0, 0, 0]], [1, 1, 1], rng, samples=1000)
+        assert estimate == pytest.approx(1.0)
+
+    def test_dispatcher_picks_exact_for_2d(self):
+        assert hypervolume([[1, 1]], [2, 2]) == pytest.approx(1.0)
+
+    def test_dispatcher_handles_3d(self):
+        value = hypervolume([[0, 0, 0]], [1, 1, 1])
+        assert value == pytest.approx(1.0, rel=0.05)
+
+
+class TestProperties:
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0, max_value=10), st.floats(min_value=0, max_value=10)),
+        min_size=1, max_size=20,
+    ))
+    def test_filtered_front_is_mutually_nondominated(self, points):
+        F = [list(p) for p in points]
+        front = [F[i] for i in pareto_filter(F)]
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not dominates(a, b)
+
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0, max_value=9), st.floats(min_value=0, max_value=9)),
+        min_size=1, max_size=15,
+    ))
+    def test_hypervolume_monotone_in_points(self, points):
+        F = [list(p) for p in points]
+        ref = [10.0, 10.0]
+        hv_all = hypervolume_2d(F, ref)
+        hv_one = hypervolume_2d(F[:1], ref)
+        assert hv_all >= hv_one - 1e-9

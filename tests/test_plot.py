@@ -1,0 +1,77 @@
+"""Unit tests for the ASCII time-series charts."""
+
+import pytest
+
+from repro.core.errors import MonitoringError
+from repro.monitoring import line_chart, stacked_panels, time_series_chart
+from repro.workload import Trace
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        rows = line_chart([1.0, 2.0, 3.0, 4.0], width=10, height=5)
+        assert len(rows) == 5
+        assert all(len(row) == 4 for row in rows)
+
+    def test_downsamples_to_width(self):
+        rows = line_chart(list(range(200)), width=20, height=5)
+        assert all(len(row) == 20 for row in rows)
+
+    def test_monotone_series_marks_diagonal(self):
+        rows = line_chart([0.0, 1.0, 2.0, 3.0], width=4, height=4)
+        # Highest value in the top row's last column, lowest bottom-left.
+        assert rows[0][3] == "█"
+        assert rows[3][0] == "█"
+
+    def test_flat_series_marks_bottom(self):
+        rows = line_chart([5.0, 5.0, 5.0], width=3, height=3)
+        assert rows[-1] == "███"
+
+    def test_fill_below_the_mark(self):
+        rows = line_chart([0.0, 2.0], width=2, height=3)
+        # The high column has its mark on top and dots beneath.
+        assert rows[0][1] == "█"
+        assert rows[1][1] == "·"
+        assert rows[2][1] == "·"
+
+    def test_validation(self):
+        with pytest.raises(MonitoringError):
+            line_chart([], width=10, height=5)
+        with pytest.raises(MonitoringError):
+            line_chart([1.0], width=0, height=5)
+        with pytest.raises(MonitoringError):
+            line_chart([1.0], width=5, height=1)
+
+
+class TestTimeSeriesChart:
+    def test_frame_contains_extents(self):
+        trace = Trace("cpu", [(0, 4.8), (60, 10.0), (120, 30.1)])
+        chart = time_series_chart(trace, width=20, height=4, title="CPU", unit="%")
+        assert "CPU" in chart
+        assert "max 30.1%" in chart
+        assert "min 4.8%" in chart
+        assert "t = 0s .. 120s" in chart
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(MonitoringError):
+            time_series_chart(Trace("empty"))
+
+
+class TestStackedPanels:
+    def test_fig2_layout(self):
+        records = Trace("records", [(i * 60, float(i % 7)) for i in range(30)])
+        cpu = Trace("cpu", [(i * 60, 5.0 + (i % 7)) for i in range(30)])
+        panels = stacked_panels(
+            [records, cpu], titles=["Ingestion Layer (Kinesis)", "Analytics Layer (Storm)"]
+        )
+        assert "Ingestion Layer (Kinesis)" in panels
+        assert "Analytics Layer (Storm)" in panels
+        assert panels.count("max") == 2
+
+    def test_title_count_validated(self):
+        with pytest.raises(MonitoringError):
+            stacked_panels([Trace("a", [(0, 1.0)])], titles=["x", "y"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MonitoringError):
+            stacked_panels([])

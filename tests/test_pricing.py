@@ -1,0 +1,76 @@
+"""Unit tests for price books and cost meters."""
+
+import pytest
+
+from repro.cloud.pricing import CostMeter, PriceBook, ResourcePrice
+from repro.core.errors import ConfigurationError
+
+
+class TestResourcePrice:
+    def test_capacity_cost(self):
+        price = ResourcePrice("x", hourly=0.10)
+        assert price.capacity_cost(units=2, seconds=3600) == pytest.approx(0.20)
+        assert price.capacity_cost(units=4, seconds=900) == pytest.approx(0.10)
+
+    def test_usage_cost(self):
+        price = ResourcePrice("x", hourly=0.0, per_use=0.5)
+        assert price.usage_cost(10) == pytest.approx(5.0)
+
+    def test_rejects_negative_prices(self):
+        with pytest.raises(ConfigurationError):
+            ResourcePrice("x", hourly=-1.0)
+
+    def test_rejects_negative_amounts(self):
+        price = ResourcePrice("x", hourly=1.0)
+        with pytest.raises(ConfigurationError):
+            price.capacity_cost(-1, 10)
+        with pytest.raises(ConfigurationError):
+            price.usage_cost(-1)
+
+
+class TestPriceBook:
+    def test_default_book_has_paper_resources(self):
+        book = PriceBook()
+        for resource in ("kinesis.shard", "ec2.m4.large", "dynamodb.wcu", "dynamodb.rcu"):
+            assert book.price(resource).hourly > 0
+
+    def test_hourly_rate_scales_with_units(self):
+        book = PriceBook()
+        assert book.hourly_rate("kinesis.shard", 10) == pytest.approx(0.15)
+
+    def test_unknown_resource_raises_with_known_list(self):
+        with pytest.raises(ConfigurationError, match="kinesis.shard"):
+            PriceBook().price("mainframe.mips")
+
+    def test_set_price_overrides(self):
+        book = PriceBook()
+        book.set_price(ResourcePrice("kinesis.shard", hourly=1.0))
+        assert book.price("kinesis.shard").hourly == 1.0
+
+    def test_custom_book_is_isolated(self):
+        custom = PriceBook({"a": ResourcePrice("a", hourly=1.0)})
+        assert custom.resources() == ["a"]
+        # The default book is unaffected by custom books.
+        assert "kinesis.shard" in PriceBook().resources()
+
+
+class TestCostMeter:
+    def test_accrues_unit_hours(self):
+        meter = CostMeter(PriceBook(), "ec2.m4.large")
+        for _ in range(3600):
+            meter.accrue(units=2, seconds=1)
+        assert meter.unit_hours == pytest.approx(2.0)
+        assert meter.total_cost == pytest.approx(0.20)
+
+    def test_usage_dimension_adds_cost(self):
+        book = PriceBook({"r": ResourcePrice("r", hourly=0.0, per_use=0.001)})
+        meter = CostMeter(book, "r")
+        meter.record_usage(1000)
+        assert meter.total_cost == pytest.approx(1.0)
+
+    def test_rejects_negative_accrual(self):
+        meter = CostMeter(PriceBook(), "kinesis.shard")
+        with pytest.raises(ConfigurationError):
+            meter.accrue(-1, 1)
+        with pytest.raises(ConfigurationError):
+            meter.record_usage(-1)

@@ -1,0 +1,63 @@
+"""Unit tests for the optimization problem abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import OptimizationError
+from repro.optimization import FunctionalProblem
+
+
+def simple_problem(integer=False):
+    return FunctionalProblem(
+        objectives=[lambda x: float(x[0] ** 2), lambda x: float((x[0] - 2) ** 2)],
+        lower=[-5.0],
+        upper=[5.0],
+        constraints=[lambda x: float(x[0]) - 4.0],  # x <= 4
+        integer=integer,
+    )
+
+
+class TestFunctionalProblem:
+    def test_evaluate_returns_objectives_and_violations(self):
+        problem = simple_problem()
+        f, g = problem.evaluate(np.array([3.0]))
+        assert f.tolist() == [9.0, 1.0]
+        assert g.tolist() == [0.0]  # 3 <= 4: feasible
+
+    def test_violation_is_positive_part(self):
+        problem = simple_problem()
+        _f, g = problem.evaluate(np.array([4.5]))
+        assert g.tolist() == [0.5]
+
+    def test_total_violation(self):
+        problem = simple_problem()
+        assert problem.total_violation(np.array([5.0])) == pytest.approx(1.0)
+        assert problem.total_violation(np.array([0.0])) == 0.0
+
+    def test_repair_clamps_to_bounds(self):
+        problem = simple_problem()
+        assert problem.repair(np.array([9.0])).tolist() == [5.0]
+        assert problem.repair(np.array([-9.0])).tolist() == [-5.0]
+
+    def test_repair_rounds_integers(self):
+        problem = simple_problem(integer=True)
+        assert problem.repair(np.array([2.6])).tolist() == [3.0]
+
+    def test_no_constraints_gives_empty_violations(self):
+        problem = FunctionalProblem(
+            objectives=[lambda x: float(x[0])], lower=[0.0], upper=[1.0]
+        )
+        _f, g = problem.evaluate(np.array([0.5]))
+        assert g.size == 0
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            FunctionalProblem(objectives=[], lower=[0.0], upper=[1.0])
+        with pytest.raises(OptimizationError):
+            FunctionalProblem(
+                objectives=[lambda x: 0.0], lower=[1.0], upper=[0.0]
+            )
+        with pytest.raises(OptimizationError):
+            FunctionalProblem(
+                objectives=[lambda x: 0.0], lower=[0.0, 0.0], upper=[1.0]
+            )

@@ -1,0 +1,149 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down invariants that unit tests with fixed inputs cannot:
+optimizer solutions always respect bounds and integrality, controllers
+respond monotonically to their error signal, cost metering is additive,
+and the metric store's aggregates are consistent with the raw series.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud import SimCloudWatch
+from repro.cloud.pricing import CostMeter, PriceBook
+from repro.control import (
+    AdaptiveGainConfig,
+    AdaptiveGainController,
+    FixedGainConfig,
+    FixedGainController,
+)
+from repro.optimization import NSGA2, NSGA2Config, FunctionalProblem
+
+
+class TestNSGA2Properties:
+    @given(
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.floats(min_value=-50, max_value=0),
+        st.floats(min_value=1, max_value=50),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_solutions_always_within_bounds(self, seed, lower, upper):
+        problem = FunctionalProblem(
+            objectives=[lambda x: float(x[0] ** 2), lambda x: float((x[0] - 1) ** 2)],
+            lower=[lower],
+            upper=[upper],
+        )
+        result = NSGA2(problem, NSGA2Config(population_size=12, generations=5), seed=seed).run()
+        for ind in result.population:
+            assert lower - 1e-9 <= ind.x[0] <= upper + 1e-9
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_integer_problems_stay_integral(self, seed):
+        problem = FunctionalProblem(
+            objectives=[lambda x: -float(x.sum()), lambda x: float(x[0] - x[1])],
+            lower=[1.0, 1.0],
+            upper=[50.0, 50.0],
+            integer=True,
+        )
+        result = NSGA2(problem, NSGA2Config(population_size=12, generations=5), seed=seed).run()
+        for ind in result.population:
+            assert np.allclose(ind.x, np.round(ind.x))
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_front_members_are_rank_zero_and_feasible(self, seed):
+        problem = FunctionalProblem(
+            objectives=[lambda x: float(x[0]), lambda x: float(-x[0] + x[1])],
+            lower=[0.0, 0.0],
+            upper=[10.0, 10.0],
+            constraints=[lambda x: float(x[0] + x[1]) - 12.0],
+        )
+        result = NSGA2(problem, NSGA2Config(population_size=16, generations=8), seed=seed).run()
+        for ind in result.front:
+            assert ind.rank == 0
+            assert ind.violation == 0.0
+
+
+class TestControllerProperties:
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=50)
+    def test_adaptive_response_is_monotone_in_measurement(self, y1, y2, u):
+        """A higher measurement never yields a smaller capacity request."""
+        def fresh():
+            return AdaptiveGainController(AdaptiveGainConfig(
+                reference=60.0, gamma=0.01, l_min=0.1, l_max=1.0, use_memory=False
+            ))
+
+        lo, hi = sorted((y1, y2))
+        assert fresh().compute(u, lo, 0) <= fresh().compute(u, hi, 0) + 1e-9
+
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=1, max_value=1000),
+        st.floats(min_value=0.01, max_value=2.0),
+    )
+    @settings(max_examples=50)
+    def test_fixed_gain_step_proportional_to_error(self, y, u, gain):
+        controller = FixedGainController(FixedGainConfig(reference=60.0, gain=gain))
+        step = controller.compute(u, y, 0) - u
+        assert step == pytest.approx(gain * (y - 60.0))
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_adaptive_gain_always_within_bounds(self, measurements):
+        controller = AdaptiveGainController(AdaptiveGainConfig(
+            reference=60.0, gamma=0.5, l_min=0.2, l_max=0.9
+        ))
+        u = 10.0
+        for k, y in enumerate(measurements):
+            u = controller.compute(u, y, 60 * k)
+            assert 0.2 <= controller.gain <= 0.9
+
+
+class TestCostProperties:
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.integers(min_value=1, max_value=600)),
+        min_size=1, max_size=30,
+    ))
+    @settings(max_examples=30)
+    def test_metering_is_additive(self, accruals):
+        """One meter over all accruals equals the sum of split meters."""
+        book = PriceBook()
+        whole = CostMeter(book, "ec2.m4.large")
+        first = CostMeter(book, "ec2.m4.large")
+        second = CostMeter(book, "ec2.m4.large")
+        for index, (units, seconds) in enumerate(accruals):
+            whole.accrue(units, seconds)
+            (first if index % 2 == 0 else second).accrue(units, seconds)
+        assert whole.total_cost == pytest.approx(first.total_cost + second.total_cost)
+
+
+class TestCloudWatchProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60))
+    @settings(max_examples=30)
+    def test_sum_of_period_sums_equals_total(self, values):
+        cw = SimCloudWatch()
+        for i, v in enumerate(values):
+            cw.put_metric_data("NS", "M", v, i + 1)
+        end = len(values)
+        periods = cw.get_metric_statistics("NS", "M", 0, end, period=7, statistic="Sum")
+        assert sum(v for _t, v in periods) == pytest.approx(sum(values), rel=1e-9, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=60),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=30)
+    def test_average_bounded_by_extremes(self, values, period):
+        cw = SimCloudWatch()
+        for i, v in enumerate(values):
+            cw.put_metric_data("NS", "M", v, i + 1)
+        stats = cw.get_metric_statistics("NS", "M", 0, len(values), period, "Average")
+        for _t, v in stats:
+            assert min(values) - 1e-9 <= v <= max(values) + 1e-9

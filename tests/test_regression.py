@@ -1,0 +1,153 @@
+"""Unit and property tests for OLS regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import RegressionError
+from repro.dependency import fit_linear, fit_multiple, pearson_r
+
+
+class TestPearsonR:
+    def test_perfect_positive(self):
+        assert pearson_r([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_r([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_no_correlation(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5000)
+        y = rng.normal(size=5000)
+        assert abs(pearson_r(x, y)) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(RegressionError):
+            pearson_r([1, 2], [1, 2, 3])
+        with pytest.raises(RegressionError):
+            pearson_r([1], [2])
+        with pytest.raises(RegressionError):
+            pearson_r([1, 1, 1], [1, 2, 3])  # zero variance
+        with pytest.raises(RegressionError):
+            pearson_r([1, float("nan"), 3], [1, 2, 3])
+
+
+class TestFitLinear:
+    def test_exact_line(self):
+        result = fit_linear([0, 1, 2, 3], [4.8, 5.0, 5.2, 5.4])
+        assert result.slope == pytest.approx(0.2)
+        assert result.intercept == pytest.approx(4.8)
+        assert result.r_squared == pytest.approx(1.0)
+        assert result.p_value < 1e-6
+
+    def test_recovers_noisy_coefficients(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1e5, size=2000)
+        y = 0.0002 * x + 4.8 + rng.normal(0, 0.5, size=2000)
+        result = fit_linear(x, y)
+        assert result.slope == pytest.approx(0.0002, rel=0.05)
+        assert result.intercept == pytest.approx(4.8, rel=0.05)
+        assert result.r > 0.99
+
+    def test_matches_scipy_inference(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 10, size=40)
+        y = 2.0 * x + 1.0 + rng.normal(0, 3.0, size=40)
+        ours = fit_linear(x, y)
+        theirs = scipy_stats.linregress(x, y)
+        assert ours.slope == pytest.approx(theirs.slope)
+        assert ours.intercept == pytest.approx(theirs.intercept)
+        assert ours.r == pytest.approx(theirs.rvalue)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+        assert ours.stderr_slope == pytest.approx(theirs.stderr)
+
+    def test_predict(self):
+        result = fit_linear([0, 1, 2], [1.0, 3.0, 5.0])
+        assert result.predict(10) == pytest.approx(21.0)
+
+    def test_slope_confidence_interval_covers_truth(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 10, size=100)
+        y = 5.0 * x + rng.normal(0, 1.0, size=100)
+        low, high = fit_linear(x, y).slope_confidence_interval(0.99)
+        assert low < 5.0 < high
+
+    def test_confidence_validation(self):
+        result = fit_linear([0, 1, 2], [1.0, 3.0, 5.0])
+        with pytest.raises(RegressionError):
+            result.slope_confidence_interval(1.5)
+
+    def test_equation_rendering(self):
+        result = fit_linear([0, 1, 2, 3], [4.8, 5.0, 5.2, 5.4])
+        assert result.equation("CPU", "WriteCapacity") == "CPU ~ 0.2*WriteCapacity + 4.8"
+
+    def test_flat_y_gives_zero_slope(self):
+        result = fit_linear([0, 1, 2, 3], [5.0, 5.0, 5.0, 5.0])
+        assert result.slope == 0.0
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(RegressionError):
+            fit_linear([1, 2], [1, 2])
+        with pytest.raises(RegressionError):
+            fit_linear([1, 1, 1], [1, 2, 3])
+        with pytest.raises(RegressionError):
+            fit_linear([[1, 2], [3, 4]], [1, 2])
+
+
+class TestFitMultiple:
+    def test_recovers_plane(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(0, 10, size=(200, 2))
+        y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 7.0 + rng.normal(0, 0.1, size=200)
+        result = fit_multiple(X, y)
+        assert result.coefficients[0] == pytest.approx(3.0, abs=0.05)
+        assert result.coefficients[1] == pytest.approx(-2.0, abs=0.05)
+        assert result.intercept == pytest.approx(7.0, abs=0.2)
+        assert result.r_squared > 0.99
+
+    def test_predict_checks_dimensions(self):
+        result = fit_multiple([[1, 2], [2, 1], [3, 3], [4, 1], [0, 0]], [1, 2, 3, 4, 5])
+        with pytest.raises(RegressionError):
+            result.predict([1.0])
+
+    def test_collinear_features_do_not_crash(self):
+        X = [[1, 2], [2, 4], [3, 6], [4, 8], [5, 10]]
+        y = [1, 2, 3, 4, 5]
+        result = fit_multiple(X, y)
+        assert result.r_squared == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(RegressionError):
+            fit_multiple([[1, 2]], [1])  # too few observations
+        with pytest.raises(RegressionError):
+            fit_multiple([[1], [2], [3]], [1, 2])  # length mismatch
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-5, max_value=5),
+        st.integers(min_value=0, max_value=2 ** 31),
+    )
+    def test_recovers_exact_lines(self, intercept, slope, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-10, 10, size=20)
+        if np.ptp(x) < 1e-6:
+            return
+        y = slope * x + intercept
+        result = fit_linear(x, y)
+        assert result.slope == pytest.approx(slope, abs=1e-6)
+        assert result.intercept == pytest.approx(intercept, abs=1e-5)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    def test_r_squared_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, size=30)
+        y = rng.uniform(0, 1, size=30)
+        if np.ptp(x) < 1e-9 or np.ptp(y) < 1e-12:
+            return
+        result = fit_linear(x, y)
+        assert -1e-9 <= result.r_squared <= 1.0 + 1e-9
+        assert 0.0 <= result.p_value <= 1.0

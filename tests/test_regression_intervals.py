@@ -1,0 +1,120 @@
+"""Tests for prediction/confidence intervals and the iterator-age metric."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import SimCloudWatch, SimKinesisStream
+from repro.core.errors import RegressionError
+from repro.dependency import fit_linear
+from repro.simulation import SimClock
+
+
+class TestPredictionIntervals:
+    @pytest.fixture(scope="class")
+    def fit(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0, 10, size=200)
+        y = 2.0 * x + 1.0 + rng.normal(0, 1.0, size=200)
+        return fit_linear(x, y)
+
+    def test_prediction_interval_brackets_point_prediction(self, fit):
+        low, high = fit.prediction_interval(5.0)
+        assert low < fit.predict(5.0) < high
+
+    def test_prediction_wider_than_mean_interval(self, fit):
+        p_low, p_high = fit.prediction_interval(5.0)
+        m_low, m_high = fit.mean_confidence_interval(5.0)
+        assert p_high - p_low > m_high - m_low
+
+    def test_intervals_widen_away_from_x_mean(self, fit):
+        near = fit.mean_confidence_interval(fit.x_mean)
+        far = fit.mean_confidence_interval(fit.x_mean + 20.0)
+        assert far[1] - far[0] > near[1] - near[0]
+
+    def test_coverage_close_to_nominal(self):
+        """~95% of fresh observations fall inside the 95% interval."""
+        rng = np.random.default_rng(11)
+        x = rng.uniform(0, 10, size=500)
+        y = 3.0 * x - 2.0 + rng.normal(0, 2.0, size=500)
+        fit = fit_linear(x, y)
+        fresh_x = rng.uniform(0, 10, size=2000)
+        fresh_y = 3.0 * fresh_x - 2.0 + rng.normal(0, 2.0, size=2000)
+        covered = 0
+        for xv, yv in zip(fresh_x, fresh_y):
+            low, high = fit.prediction_interval(float(xv), 0.95)
+            covered += low <= yv <= high
+        assert 0.93 <= covered / 2000 <= 0.97
+
+    def test_matches_known_formula_width_at_mean(self, fit):
+        # At x = x_mean the prediction spread is s*sqrt(1 + 1/n).
+        low, high = fit.prediction_interval(fit.x_mean, 0.95)
+        from repro.dependency.special import student_t_ppf
+
+        critical = student_t_ppf(0.975, fit.n - 2)
+        expected_half = critical * fit.residual_std * np.sqrt(1 + 1 / fit.n)
+        assert (high - low) / 2 == pytest.approx(expected_half)
+
+    def test_validation(self, fit):
+        with pytest.raises(RegressionError):
+            fit.prediction_interval(1.0, confidence=0.0)
+        with pytest.raises(RegressionError):
+            fit.mean_confidence_interval(1.0, confidence=1.0)
+
+
+class TestIteratorAge:
+    def test_zero_when_drained(self):
+        stream = SimKinesisStream(shards=2)
+        assert stream.iterator_age_millis() == 0.0
+
+    def test_lag_grows_with_backlog(self):
+        stream = SimKinesisStream(shards=2)
+        cw = SimCloudWatch()
+        clock = SimClock()
+        for _ in range(120):
+            clock.advance()
+            stream.put_records(1000, 0, clock)
+            stream.get_records(500, clock)  # consumer at half speed
+            stream.emit_metrics(cw, clock)
+        # 60k backlog at ~1000 rec/s arrival ~= 60 s of lag.
+        age = stream.iterator_age_millis()
+        assert age == pytest.approx(60_000, rel=0.2)
+        dims = {"StreamName": stream.name}
+        series = cw.get_series("AWS/Kinesis", "MillisBehindLatest", dims)[1]
+        assert series[-1] == pytest.approx(age, rel=0.01)
+        assert series[-1] > series[10]
+
+    def test_lag_clears_when_consumer_catches_up(self):
+        stream = SimKinesisStream(shards=2)
+        cw = SimCloudWatch()
+        clock = SimClock()
+        for _ in range(30):
+            clock.advance()
+            stream.put_records(1000, 0, clock)
+            stream.get_records(500, clock)
+            stream.emit_metrics(cw, clock)
+        for _ in range(60):
+            clock.advance()
+            stream.get_records(4000, clock)
+            stream.emit_metrics(cw, clock)
+        assert stream.iterator_age_millis() == 0.0
+
+
+class TestDependencyModelIntervals:
+    def test_predict_interval_through_the_model(self):
+        from repro.core.flow import LayerKind
+        from repro.dependency.analyzer import DependencyModel, MetricRef
+
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 60000, size=300)
+        y = 2e-4 * x + 4.8 + rng.normal(0, 0.5, size=300)
+        model = DependencyModel(
+            source=MetricRef(LayerKind.INGESTION, "WriteCapacity"),
+            target=MetricRef(LayerKind.ANALYTICS, "CPU"),
+            result=fit_linear(x, y),
+        )
+        # The paper's worked example, with honest uncertainty: CPU for a
+        # full shard's 60k records/minute.
+        low, high = model.predict_interval(60_000)
+        point = model.predict(60_000)
+        assert low < point < high
+        assert high - point > 0.5  # at least a residual's worth of width

@@ -1,0 +1,52 @@
+"""Unit tests for comparison reports."""
+
+import pytest
+
+from repro.analysis import ComparisonReport
+from repro.core.errors import ConfigurationError
+
+
+@pytest.fixture
+def report():
+    report = ComparisonReport("Controllers", ["violations", "settling_s"])
+    report.add_row("adaptive", [0.02, 240.0])
+    report.add_row("fixed", [0.08, 900.0])
+    report.add_row("rule", [0.12, None])
+    return report
+
+
+class TestComparisonReport:
+    def test_best_row_minimizing(self, report):
+        assert report.best_row("violations") == "adaptive"
+
+    def test_best_row_maximizing(self, report):
+        assert report.best_row("violations", minimize=False) == "rule"
+
+    def test_best_row_skips_none(self, report):
+        assert report.best_row("settling_s") == "adaptive"
+
+    def test_value_lookup(self, report):
+        assert report.value("fixed", "violations") == 0.08
+        with pytest.raises(ConfigurationError):
+            report.value("ghost", "violations")
+
+    def test_render_contains_everything(self, report):
+        text = report.render()
+        assert "Controllers" in text
+        assert "adaptive" in text
+        assert "240.000" in text
+        assert "-" in text  # the None cell
+
+    def test_row_length_validated(self, report):
+        with pytest.raises(ConfigurationError):
+            report.add_row("bad", [1.0])
+
+    def test_unknown_column(self, report):
+        with pytest.raises(ConfigurationError):
+            report.best_row("latency")
+
+    def test_all_none_column_rejected(self):
+        report = ComparisonReport("t", ["c"])
+        report.add_row("a", [None])
+        with pytest.raises(ConfigurationError):
+            report.best_row("c")

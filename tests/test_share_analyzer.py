@@ -1,0 +1,157 @@
+"""Unit tests for the resource share analyzer (Eq. 3-5, Fig. 4)."""
+
+import pytest
+
+from repro.cloud.pricing import PriceBook, ResourcePrice
+from repro.core.errors import OptimizationError
+from repro.core.flow import LayerKind, clickstream_flow_spec
+from repro.optimization import ResourceShareAnalyzer, ShareConstraint
+
+
+def paper_constraints():
+    """The Sec. 3.2 example: 5*r_A >= r_I, 2*r_A <= r_I, 2*r_I <= r_S."""
+    return [
+        ShareConstraint.at_least(5, LayerKind.ANALYTICS, LayerKind.INGESTION),
+        ShareConstraint.at_most(2, LayerKind.ANALYTICS, LayerKind.INGESTION),
+        ShareConstraint.at_most(2, LayerKind.INGESTION, LayerKind.STORAGE),
+    ]
+
+
+def small_flow():
+    """A flow with tight bounds so the search space is small and fast."""
+    from repro.core.flow import FlowSpec, LayerSpec
+
+    return FlowSpec(
+        name="test-flow",
+        layers=(
+            LayerSpec(LayerKind.INGESTION, "Kinesis", "kinesis.shard", "Shards", 1, 32),
+            LayerSpec(LayerKind.ANALYTICS, "Storm", "ec2.m4.large", "VMs", 1, 16),
+            LayerSpec(LayerKind.STORAGE, "DynamoDB", "dynamodb.wcu", "WCU", 1, 2000),
+        ),
+    )
+
+
+class TestShareConstraint:
+    def test_at_least(self):
+        c = ShareConstraint.at_least(5, LayerKind.ANALYTICS, LayerKind.INGESTION)
+        assert c.satisfied({LayerKind.ANALYTICS: 2, LayerKind.INGESTION: 10, LayerKind.STORAGE: 0})
+        assert not c.satisfied({LayerKind.ANALYTICS: 1, LayerKind.INGESTION: 10, LayerKind.STORAGE: 0})
+
+    def test_at_most(self):
+        c = ShareConstraint.at_most(2, LayerKind.INGESTION, LayerKind.STORAGE)
+        assert c.satisfied({LayerKind.INGESTION: 5, LayerKind.STORAGE: 10, LayerKind.ANALYTICS: 0})
+        assert not c.satisfied({LayerKind.INGESTION: 6, LayerKind.STORAGE: 10, LayerKind.ANALYTICS: 0})
+
+    def test_dependency_band_brackets_the_line(self):
+        lower, upper = ShareConstraint.dependency_band(
+            LayerKind.ANALYTICS, slope=0.5, intercept=1.0, source=LayerKind.INGESTION, tolerance=0.5
+        )
+        on_line = {LayerKind.ANALYTICS: 6.0, LayerKind.INGESTION: 10.0, LayerKind.STORAGE: 0}
+        above = {LayerKind.ANALYTICS: 7.0, LayerKind.INGESTION: 10.0, LayerKind.STORAGE: 0}
+        below = {LayerKind.ANALYTICS: 5.0, LayerKind.INGESTION: 10.0, LayerKind.STORAGE: 0}
+        for constraint in (lower, upper):
+            assert constraint.satisfied(on_line)
+        assert not upper.satisfied(above)
+        assert lower.satisfied(above)
+        assert not lower.satisfied(below)
+
+    def test_dependency_band_rejects_negative_tolerance(self):
+        with pytest.raises(OptimizationError):
+            ShareConstraint.dependency_band(
+                LayerKind.ANALYTICS, 1.0, 0.0, LayerKind.INGESTION, tolerance=-1.0
+            )
+
+    def test_describe_mentions_layers(self):
+        c = ShareConstraint.at_least(5, LayerKind.ANALYTICS, LayerKind.INGESTION)
+        assert "r_A" in c.describe() and "r_I" in c.describe()
+
+
+class TestResourceShareAnalyzer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        analyzer = ResourceShareAnalyzer(small_flow(), constraints=paper_constraints())
+        return analyzer.analyze(budget_per_hour=2.0, population_size=80, generations=120, seed=0)
+
+    def test_finds_a_pareto_set(self, result):
+        assert len(result) >= 3
+
+    def test_all_solutions_feasible(self, result):
+        analyzer = ResourceShareAnalyzer(small_flow(), constraints=paper_constraints())
+        for solution in result.solutions:
+            shares = {k: float(v) for k, v in solution.shares}
+            for constraint in paper_constraints():
+                assert constraint.satisfied(shares, slack=1e-6), constraint.describe()
+            assert analyzer.hourly_cost(shares) <= 2.0 + 1e-9
+
+    def test_budget_is_binding_somewhere(self, result):
+        # At least one Pareto solution should spend most of the budget —
+        # otherwise every layer could still be raised.
+        assert max(s.hourly_cost for s in result.solutions) > 1.5
+
+    def test_solutions_mutually_nondominated(self, result):
+        for a in result.solutions:
+            for b in result.solutions:
+                if a is b:
+                    continue
+                dominated = (
+                    b.ingestion >= a.ingestion
+                    and b.analytics >= a.analytics
+                    and b.storage >= a.storage
+                    and (b.ingestion, b.analytics, b.storage)
+                    != (a.ingestion, a.analytics, a.storage)
+                )
+                assert not dominated, f"{a} dominated by {b}"
+
+    def test_table_renders_all_solutions(self, result):
+        table = result.table()
+        assert "Shards" in table and "VMs" in table and "WCU" in table
+        assert len(table.splitlines()) == len(result) + 2
+
+    def test_pick_random_is_deterministic_per_seed(self, result):
+        assert result.pick("random", seed=1) == result.pick("random", seed=1)
+
+    def test_pick_cheapest(self, result):
+        cheapest = result.pick("cheapest")
+        assert cheapest.hourly_cost == min(s.hourly_cost for s in result.solutions)
+
+    def test_pick_layer_max(self, result):
+        top = result.pick("max:storage")
+        assert top.storage == max(s.storage for s in result.solutions)
+
+    def test_pick_balanced_returns_member(self, result):
+        assert result.pick("balanced") in result.solutions
+
+    def test_pick_unknown_strategy(self, result):
+        with pytest.raises(OptimizationError):
+            result.pick("magic")
+
+    def test_hourly_cost_uses_price_book(self):
+        book = PriceBook({
+            "kinesis.shard": ResourcePrice("kinesis.shard", hourly=1.0),
+            "ec2.m4.large": ResourcePrice("ec2.m4.large", hourly=2.0),
+            "dynamodb.wcu": ResourcePrice("dynamodb.wcu", hourly=0.5),
+        })
+        analyzer = ResourceShareAnalyzer(small_flow(), price_book=book)
+        cost = analyzer.hourly_cost(
+            {LayerKind.INGESTION: 2, LayerKind.ANALYTICS: 3, LayerKind.STORAGE: 4}
+        )
+        assert cost == pytest.approx(2 * 1.0 + 3 * 2.0 + 4 * 0.5)
+
+    def test_budget_must_be_positive(self):
+        analyzer = ResourceShareAnalyzer(small_flow())
+        with pytest.raises(OptimizationError):
+            analyzer.analyze(budget_per_hour=0.0)
+
+    def test_empty_front_pick_raises(self):
+        from repro.optimization.share_analyzer import ShareAnalysisResult
+
+        empty = ShareAnalysisResult(solutions=[], budget_per_hour=1.0, flow=small_flow())
+        with pytest.raises(OptimizationError):
+            empty.pick()
+
+    def test_add_constraint_after_construction(self):
+        analyzer = ResourceShareAnalyzer(small_flow())
+        analyzer.add_constraint(
+            ShareConstraint.at_most(2, LayerKind.INGESTION, LayerKind.STORAGE)
+        )
+        assert len(analyzer.constraints) == 1

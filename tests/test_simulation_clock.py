@@ -1,0 +1,45 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulation import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        clock = SimClock()
+        assert clock.now == 0
+        assert clock.ticks == 0
+
+    def test_advance_moves_by_tick_length(self):
+        clock = SimClock(tick_seconds=5)
+        assert clock.advance() == 5
+        assert clock.advance() == 10
+        assert clock.ticks == 2
+
+    def test_custom_start(self):
+        clock = SimClock(tick_seconds=2, start=100)
+        assert clock.now == 100
+        clock.advance()
+        assert clock.now == 102
+
+    def test_minutes_and_hours(self):
+        clock = SimClock(tick_seconds=60)
+        for _ in range(90):
+            clock.advance()
+        assert clock.minutes == 90.0
+        assert clock.hours == 1.5
+
+    def test_rejects_nonpositive_tick(self):
+        with pytest.raises(SimulationError):
+            SimClock(tick_seconds=0)
+        with pytest.raises(SimulationError):
+            SimClock(tick_seconds=-1)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SimulationError):
+            SimClock(start=-5)
+
+    def test_repr_mentions_time(self):
+        assert "now=0s" in repr(SimClock())

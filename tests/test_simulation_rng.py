@@ -1,0 +1,25 @@
+"""Unit tests for seeded RNG derivation."""
+
+from repro.simulation import derive_rng, spawn_streams
+
+
+class TestDeriveRng:
+    def test_same_seed_and_label_reproduce(self):
+        a = derive_rng(42, "workload").normal(size=10)
+        b = derive_rng(42, "workload").normal(size=10)
+        assert (a == b).all()
+
+    def test_different_labels_are_independent(self):
+        a = derive_rng(42, "workload").normal(size=10)
+        b = derive_rng(42, "cpu-noise").normal(size=10)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1, "x").normal(size=10)
+        b = derive_rng(2, "x").normal(size=10)
+        assert not (a == b).all()
+
+    def test_spawn_streams_covers_all_labels(self):
+        streams = spawn_streams(7, ["a", "b", "c"])
+        assert set(streams) == {"a", "b", "c"}
+        assert streams["a"].normal() != streams["b"].normal()

@@ -1,0 +1,102 @@
+"""Tests for SLO-derived plan-space constraints (Fig. 3's SLO input)."""
+
+import pytest
+
+from repro.cloud.kinesis import KinesisConfig
+from repro.cloud.storm import StormConfig
+from repro.core.errors import OptimizationError
+from repro.core.flow import FlowSpec, LayerKind, LayerSpec
+from repro.optimization import (
+    FlowSLO,
+    ResourceShareAnalyzer,
+    slo_floor_constraints,
+)
+
+
+def small_flow():
+    return FlowSpec(
+        name="slo-flow",
+        layers=(
+            LayerSpec(LayerKind.INGESTION, "K", "kinesis.shard", "Shards", 1, 32),
+            LayerSpec(LayerKind.ANALYTICS, "S", "ec2.m4.large", "VMs", 1, 16),
+            LayerSpec(LayerKind.STORAGE, "D", "dynamodb.wcu", "WCU", 1, 2000),
+        ),
+    )
+
+
+class TestFlowSLO:
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            FlowSLO(peak_records_per_second=0)
+        with pytest.raises(OptimizationError):
+            FlowSLO(peak_records_per_second=100, max_utilization=0)
+        with pytest.raises(OptimizationError):
+            FlowSLO(peak_records_per_second=100, peak_writes_per_second=0)
+
+
+class TestFloorConstraints:
+    def test_floors_carry_headroom(self):
+        slo = FlowSLO(peak_records_per_second=3000, max_utilization=60.0)
+        floors = slo_floor_constraints(
+            slo, storm=StormConfig(records_per_vm_per_second=1000)
+        )
+        by_layer = {c.coefficients[0][0]: c for c in floors}
+        # 3000/0.6 = 5000 rec/s required: 5 shards, 5 VMs (1000 each).
+        assert by_layer[LayerKind.INGESTION].satisfied(
+            {LayerKind.INGESTION: 5, LayerKind.ANALYTICS: 0, LayerKind.STORAGE: 0}
+        )
+        assert not by_layer[LayerKind.INGESTION].satisfied(
+            {LayerKind.INGESTION: 4, LayerKind.ANALYTICS: 0, LayerKind.STORAGE: 0}
+        )
+        assert not by_layer[LayerKind.ANALYTICS].satisfied(
+            {LayerKind.ANALYTICS: 4, LayerKind.INGESTION: 0, LayerKind.STORAGE: 0}
+        )
+
+    def test_storage_floor_only_with_write_rate(self):
+        without = slo_floor_constraints(FlowSLO(peak_records_per_second=1000))
+        assert len(without) == 2
+        with_writes = slo_floor_constraints(
+            FlowSLO(peak_records_per_second=1000, peak_writes_per_second=120)
+        )
+        assert len(with_writes) == 3
+        storage = [c for c in with_writes if c.coefficients[0][0] == LayerKind.STORAGE][0]
+        # 120/0.6 = 200 WCU floor.
+        assert "200" in storage.describe()
+
+    def test_custom_service_configs_change_floors(self):
+        slo = FlowSLO(peak_records_per_second=3000, max_utilization=100.0)
+        floors = slo_floor_constraints(
+            slo,
+            kinesis=KinesisConfig(records_per_shard_per_second=500),
+        )
+        ingestion = [c for c in floors if c.coefficients[0][0] == LayerKind.INGESTION][0]
+        assert "6" in ingestion.describe()  # 3000/500
+
+
+class TestPlanSpaceWithSLO:
+    def test_every_pareto_plan_meets_the_slo(self):
+        slo = FlowSLO(
+            peak_records_per_second=3000,
+            max_utilization=60.0,
+            peak_writes_per_second=100,
+        )
+        constraints = slo_floor_constraints(
+            slo, storm=StormConfig(records_per_vm_per_second=1000)
+        )
+        analyzer = ResourceShareAnalyzer(small_flow(), constraints=constraints)
+        result = analyzer.analyze(budget_per_hour=2.0, population_size=60,
+                                  generations=100, seed=1)
+        assert len(result) >= 1
+        for solution in result.solutions:
+            assert solution.ingestion >= 5
+            assert solution.analytics >= 5
+            assert solution.storage >= 167  # ceil(100/0.6)
+
+    def test_impossible_slo_yields_empty_front(self):
+        # The SLO wants more shards than the flow's limit allows.
+        slo = FlowSLO(peak_records_per_second=100_000, max_utilization=50.0)
+        constraints = slo_floor_constraints(slo)
+        analyzer = ResourceShareAnalyzer(small_flow(), constraints=constraints)
+        result = analyzer.analyze(budget_per_hour=100.0, population_size=40,
+                                  generations=40, seed=1)
+        assert len(result) == 0

@@ -1,0 +1,90 @@
+"""Tests for the self-contained special functions, cross-checked against scipy."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import RegressionError
+from repro.dependency.special import (
+    betainc_regularized,
+    student_t_ppf,
+    student_t_sf,
+    student_t_two_sided_p,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+scipy_special = pytest.importorskip("scipy.special")
+
+
+class TestBetainc:
+    def test_boundaries(self):
+        assert betainc_regularized(2.0, 3.0, 0.0) == 0.0
+        assert betainc_regularized(2.0, 3.0, 1.0) == 1.0
+
+    @pytest.mark.parametrize("a,b,x", [
+        (0.5, 0.5, 0.3), (2.0, 5.0, 0.1), (10.0, 1.0, 0.9),
+        (30.0, 30.0, 0.5), (1.0, 1.0, 0.7), (100.0, 2.5, 0.99),
+    ])
+    def test_matches_scipy(self, a, b, x):
+        assert betainc_regularized(a, b, x) == pytest.approx(
+            float(scipy_special.betainc(a, b, x)), rel=1e-10
+        )
+
+    def test_validation(self):
+        with pytest.raises(RegressionError):
+            betainc_regularized(-1.0, 2.0, 0.5)
+        with pytest.raises(RegressionError):
+            betainc_regularized(1.0, 2.0, 1.5)
+
+    @given(
+        st.floats(min_value=0.5, max_value=50),
+        st.floats(min_value=0.5, max_value=50),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_monotone_in_x(self, a, b, x):
+        value = betainc_regularized(a, b, x)
+        assert 0.0 <= value <= 1.0
+        if x < 0.99:
+            assert betainc_regularized(a, b, min(1.0, x + 0.01)) >= value - 1e-12
+
+
+class TestStudentT:
+    @pytest.mark.parametrize("t,df", [
+        (0.0, 5), (1.0, 5), (2.5, 10), (-1.5, 3), (4.0, 100), (0.3, 1),
+    ])
+    def test_sf_matches_scipy(self, t, df):
+        assert student_t_sf(t, df) == pytest.approx(
+            float(scipy_stats.t.sf(t, df)), rel=1e-9, abs=1e-12
+        )
+
+    def test_symmetric_around_zero(self):
+        assert student_t_sf(0.0, 7) == pytest.approx(0.5)
+        assert student_t_sf(2.0, 7) == pytest.approx(1.0 - student_t_sf(-2.0, 7))
+
+    def test_two_sided_p(self):
+        assert student_t_two_sided_p(0.0, 10) == pytest.approx(1.0)
+        assert student_t_two_sided_p(10.0, 10) < 1e-5
+
+    @pytest.mark.parametrize("p,df", [(0.975, 10), (0.95, 5), (0.995, 30), (0.6, 2)])
+    def test_ppf_matches_scipy(self, p, df):
+        assert student_t_ppf(p, df) == pytest.approx(
+            float(scipy_stats.t.ppf(p, df)), rel=1e-6
+        )
+
+    def test_ppf_inverts_cdf(self):
+        for p in (0.55, 0.9, 0.99):
+            t = student_t_ppf(p, 8)
+            assert 1.0 - student_t_sf(t, 8) == pytest.approx(p, abs=1e-9)
+
+    def test_ppf_negative_branch(self):
+        assert student_t_ppf(0.025, 10) == pytest.approx(-student_t_ppf(0.975, 10))
+        assert student_t_ppf(0.5, 10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(RegressionError):
+            student_t_sf(1.0, 0)
+        with pytest.raises(RegressionError):
+            student_t_sf(math.nan, 5)
+        with pytest.raises(RegressionError):
+            student_t_ppf(0.0, 5)

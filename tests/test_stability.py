@@ -1,0 +1,69 @@
+"""Unit tests for the stability analysis helpers."""
+
+import pytest
+
+from repro.control import (
+    estimate_process_gain,
+    is_stable,
+    max_stable_gain,
+    suggest_gain_bounds,
+)
+from repro.core.errors import ControlError
+
+
+class TestStabilityBound:
+    def test_max_stable_gain(self):
+        assert max_stable_gain(-0.5) == pytest.approx(4.0)
+        assert max_stable_gain(2.0) == pytest.approx(1.0)
+
+    def test_zero_process_gain_rejected(self):
+        with pytest.raises(ControlError):
+            max_stable_gain(0.0)
+
+    def test_is_stable_inside_bound(self):
+        # b = -0.5: stable for 0 < l < 4.
+        assert is_stable(1.0, -0.5)
+        assert is_stable(3.9, -0.5)
+        assert not is_stable(4.0, -0.5)
+        assert not is_stable(10.0, -0.5)
+
+    def test_positive_process_gain_never_stable(self):
+        # Wrong loop sign: adding capacity increases the sensed value.
+        assert not is_stable(1.0, 0.5)
+
+    def test_gain_must_be_positive(self):
+        with pytest.raises(ControlError):
+            is_stable(0.0, -0.5)
+
+    def test_suggest_bounds(self):
+        l_min, l_max = suggest_gain_bounds(-0.5, safety=0.5)
+        assert l_max == pytest.approx(2.0)
+        assert l_min == pytest.approx(0.02)
+        assert is_stable(l_max, -0.5)
+
+    def test_suggest_bounds_validation(self):
+        with pytest.raises(ControlError):
+            suggest_gain_bounds(-0.5, safety=1.0)
+
+
+class TestEstimateProcessGain:
+    def test_recovers_linear_plant(self):
+        # y responds to u with sensitivity -3.
+        u = [10, 11, 11, 13, 12, 15, 14]
+        y = [60.0]
+        for k in range(1, len(u)):
+            y.append(y[-1] - 3.0 * (u[k] - u[k - 1]))
+        assert estimate_process_gain(u, y) == pytest.approx(-3.0)
+
+    def test_ignores_static_steps(self):
+        u = [10, 10, 10, 11, 11, 12, 12, 13]
+        y = [60, 59, 61, 58, 58, 55, 55, 52]
+        assert estimate_process_gain(u, y) == pytest.approx(-3.0)
+
+    def test_needs_enough_moving_steps(self):
+        with pytest.raises(ControlError):
+            estimate_process_gain([10, 10, 10, 11], [60, 60, 60, 57])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ControlError):
+            estimate_process_gain([1, 2], [1, 2, 3])

@@ -1,0 +1,151 @@
+"""Unit tests for the simulated Storm cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    EC2Config,
+    KinesisConfig,
+    SimCloudWatch,
+    SimEC2Fleet,
+    SimKinesisStream,
+    SimStormCluster,
+    StormConfig,
+)
+from repro.core.errors import ConfigurationError
+from repro.simulation import SimClock
+
+
+def make_cluster(vms=1, config=None, noise=0.0):
+    fleet = SimEC2Fleet(config=EC2Config(boot_seconds=0), initial_instances=vms)
+    cfg = config or StormConfig(cpu_noise_std=noise)
+    if config is None and noise == 0.0:
+        cfg = StormConfig(cpu_noise_std=0.0)
+    return SimStormCluster(fleet, cfg, rng=np.random.default_rng(0))
+
+
+def feed(cluster, stream, records, clock, distinct=0):
+    stream.put_records(records, 0, clock)
+    return cluster.pull_and_process(stream, distinct, clock)
+
+
+@pytest.fixture
+def clock():
+    clock = SimClock(tick_seconds=1)
+    clock.advance()
+    return clock
+
+
+class TestStormConfig:
+    def test_cpu_slope_calibrated_for_eq2(self):
+        # With the default config, slope per record/min on a one-VM
+        # cluster is ~0.0002 — Eq. 2's coefficient.
+        config = StormConfig()
+        assert config.cpu_slope_per_record_per_second / 60.0 == pytest.approx(2e-4, rel=0.01)
+        assert config.cpu_idle_percent == pytest.approx(4.8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StormConfig(records_per_vm_per_second=0)
+        with pytest.raises(ConfigurationError):
+            StormConfig(cpu_idle_percent=100.0)
+        with pytest.raises(ConfigurationError):
+            StormConfig(poll_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            StormConfig(cpu_noise_std=-1)
+
+
+class TestProcessing:
+    def test_processes_within_capacity(self, clock):
+        cluster = make_cluster(vms=1)
+        stream = SimKinesisStream(shards=4)
+        feed(cluster, stream, 3000, clock)
+        assert cluster.pending_records == 0
+        assert cluster._tick_processed == 3000
+
+    def test_backlog_when_overloaded(self, clock):
+        cluster = make_cluster(vms=1)  # 8000 rec/s capacity
+        stream = SimKinesisStream(shards=12)
+        feed(cluster, stream, 12000, clock)
+        assert cluster.pending_records == 4000
+
+    def test_backlog_drains_when_load_drops(self, clock):
+        cluster = make_cluster(vms=1)
+        stream = SimKinesisStream(shards=12)
+        feed(cluster, stream, 12000, clock)
+        clock.advance()
+        feed(cluster, stream, 0, clock)
+        assert cluster.pending_records == 0
+
+    def test_poll_factor_limits_pull(self, clock):
+        config = StormConfig(poll_factor=1.0, cpu_noise_std=0.0)
+        cluster = make_cluster(vms=1, config=config)
+        stream = SimKinesisStream(shards=12)
+        stream.put_records(12000, 0, clock)
+        cluster.pull_and_process(stream, 0, clock)
+        # Pulled only its capacity; the rest stays in the stream.
+        assert stream.backlog_records == 4000
+        assert cluster.pending_records == 0
+
+
+class TestCpuModel:
+    def test_cpu_is_affine_in_rate(self, clock):
+        cluster = make_cluster(vms=1)
+        stream = SimKinesisStream(shards=8)
+        feed(cluster, stream, 4000, clock)
+        expected = 4.8 + (100 - 4.8) / 8000 * 4000
+        assert cluster._tick_cpu == pytest.approx(expected)
+
+    def test_cpu_saturates_at_100_when_backlogged(self, clock):
+        cluster = make_cluster(vms=1)
+        stream = SimKinesisStream(shards=20)
+        feed(cluster, stream, 20000, clock)
+        assert cluster._tick_cpu == 100.0
+
+    def test_processing_capacity_tracks_running_vms(self, clock):
+        fleet = SimEC2Fleet(config=EC2Config(boot_seconds=100), initial_instances=1)
+        cluster = SimStormCluster(fleet, StormConfig(cpu_noise_std=0.0), np.random.default_rng(0))
+        assert cluster.processing_capacity(0) == 8000
+        fleet.set_desired(3, now=0)
+        # Booting VMs do not add capacity until ready.
+        assert cluster.processing_capacity(50) == 8000
+        assert cluster.processing_capacity(100) == 24000
+
+    def test_cpu_per_vm_load_splits_across_vms(self, clock):
+        cluster = make_cluster(vms=2)
+        stream = SimKinesisStream(shards=8)
+        feed(cluster, stream, 4000, clock)
+        expected = 4.8 + (100 - 4.8) / 8000 * 2000
+        assert cluster._tick_cpu == pytest.approx(expected)
+
+
+class TestAggregation:
+    def test_window_flush_emits_distinct_keys(self):
+        clock = SimClock(tick_seconds=1)
+        config = StormConfig(window_seconds=3, cpu_noise_std=0.0)
+        cluster = make_cluster(vms=1, config=config)
+        stream = SimKinesisStream(shards=1)
+        writes = []
+        for _ in range(6):
+            clock.advance()
+            writes.append(feed(cluster, stream, 100, clock, distinct=50))
+        # Window flushes at ticks 3 and 6: mean of 50 distinct keys.
+        assert writes == [0, 0, 50, 0, 0, 50]
+
+    def test_rejects_negative_distinct(self, clock):
+        cluster = make_cluster()
+        stream = SimKinesisStream()
+        with pytest.raises(ConfigurationError):
+            cluster.pull_and_process(stream, -1, clock)
+
+
+class TestMetrics:
+    def test_emits_cluster_metrics(self, clock):
+        cluster = make_cluster(vms=2)
+        stream = SimKinesisStream(shards=4)
+        feed(cluster, stream, 1000, clock)
+        cw = SimCloudWatch()
+        cluster.emit_metrics(cw, clock)
+        dims = {"Topology": cluster.name}
+        assert cw.get_series("Custom/Storm", "ProcessedRecords", dims)[1] == [1000.0]
+        assert cw.get_series("Custom/Storm", "RunningVMs", dims)[1] == [2.0]

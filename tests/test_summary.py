@@ -1,0 +1,95 @@
+"""Tests for run summaries, correlation matrix and the weekly pattern."""
+
+import pytest
+
+from repro import FlowBuilder, LayerKind
+from repro.analysis import summarize_run
+from repro.core.errors import ConfigurationError, RegressionError
+from repro.workload import ConstantRate, WeeklyRate
+
+
+class TestRunSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        result = (
+            FlowBuilder("summary", seed=3)
+            .workload(ConstantRate(800))
+            .control_all(style="adaptive")
+            .build()
+            .run(1800)
+        )
+        return summarize_run(result)
+
+    def test_one_row_per_layer(self, summary):
+        assert {layer.kind for layer in summary.layers} == set(LayerKind)
+
+    def test_layer_lookup(self, summary):
+        layer = summary.layer(LayerKind.INGESTION)
+        assert layer.capacity_min >= 1
+        assert 0.0 <= layer.violation_rate <= 1.0
+
+    def test_costs_add_up_to_scaled_total(self, summary):
+        layer_costs = sum(layer.cost for layer in summary.layers)
+        # The total also includes the read-capacity meter, so it is at
+        # least the sum of the three layer meters.
+        assert summary.total_cost >= layer_costs
+
+    def test_render_contains_all_layers(self, summary):
+        text = summary.render()
+        for kind in LayerKind:
+            assert kind.name.lower() in text
+        assert "total cost" in text
+
+    def test_uncontrolled_run_reports_zero_actions(self):
+        result = (
+            FlowBuilder("static", seed=3)
+            .workload(ConstantRate(500))
+            .build()
+            .run(600)
+        )
+        summary = summarize_run(result)
+        assert all(layer.controller_actions == 0 for layer in summary.layers)
+
+
+class TestCorrelationMatrix:
+    def test_renders_all_pairs(self):
+        import numpy as np
+
+        from repro.dependency import WorkloadDependencyAnalyzer
+        from repro.workload import Trace
+
+        rng = np.random.default_rng(0)
+        times = [60 * (i + 1) for i in range(100)]
+        x = rng.uniform(0, 100, size=100)
+        analyzer = WorkloadDependencyAnalyzer()
+        analyzer.add_series(LayerKind.INGESTION, "A", Trace.from_series("a", times, x))
+        analyzer.add_series(LayerKind.ANALYTICS, "B", Trace.from_series("b", times, 2 * x))
+        analyzer.add_series(
+            LayerKind.STORAGE, "C",
+            Trace.from_series("c", times, rng.uniform(0, 1, size=100)),
+        )
+        matrix = analyzer.correlation_matrix()
+        assert "1.000" in matrix
+        assert "+1.000" in matrix  # the A~B pair
+        assert matrix.count("\n") == 3  # header + three rows
+
+    def test_needs_two_series(self):
+        from repro.dependency import WorkloadDependencyAnalyzer
+
+        with pytest.raises(RegressionError):
+            WorkloadDependencyAnalyzer().correlation_matrix()
+
+
+class TestWeeklyRate:
+    def test_day_factors_apply(self):
+        weekly = WeeklyRate(ConstantRate(100), [1.0, 1.0, 1.0, 1.0, 1.0, 0.5, 0.2])
+        assert weekly.rate(0) == 100.0                       # day 0
+        assert weekly.rate(5 * 86400 + 100) == 50.0          # day 5
+        assert weekly.rate(6 * 86400) == pytest.approx(20.0) # day 6
+        assert weekly.rate(7 * 86400) == 100.0               # wraps
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeeklyRate(ConstantRate(1), [1.0] * 6)
+        with pytest.raises(ConfigurationError):
+            WeeklyRate(ConstantRate(1), [1.0] * 6 + [-1.0])

@@ -1,0 +1,136 @@
+"""Unit and property tests for traces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.workload import Trace
+
+
+@pytest.fixture
+def trace():
+    return Trace("t", [(0, 1.0), (60, 2.0), (120, 4.0), (180, 3.0)])
+
+
+class TestConstruction:
+    def test_append_and_access(self, trace):
+        assert len(trace) == 4
+        assert trace.times == [0, 60, 120, 180]
+        assert trace[2] == (120, 4.0)
+
+    def test_requires_strictly_increasing_times(self):
+        trace = Trace("t", [(0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            trace.append(0, 2.0)
+        with pytest.raises(ConfigurationError):
+            trace.append(-5, 2.0)
+
+    def test_from_series(self):
+        trace = Trace.from_series("s", [1, 2], [10.0, 20.0])
+        assert list(trace) == [(1, 10.0), (2, 20.0)]
+
+    def test_iteration(self, trace):
+        assert list(trace)[0] == (0, 1.0)
+
+
+class TestValueAt:
+    def test_step_hold_semantics(self, trace):
+        assert trace.value_at(0) == 1.0
+        assert trace.value_at(59) == 1.0
+        assert trace.value_at(60) == 2.0
+        assert trace.value_at(500) == 3.0
+
+    def test_before_first_point_raises(self, trace):
+        with pytest.raises(ConfigurationError):
+            trace.value_at(-1)
+
+
+class TestStatistics:
+    def test_basic_stats(self, trace):
+        assert trace.mean() == pytest.approx(2.5)
+        assert trace.minimum() == 1.0
+        assert trace.maximum() == 4.0
+        assert trace.std() == pytest.approx(1.118, rel=1e-3)
+
+    def test_percentile_interpolates(self, trace):
+        assert trace.percentile(0) == 1.0
+        assert trace.percentile(100) == 4.0
+        assert trace.percentile(50) == pytest.approx(2.5)
+
+    def test_percentile_bounds(self, trace):
+        with pytest.raises(ConfigurationError):
+            trace.percentile(101)
+
+    def test_time_weighted_mean_weights_hold_times(self):
+        # Value 10 held for 90 s, value 0 held for 10 s (median interval).
+        trace = Trace("t", [(0, 10.0), (90, 0.0)])
+        # intervals: [90], final interval = median(90) = 90 -> equal weights
+        assert trace.time_weighted_mean() == pytest.approx(5.0)
+
+    def test_empty_trace_stats_raise(self):
+        with pytest.raises(ConfigurationError):
+            Trace("empty").mean()
+
+
+class TestTransforms:
+    def test_slice_is_half_open(self, trace):
+        part = trace.slice(60, 180)
+        assert part.times == [60, 120]
+
+    def test_resample_mean(self):
+        trace = Trace("t", [(0, 1.0), (30, 3.0), (60, 5.0), (90, 7.0)])
+        out = trace.resample(60)
+        assert list(out) == [(60, 2.0), (120, 6.0)]
+
+    def test_resample_sum_max_min(self):
+        trace = Trace("t", [(0, 1.0), (30, 3.0)])
+        assert trace.resample(60, "sum").values == [4.0]
+        assert trace.resample(60, "max").values == [3.0]
+        assert trace.resample(60, "min").values == [1.0]
+
+    def test_resample_rejects_unknown_statistic(self, trace):
+        with pytest.raises(ConfigurationError):
+            trace.resample(60, "median")
+
+    def test_resample_aligns_on_first_timestamp(self):
+        trace = Trace("t", [(100, 1.0), (130, 3.0), (160, 5.0)])
+        out = trace.resample(60)
+        assert out.times == [160, 220]
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = Trace.from_csv(path, "t")
+        assert list(loaded) == list(trace)
+
+    def test_from_csv_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            Trace.from_csv(path)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=50))
+    def test_percentile_bounded_by_extremes(self, values):
+        trace = Trace("p", list(enumerate(values)))
+        assert trace.minimum() <= trace.percentile(37.5) <= trace.maximum()
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=120),
+    )
+    def test_resample_mean_stays_within_range(self, values, period):
+        trace = Trace("p", [(i * 10, v) for i, v in enumerate(values)])
+        out = trace.resample(period)
+        assert len(out) >= 1
+        assert trace.minimum() - 1e-9 <= out.minimum()
+        assert out.maximum() <= trace.maximum() + 1e-9
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=50))
+    def test_value_at_matches_last_known_point(self, values):
+        trace = Trace("p", [(i * 5, v) for i, v in enumerate(values)])
+        for i, v in enumerate(values):
+            assert trace.value_at(i * 5 + 3) == v

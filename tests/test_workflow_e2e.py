@@ -1,0 +1,109 @@
+"""End-to-end test of the full Flower workflow (Fig. 3).
+
+Dependency analysis on real simulated logs → Eq. 5 constraints from the
+fitted model → NSGA-II share analysis → a managed run bounded by the
+picked shares. This is the paper's whole pipeline in one test.
+"""
+
+import pytest
+
+from repro import FlowBuilder, LayerKind
+from repro.core.flow import FlowSpec, LayerSpec
+from repro.dependency import WorkloadDependencyAnalyzer
+from repro.dependency.analyzer import MetricRef
+from repro.optimization import ResourceShareAnalyzer, ShareConstraint
+from repro.workload import SinusoidalRate
+
+
+@pytest.fixture(scope="module")
+def calibration_run():
+    workload = SinusoidalRate(mean=700.0, amplitude=400.0, period=7200, phase=-1800)
+    manager = (
+        FlowBuilder("workflow-calibration", seed=31)
+        .ingestion(shards=2)
+        .analytics(vms=1)
+        .storage(write_units=300)
+        .workload(workload)
+        .build()
+    )
+    return manager.run(7200)
+
+
+class TestFullWorkflow:
+    def test_dependency_to_shares_to_bounded_run(self, calibration_run):
+        # Step 1 — dependency analysis on the calibration logs.
+        analyzer = WorkloadDependencyAnalyzer(min_abs_r=0.7, alpha=0.01)
+        records_ref = analyzer.add_series(
+            LayerKind.INGESTION, "Records",
+            calibration_run.trace(
+                "AWS/Kinesis", "IncomingRecords", period=60, statistic="Sum",
+                dimensions=calibration_run.layer_dimensions[LayerKind.INGESTION]),
+        )
+        cpu_ref = analyzer.add_series(
+            LayerKind.ANALYTICS, "CPU",
+            calibration_run.trace(
+                "Custom/Storm", "CPUUtilization", period=60,
+                dimensions=calibration_run.layer_dimensions[LayerKind.ANALYTICS]),
+        )
+        model = analyzer.dependency_between(records_ref, cpu_ref)
+        assert model is not None, "the load->CPU dependency must be discovered"
+        assert model.result.slope > 0
+
+        # Step 2 — share analysis under a budget with constraints.
+        flow = FlowSpec(
+            name="workflow",
+            layers=(
+                LayerSpec(LayerKind.INGESTION, "Kinesis", "kinesis.shard", "Shards", 1, 32),
+                LayerSpec(LayerKind.ANALYTICS, "Storm", "ec2.m4.large", "VMs", 1, 16),
+                LayerSpec(LayerKind.STORAGE, "DynamoDB", "dynamodb.wcu", "WCU", 1, 2000),
+            ),
+        )
+        share_analyzer = ResourceShareAnalyzer(flow, constraints=[
+            ShareConstraint.at_least(5, LayerKind.ANALYTICS, LayerKind.INGESTION),
+            ShareConstraint.at_most(2, LayerKind.INGESTION, LayerKind.STORAGE),
+        ])
+        front = share_analyzer.analyze(
+            budget_per_hour=1.2, population_size=60, generations=80, seed=31
+        )
+        assert len(front) >= 1
+        picked = front.pick("balanced")
+        assert picked.hourly_cost <= 1.2 + 1e-9
+
+        # Step 3 — a managed run bounded by the picked shares.
+        manager = (
+            FlowBuilder("workflow-production", seed=32)
+            .ingestion(shards=min(2, picked.ingestion))
+            .analytics(vms=min(2, picked.analytics))
+            .storage(write_units=min(300, picked.storage))
+            .workload(SinusoidalRate(mean=900.0, amplitude=600.0, period=3600, phase=-900))
+            .control_all(style="adaptive", reference=60.0)
+            .share_bounds(picked)
+            .build()
+        )
+        result = manager.run(3600)
+
+        # Step 4 — the consolidated monitoring view exists and every
+        # layer stayed inside its share.
+        assert "ingestion.shards" in result.dashboard()
+        for kind in LayerKind:
+            assert result.capacity_trace(kind).maximum() <= picked[kind]
+
+    def test_calibration_run_matches_eq1_form(self, calibration_run):
+        """The calibration logs satisfy the paper's Eq. 1 linear form
+        with a near-zero residual relative to the signal."""
+        analyzer = WorkloadDependencyAnalyzer()
+        records = analyzer.add_series(
+            LayerKind.INGESTION, "Records",
+            calibration_run.trace(
+                "AWS/Kinesis", "IncomingRecords", period=60, statistic="Sum",
+                dimensions=calibration_run.layer_dimensions[LayerKind.INGESTION]),
+        )
+        cpu = analyzer.add_series(
+            LayerKind.ANALYTICS, "CPU",
+            calibration_run.trace(
+                "Custom/Storm", "CPUUtilization", period=60,
+                dimensions=calibration_run.layer_dimensions[LayerKind.ANALYTICS]),
+        )
+        fitted = analyzer.fit_pair(records, cpu).result
+        assert fitted.r_squared > 0.95
+        assert fitted.residual_std < 2.0  # CPU percentage points
