@@ -8,7 +8,7 @@ substrate are caught the same way behavioural ones are.
 
 import numpy as np
 
-from repro import FlowBuilder
+from repro import FlightRecorder, FlowBuilder
 from repro.cloud import SimCloudWatch
 from repro.dependency import fit_linear
 from repro.optimization import NSGA2, NSGA2Config, FunctionalProblem
@@ -26,6 +26,43 @@ def test_perf_simulation_hour(benchmark):
             .build()
         )
         return manager.run(3600).duration_seconds
+
+    assert benchmark(run) == 3600
+
+
+def test_perf_recorder_disabled_hour(benchmark):
+    """The flight-recorder claim: a flow built *without* a recorder pays
+    nothing — this run should track ``test_perf_simulation_hour`` within
+    noise (<5% overhead from the instrumentation's ``None`` checks)."""
+
+    def run():
+        manager = (
+            FlowBuilder("perf-unobserved", seed=1)
+            .workload(ConstantRate(1000))
+            .control_all(style="adaptive")
+            .build()
+        )
+        return manager.run(3600).duration_seconds
+
+    assert benchmark(run) == 3600
+
+
+def test_perf_recorder_enabled_hour(benchmark):
+    """The fully-observed flow: bus + decision log + tick profiler all
+    on — the upper bound of what observability costs."""
+
+    def run():
+        recorder = FlightRecorder(profile=True)
+        manager = (
+            FlowBuilder("perf-observed", seed=1)
+            .workload(ConstantRate(1000))
+            .control_all(style="adaptive")
+            .observe(recorder=recorder)
+            .build()
+        )
+        result = manager.run(3600)
+        assert result.recorder is recorder
+        return result.duration_seconds
 
     assert benchmark(run) == 3600
 

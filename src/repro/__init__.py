@@ -39,6 +39,7 @@ from repro.core import (
     clickstream_flow_spec,
     make_controller,
 )
+from repro.observability import FlightRecorder
 
 __version__ = "1.0.0"
 
@@ -54,6 +55,7 @@ __all__ = [
     "LayerSpec",
     "LayerKind",
     "clickstream_flow_spec",
+    "FlightRecorder",
     "FlowerError",
     "__version__",
 ]

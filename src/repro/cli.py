@@ -5,6 +5,7 @@ configuring controllers, and watching the dashboards (Sec. 4). This CLI
 is the terminal version::
 
     python -m repro.cli demo       # build + run a managed flow, show the dashboard
+    python -m repro.cli trace      # run with the flight recorder, summarise / export
     python -m repro.cli fig2       # workload dependency analysis (Fig. 2 / Eq. 2)
     python -m repro.cli pareto     # resource share analysis (Fig. 4)
     python -m repro.cli shootout   # controller comparison (Sec. 3.3)
@@ -23,28 +24,50 @@ from repro.analysis import ComparisonReport, settling_time, slo_violation_rate
 from repro.core.config import CONTROLLER_FACTORIES
 from repro.dependency import fit_linear, pearson_r
 from repro.monitoring import stacked_panels
+from repro.observability import FlightRecorder
 from repro.optimization import ResourceShareAnalyzer, ShareConstraint
 from repro.workload import FlashCrowdRate, ConstantRate, SinusoidalRate
 
 
-def _managed_run(duration: int, seed: int, style: str, reference: float):
+def _ensure_writable(path: str) -> None:
+    """Fail fast on an unwritable trace path — before simulating hours."""
+    try:
+        with open(path, "a"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"cannot write trace file {path!r}: {exc}")
+
+
+def _managed_run(
+    duration: int,
+    seed: int,
+    style: str,
+    reference: float,
+    recorder: FlightRecorder | None = None,
+):
     workload = SinusoidalRate(
         mean=1500.0, amplitude=1200.0, period=duration, phase=-duration // 4
     )
-    manager = (
+    builder = (
         FlowBuilder("cli-flow", seed=seed)
         .ingestion(shards=2)
         .analytics(vms=2)
         .storage(write_units=300)
         .workload(workload)
         .control_all(style=style, reference=reference, period=60)
-        .build()
     )
-    return manager.run(duration)
+    if recorder is not None:
+        builder.observe(recorder=recorder)
+    return builder.build().run(duration)
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    result = _managed_run(args.duration, args.seed, args.style, args.reference)
+    if args.trace:
+        _ensure_writable(args.trace)
+    recorder = FlightRecorder() if args.trace else None
+    result = _managed_run(
+        args.duration, args.seed, args.style, args.reference, recorder=recorder
+    )
     print(result.dashboard())
     print()
     for kind in LayerKind:
@@ -53,6 +76,22 @@ def cmd_demo(args: argparse.Namespace) -> int:
         print(f"{kind.name.lower():<10} {label:<7} "
               f"{capacity.minimum():.0f}..{capacity.maximum():.0f}")
     print(f"total cost: ${result.total_cost:.4f}")
+    if recorder is not None:
+        lines = recorder.to_jsonl(args.trace)
+        print(f"trace: {lines} lines ({len(recorder.bus)} events, "
+              f"{len(recorder.decisions)} decisions) -> {args.trace}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.out:
+        _ensure_writable(args.out)
+    recorder = FlightRecorder(profile=args.profile)
+    _managed_run(args.duration, args.seed, args.style, args.reference, recorder=recorder)
+    print(recorder.summary())
+    if args.out:
+        lines = recorder.to_jsonl(args.out)
+        print(f"\ntrace: {lines} lines -> {args.out}")
     return 0
 
 
@@ -148,7 +187,22 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--style", choices=sorted(CONTROLLER_FACTORIES), default="adaptive")
     demo.add_argument("--reference", type=float, default=60.0,
                       help="desired utilisation (the wizard's reference value)")
+    demo.add_argument("--trace", default=None, metavar="PATH",
+                      help="record a flight-recorder trace and write it as JSONL")
     demo.set_defaults(func=cmd_demo)
+
+    trace = sub.add_parser(
+        "trace", help="run a managed flow with the flight recorder and summarise it"
+    )
+    trace.add_argument("--duration", type=int, default=2 * 3600, help="simulated seconds")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--style", choices=sorted(CONTROLLER_FACTORIES), default="adaptive")
+    trace.add_argument("--reference", type=float, default=60.0)
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="also export the trace as JSONL")
+    trace.add_argument("--profile", action="store_true",
+                       help="time each component and task per tick")
+    trace.set_defaults(func=cmd_trace)
 
     fig2 = sub.add_parser("fig2", help="workload dependency analysis on a static run")
     fig2.add_argument("--duration", type=int, default=3 * 3600)

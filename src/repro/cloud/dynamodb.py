@@ -99,6 +99,17 @@ class SimDynamoDBTable:
         self._tick_throttled = 0
         self._tick_read_consumed = 0
         self._tick_read_throttled = 0
+        # Flight-recorder hooks (off unless attach_bus() is called).
+        self._bus = None
+        self._bus_layer = "storage"
+        self._throttle_since: dict[str, int | None] = {"write": None, "read": None}
+        self._throttle_units: dict[str, int] = {"write": 0, "read": 0}
+
+    def attach_bus(self, bus, layer: str = "storage") -> None:
+        """Publish capacity-update and throttle-episode events to a
+        flight recorder; without a bus the table records nothing."""
+        self._bus = bus
+        self._bus_layer = layer
 
     # ------------------------------------------------------------------
     # Capacity
@@ -108,6 +119,11 @@ class SimDynamoDBTable:
         if self._pending_write_target is not None and now >= self._pending_ready_at:
             self._write_units = self._pending_write_target
             self._pending_write_target = None
+            if self._bus is not None:
+                self._bus.publish(
+                    now, self._bus_layer, "capacity.applied",
+                    {"dimension": "write", "units": self._write_units},
+                )
         return self._write_units
 
     def read_capacity(self, now: int) -> int:
@@ -115,6 +131,11 @@ class SimDynamoDBTable:
         if self._pending_read_target is not None and now >= self._pending_read_ready_at:
             self._read_units = self._pending_read_target
             self._pending_read_target = None
+            if self._bus is not None:
+                self._bus.publish(
+                    now, self._bus_layer, "capacity.applied",
+                    {"dimension": "read", "units": self._read_units},
+                )
         return self._read_units
 
     def read_updating(self, now: int) -> bool:
@@ -145,6 +166,12 @@ class SimDynamoDBTable:
             self._last_read_decrease_at = now
         self._pending_read_target = target
         self._pending_read_ready_at = now + self.config.update_delay_seconds
+        if self._bus is not None:
+            self._bus.publish(
+                now, self._bus_layer, "capacity.update",
+                {"dimension": "read", "from": current, "to": target,
+                 "ready_at": self._pending_read_ready_at},
+            )
         return target
 
     def updating(self, now: int) -> bool:
@@ -175,6 +202,12 @@ class SimDynamoDBTable:
             self._last_decrease_at = now
         self._pending_write_target = target
         self._pending_ready_at = now + self.config.update_delay_seconds
+        if self._bus is not None:
+            self._bus.publish(
+                now, self._bus_layer, "capacity.update",
+                {"dimension": "write", "from": current, "to": target,
+                 "ready_at": self._pending_ready_at},
+            )
         return target
 
     # ------------------------------------------------------------------
@@ -272,7 +305,32 @@ class SimDynamoDBTable:
             NAMESPACE, "ProvisionedReadCapacityUnits", self.read_capacity(now), now, dims
         )
         cloudwatch.put_metric_data(NAMESPACE, "ReadUtilization", read_utilization, now, dims)
+        if self._bus is not None:
+            self._track_throttle_episode(now, "write", self._tick_throttled)
+            self._track_throttle_episode(now, "read", self._tick_read_throttled)
         self._tick_consumed = 0
         self._tick_throttled = 0
         self._tick_read_consumed = 0
         self._tick_read_throttled = 0
+
+    def _track_throttle_episode(self, now: int, dimension: str, throttled: int) -> None:
+        """Coalesce per-tick throttling into start/end events per
+        throughput dimension (same pattern as the Kinesis stream)."""
+        since = self._throttle_since[dimension]
+        if throttled:
+            if since is None:
+                self._throttle_since[dimension] = now
+                self._throttle_units[dimension] = 0
+                self._bus.publish(
+                    now, self._bus_layer, "throttle",
+                    {"dimension": dimension, "units": throttled},
+                )
+            self._throttle_units[dimension] += throttled
+        elif since is not None:
+            self._bus.publish(
+                now, self._bus_layer, "throttle.end",
+                {"dimension": dimension, "units": self._throttle_units[dimension],
+                 "since": since},
+            )
+            self._throttle_since[dimension] = None
+            self._throttle_units[dimension] = 0

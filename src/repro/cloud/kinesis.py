@@ -115,6 +115,20 @@ class SimKinesisStream:
         # Smoothed incoming rate (records/s), for the iterator-age
         # estimate: lag seconds ~= backlog / recent arrival rate.
         self._smoothed_rate = 0.0
+        # Flight-recorder hooks (off unless attach_bus() is called).
+        self._bus = None
+        self._bus_layer = "ingestion"
+        self._throttle_since: int | None = None
+        self._throttle_records = 0
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_bus(self, bus, layer: str = "ingestion") -> None:
+        """Publish reshard and throttle-episode events to a flight
+        recorder; without a bus the stream records nothing."""
+        self._bus = bus
+        self._bus_layer = layer
 
     # ------------------------------------------------------------------
     # Capacity
@@ -124,6 +138,10 @@ class SimKinesisStream:
         if self._reshard_target is not None and now >= self._reshard_ready_at:
             self._shards = self._reshard_target
             self._reshard_target = None
+            if self._bus is not None:
+                self._bus.publish(
+                    now, self._bus_layer, "reshard.complete", {"shards": self._shards}
+                )
         return self._shards
 
     def resharding(self, now: int) -> bool:
@@ -148,6 +166,13 @@ class SimKinesisStream:
         duration = self.config.base_reshard_seconds + delta * self.config.reshard_seconds_per_shard
         self._reshard_target = target
         self._reshard_ready_at = now + duration
+        if self._bus is not None:
+            self._bus.publish(
+                now,
+                self._bus_layer,
+                "reshard",
+                {"from": current, "to": target, "ready_at": self._reshard_ready_at},
+            )
         return target
 
     def write_capacity_records(self, now: int) -> int:
@@ -269,7 +294,34 @@ class SimKinesisStream:
         cloudwatch.put_metric_data(
             NAMESPACE, "MillisBehindLatest", self.iterator_age_millis(), now, dims
         )
+        if self._bus is not None:
+            self._track_throttle_episode(now)
         self._tick_accepted = 0
         self._tick_accepted_bytes = 0
         self._tick_throttled = 0
         self._tick_read = 0
+
+    def _track_throttle_episode(self, now: int) -> None:
+        """Coalesce per-tick throttling into bounded start/end events.
+
+        A sustained overload publishes two events (``throttle`` when it
+        starts, ``throttle.end`` with totals when it clears) instead of
+        one per tick, keeping traces readable and bounded.
+        """
+        if self._tick_throttled:
+            if self._throttle_since is None:
+                self._throttle_since = now
+                self._throttle_records = 0
+                self._bus.publish(
+                    now, self._bus_layer, "throttle", {"records": self._tick_throttled}
+                )
+            self._throttle_records += self._tick_throttled
+        elif self._throttle_since is not None:
+            self._bus.publish(
+                now,
+                self._bus_layer,
+                "throttle.end",
+                {"records": self._throttle_records, "since": self._throttle_since},
+            )
+            self._throttle_since = None
+            self._throttle_records = 0

@@ -176,6 +176,14 @@ class SimStormCluster:
         self._tick_processed = 0
         self._tick_cpu = self.config.cpu_idle_percent
         self._tick_writes_emitted = 0
+        # Flight-recorder hooks (off unless attach_bus() is called).
+        self._bus = None
+        self._bus_layer = "analytics"
+
+    def attach_bus(self, bus, layer: str = "analytics") -> None:
+        """Publish topology rebalance events to a flight recorder."""
+        self._bus = bus
+        self._bus_layer = layer
 
     # ------------------------------------------------------------------
     # Data path
@@ -253,8 +261,16 @@ class SimStormCluster:
         if self._last_running_vms is None:
             self._last_running_vms = vms
         elif vms != self._last_running_vms:
+            previous = self._last_running_vms
             self._last_running_vms = vms
             self._rebalancing_until = now + self.topology.rebalance_seconds
+            if self._bus is not None:
+                self._bus.publish(
+                    now,
+                    self._bus_layer,
+                    "rebalance",
+                    {"from_vms": previous, "to_vms": vms, "until": self._rebalancing_until},
+                )
         if now < self._rebalancing_until:
             return 0
         slots = vms * self.topology.executor_slots_per_vm

@@ -49,6 +49,8 @@ class CallbackActuator(Actuator):
         clamped = max(self.minimum, min(self.maximum, target))
         if self.integer:
             clamped = float(round(clamped))
+        if self._bus is not None and target != clamped and clamped in (self.minimum, self.maximum):
+            self._publish_adjusted(now, target, clamped)
         self._setter(clamped, now)
         return clamped
 
@@ -67,7 +69,11 @@ class KinesisShardActuator(Actuator):
         return float(self._stream.shard_count(now))
 
     def apply(self, target: float, now: int) -> float:
-        return float(self._stream.update_shard_count(int(round(target)), now))
+        want = int(round(target))
+        got = self._stream.update_shard_count(want, now)
+        if got != want:
+            self._publish_adjusted(now, want, got)
+        return float(got)
 
 
 class StormVMActuator(Actuator):
@@ -80,7 +86,11 @@ class StormVMActuator(Actuator):
         return float(self._fleet.provisioned_count(now))
 
     def apply(self, target: float, now: int) -> float:
-        return float(self._fleet.set_desired(int(round(target)), now))
+        want = int(round(target))
+        got = self._fleet.set_desired(want, now)
+        if got != want:
+            self._publish_adjusted(now, want, got)
+        return float(got)
 
 
 class DynamoDBWriteActuator(Actuator):
@@ -95,7 +105,11 @@ class DynamoDBWriteActuator(Actuator):
         return float(self._table.write_capacity(now))
 
     def apply(self, target: float, now: int) -> float:
-        return float(self._table.update_write_capacity(int(round(target)), now))
+        want = int(round(target))
+        got = self._table.update_write_capacity(want, now)
+        if got != want:
+            self._publish_adjusted(now, want, got)
+        return float(got)
 
 
 class DynamoDBReadActuator(Actuator):
@@ -115,4 +129,8 @@ class DynamoDBReadActuator(Actuator):
         return float(self._table.read_capacity(now))
 
     def apply(self, target: float, now: int) -> float:
-        return float(self._table.update_read_capacity(int(round(target)), now))
+        want = int(round(target))
+        got = self._table.update_read_capacity(want, now)
+        if got != want:
+            self._publish_adjusted(now, want, got)
+        return float(got)

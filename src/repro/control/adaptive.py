@@ -90,6 +90,7 @@ class AdaptiveGainController(Controller):
     gain: float = field(init=False)
     memory: GainMemory | None = field(init=False)
     _last_bucket: int | None = field(default=None, init=False)
+    _last_explain: dict[str, object] = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.gain = self.config.l_init if self.config.l_init is not None else self.config.l_min
@@ -101,9 +102,17 @@ class AdaptiveGainController(Controller):
         error = y_measured - self.config.reference
         if abs(error) <= self.config.deadband:
             self._last_bucket = None
+            self._last_explain = {
+                "reference": self.config.reference,
+                "error": error,
+                "gain": None,  # deadband skip: no actuation term exists
+                "deadband": True,
+            }
             return u_current
 
         cfg = self.config
+        memory_recalled = False
+        memory_gain: float | None = None
         if self.memory is not None:
             bucket = self.memory.bucket(error)
             if bucket != self._last_bucket:
@@ -112,6 +121,8 @@ class AdaptiveGainController(Controller):
                     # Regime re-entry: warm-start from the gain this
                     # regime converged to last time (rapid elasticity).
                     self.gain = min(cfg.l_max, max(cfg.l_min, remembered))
+                    memory_recalled = True
+                    memory_gain = self.gain
             self._last_bucket = bucket
 
         # Eq. 7: bounded gain adaptation.
@@ -119,11 +130,24 @@ class AdaptiveGainController(Controller):
         if self.memory is not None:
             self.memory.remember(error, self.gain)
 
+        self._last_explain = {
+            "reference": cfg.reference,
+            "error": error,
+            "gain": self.gain,
+            "memory_recalled": memory_recalled,
+            "memory_gain": memory_gain,
+            "delta": self.gain * error,
+        }
         # Eq. 6: integral action with the adapted gain.
         return u_current + self.gain * error
+
+    def explain(self) -> dict[str, object]:
+        """Eq. 6–7 internals of the last :meth:`compute` call."""
+        return dict(self._last_explain)
 
     def reset(self) -> None:
         self.gain = self.config.l_init if self.config.l_init is not None else self.config.l_min
         self._last_bucket = None
+        self._last_explain = {}
         if self.memory is not None:
             self.memory.clear()

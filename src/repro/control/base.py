@@ -17,6 +17,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 from repro.core.errors import ControlError
+from repro.observability.decisions import ControlDecision, DecisionLog
+from repro.observability.events import EventBus
 
 
 class Sensor(ABC):
@@ -31,6 +33,12 @@ class Sensor(ABC):
 class Actuator(ABC):
     """Reads and writes the manipulated variable ``u_k`` (capacity)."""
 
+    #: Optional flight-recorder hooks; set via :meth:`instrument`. Class
+    #: attributes so uninstrumented actuators pay a single attribute
+    #: lookup and no per-instance state.
+    _bus: EventBus | None = None
+    _bus_layer: str = ""
+
     @abstractmethod
     def get(self, now: int) -> float:
         """Current capacity set-point."""
@@ -39,6 +47,23 @@ class Actuator(ABC):
     def apply(self, target: float, now: int) -> float:
         """Request a new capacity; returns the value actually applied
         (after clamping to service limits, rounding, in-flight checks)."""
+
+    def instrument(self, bus: EventBus, layer: str) -> None:
+        """Publish actuation anomalies (clamps, rejected updates) to a
+        flight-recorder event bus under the given layer label."""
+        self._bus = bus
+        self._bus_layer = layer
+
+    def _publish_adjusted(self, now: int, requested: float, actual: float) -> None:
+        """Record that the service altered a command (limit clamp, or a
+        rejection while a previous change was still in flight)."""
+        if self._bus is not None:
+            self._bus.publish(
+                now,
+                self._bus_layer,
+                "actuation.adjusted",
+                {"requested": requested, "actual": actual},
+            )
 
 
 class Controller(ABC):
@@ -50,6 +75,16 @@ class Controller(ABC):
 
     def reset(self) -> None:
         """Forget internal state (gain history, estimators, cooldowns)."""
+
+    def explain(self) -> dict[str, object]:
+        """Introspection payload for the last :meth:`compute` call.
+
+        Concrete controllers return the Eq. 6–7 internals the decision
+        audit log records (``reference``, ``error``, ``gain``,
+        ``memory_recalled``, ``memory_gain``, ...). The default — for
+        controllers with nothing meaningful to expose — is empty.
+        """
+        return {}
 
 
 @dataclass(frozen=True)
@@ -90,6 +125,12 @@ class ControlLoop:
     actuator: Actuator
     period: int = 60
     records: list[ControlRecord] = field(default_factory=list)
+    #: Flight-recorder hooks (both optional and off by default): the
+    #: decision audit log receives a full :class:`ControlDecision` per
+    #: invocation; the event bus receives ``scale.up``/``scale.down``
+    #: events whenever the applied capacity changes.
+    decision_log: DecisionLog | None = None
+    event_bus: EventBus | None = None
     _integrator: float | None = field(default=None, init=False)
 
     def __post_init__(self) -> None:
@@ -104,7 +145,8 @@ class ControlLoop:
         current = self.actuator.get(now)
         if self._integrator is None or abs(self._integrator - current) > 1.0:
             self._integrator = current
-        requested = self.controller.compute(self._integrator, measurement, now)
+        state_before = self._integrator
+        requested = self.controller.compute(state_before, measurement, now)
         applied = self.actuator.apply(requested, now)
         self._integrator = requested
         record = ControlRecord(
@@ -115,7 +157,51 @@ class ControlLoop:
             capacity_applied=applied,
         )
         self.records.append(record)
+        if self.decision_log is not None or self.event_bus is not None:
+            self._record_decision(now, measurement, state_before, current, requested, applied)
         return record
+
+    def _record_decision(
+        self,
+        now: int,
+        measurement: float,
+        state_before: float,
+        current: float,
+        requested: float,
+        applied: float,
+    ) -> None:
+        """Flight-recorder capture: off the hot path, only runs when a
+        decision log or event bus is attached."""
+        info = self.controller.explain()
+        if self.decision_log is not None:
+            reference = info.get("reference")
+            error = info.get("error")
+            gain = info.get("gain")
+            memory_gain = info.get("memory_gain")
+            self.decision_log.record(
+                ControlDecision(
+                    time=now,
+                    loop=self.name,
+                    sensed=measurement,
+                    state_before=state_before,
+                    capacity_before=current,
+                    raw_command=requested,
+                    applied_command=applied,
+                    reference=float(reference) if reference is not None else None,
+                    error=float(error) if error is not None else None,
+                    gain=float(gain) if gain is not None else None,
+                    memory_recalled=bool(info.get("memory_recalled", False)),
+                    memory_gain=float(memory_gain) if memory_gain is not None else None,
+                )
+            )
+        if self.event_bus is not None and applied != current:
+            kind = "scale.up" if applied > current else "scale.down"
+            self.event_bus.publish(
+                now,
+                self.name,
+                kind,
+                {"from": current, "to": applied, "requested": requested},
+            )
 
     @property
     def actions_taken(self) -> int:

@@ -36,7 +36,20 @@ class BoundedActuator(Actuator):
         clamped = max(self.floor, min(self.cap, target))
         if clamped != target:
             self._clamped_requests += 1
+            if self._bus is not None:
+                self._bus.publish(
+                    now,
+                    self._bus_layer,
+                    "share.clamp",
+                    {"requested": target, "clamped": clamped,
+                     "cap": self.cap, "floor": self.floor},
+                )
         return self.inner.apply(clamped, now)
+
+    def instrument(self, bus, layer: str) -> None:
+        """Instrument both the bound and the wrapped actuator."""
+        super().instrument(bus, layer)
+        self.inner.instrument(bus, layer)
 
     @property
     def clamped_requests(self) -> int:

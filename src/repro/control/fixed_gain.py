@@ -14,7 +14,7 @@ for the controller-comparison experiment (E4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.control.base import Controller
 from repro.core.errors import ControlError
@@ -58,14 +58,33 @@ class FixedGainController(Controller):
     """Integral control with a constant gain and an optional dead band."""
 
     config: FixedGainConfig
+    _last_explain: dict[str, object] = field(default_factory=dict, init=False, repr=False)
 
     def compute(self, u_current: float, y_measured: float, now: int) -> float:
         cfg = self.config
         low = cfg.band_low if cfg.band_low is not None else cfg.reference
         high = cfg.band_high if cfg.band_high is not None else cfg.reference
+        error = y_measured - cfg.reference
         if low <= y_measured <= high:
+            self._last_explain = {
+                "reference": cfg.reference,
+                "error": error,
+                "gain": None,  # in-band: no actuation term exists
+                "in_band": True,
+            }
             return u_current
-        return u_current + cfg.gain * (y_measured - cfg.reference)
+        self._last_explain = {
+            "reference": cfg.reference,
+            "error": error,
+            "gain": cfg.gain,
+            "in_band": False,
+        }
+        return u_current + cfg.gain * error
+
+    def explain(self) -> dict[str, object]:
+        """Inputs of the last :meth:`compute` call (fixed gain, band state)."""
+        return dict(self._last_explain)
 
     def reset(self) -> None:
-        """The controller is stateless; nothing to reset."""
+        """The controller is stateless; only the introspection is cleared."""
+        self._last_explain = {}

@@ -68,6 +68,7 @@ class QuasiAdaptiveController(Controller):
     _process_gain: float = field(init=False)
     _last_u: float | None = field(default=None, init=False)
     _last_y: float | None = field(default=None, init=False)
+    _last_explain: dict[str, object] = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._process_gain = self.config.initial_process_gain
@@ -99,9 +100,21 @@ class QuasiAdaptiveController(Controller):
                     )
         self._last_u = u_current
         self._last_y = y_measured
-        return u_current + self.effective_gain * (y_measured - cfg.reference)
+        gain = self.effective_gain
+        self._last_explain = {
+            "reference": cfg.reference,
+            "error": y_measured - cfg.reference,
+            "gain": gain,
+            "process_gain": self._process_gain,
+        }
+        return u_current + gain * (y_measured - cfg.reference)
+
+    def explain(self) -> dict[str, object]:
+        """Effective gain and process-gain estimate of the last step."""
+        return dict(self._last_explain)
 
     def reset(self) -> None:
         self._process_gain = self.config.initial_process_gain
         self._last_u = None
         self._last_y = None
+        self._last_explain = {}

@@ -65,24 +65,41 @@ class RuleBasedController(Controller):
 
     config: RuleBasedConfig
     _last_action_at: int | None = field(default=None, init=False)
+    _last_explain: dict[str, object] = field(default_factory=dict, init=False, repr=False)
 
     def compute(self, u_current: float, y_measured: float, now: int) -> float:
         cfg = self.config
+        # There is no gain/reference in a threshold rule; the audit log
+        # still gets the rule state that produced (or suppressed) a step.
+        self._last_explain = {
+            "upper_threshold": cfg.upper_threshold,
+            "lower_threshold": cfg.lower_threshold,
+            "cooldown_active": False,
+            "step": 0.0,
+        }
         if self._last_action_at is not None and now - self._last_action_at < cfg.cooldown:
+            self._last_explain["cooldown_active"] = True
             return u_current
         if y_measured > cfg.upper_threshold:
             step = cfg.step_up
             if cfg.scale_fraction is not None:
                 step = max(step, cfg.scale_fraction * u_current)
             self._last_action_at = now
+            self._last_explain["step"] = step
             return u_current + step
         if y_measured < cfg.lower_threshold:
             step = cfg.step_down
             if cfg.scale_fraction is not None:
                 step = max(step, cfg.scale_fraction * u_current)
             self._last_action_at = now
+            self._last_explain["step"] = -step
             return u_current - step
         return u_current
 
+    def explain(self) -> dict[str, object]:
+        """Rule state of the last :meth:`compute` call."""
+        return dict(self._last_explain)
+
     def reset(self) -> None:
         self._last_action_at = None
+        self._last_explain = {}

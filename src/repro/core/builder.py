@@ -35,6 +35,7 @@ from repro.core.config import DEFAULT_REFERENCE, LayerControlConfig, make_contro
 from repro.core.errors import ConfigurationError
 from repro.core.flow import FlowSpec, LayerKind, clickstream_flow_spec
 from repro.core.manager import FlowElasticityManager, ServiceCapacities
+from repro.observability.recorder import FlightRecorder
 from repro.workload.clickstream import ClickStreamConfig
 from repro.workload.generators import RatePattern
 
@@ -63,6 +64,7 @@ class FlowBuilder:
         self._storm: StormConfig | None = None
         self._ec2: EC2Config | None = None
         self._dynamodb: DynamoDBConfig | None = None
+        self._recorder: FlightRecorder | None = None
 
     # ------------------------------------------------------------------
     # Layers (the drag-and-drop step)
@@ -215,6 +217,20 @@ class FlowBuilder:
         self._tick_seconds = seconds
         return self
 
+    def observe(
+        self, profile: bool = False, recorder: FlightRecorder | None = None
+    ) -> "FlowBuilder":
+        """Attach a flight recorder to the flow.
+
+        Every layer then publishes structured events to the recorder's
+        bus, every control loop feeds its decision audit log, and — with
+        ``profile`` — the engine times each component and task per tick.
+        Pass an existing :class:`FlightRecorder` to share one across
+        flows; otherwise a fresh one is created.
+        """
+        self._recorder = recorder if recorder is not None else FlightRecorder(profile=profile)
+        return self
+
     # ------------------------------------------------------------------
     # Build
     # ------------------------------------------------------------------
@@ -247,4 +263,5 @@ class FlowBuilder:
             topology=self._topology,
             ec2=self._ec2,
             dynamodb=self._dynamodb,
+            recorder=self._recorder,
         )

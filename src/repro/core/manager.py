@@ -36,6 +36,7 @@ from repro.core.errors import ConfigurationError
 from repro.core.flow import FlowSpec, LayerKind, clickstream_flow_spec
 from repro.monitoring.collector import MetricCollector
 from repro.monitoring.dashboard import Dashboard
+from repro.observability.recorder import FlightRecorder
 from repro.simulation.clock import SimClock
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import derive_rng
@@ -193,6 +194,7 @@ class FlowRunResult:
     sample_period: int = 60
     layer_dimensions: dict[LayerKind, dict[str, str]] = field(default_factory=dict)
     read_loop: ControlLoop | None = None
+    recorder: FlightRecorder | None = None
 
     # ------------------------------------------------------------------
     # Traces
@@ -241,7 +243,9 @@ class FlowRunResult:
     # ------------------------------------------------------------------
     def dashboard(self) -> str:
         """Render the all-in-one-place view of the finished run."""
-        return Dashboard(self.collector, title=f"Flower — {self.flow.name}").render()
+        return Dashboard(
+            self.collector, title=f"Flower — {self.flow.name}", recorder=self.recorder
+        ).render()
 
 
 class FlowElasticityManager:
@@ -267,6 +271,7 @@ class FlowElasticityManager:
         topology: "TopologyConfig | None" = None,
         ec2: EC2Config | None = None,
         dynamodb: DynamoDBConfig | None = None,
+        recorder: FlightRecorder | None = None,
     ) -> None:
         self.flow = flow or clickstream_flow_spec()
         self.capacities = capacities or ServiceCapacities()
@@ -319,7 +324,18 @@ class FlowElasticityManager:
             "storage_reads": CostMeter(self.price_book, "dynamodb.rcu"),
         }
 
+        # Flight recorder: everything downstream is opt-in — services
+        # publish to the bus, loops feed the decision audit log, and the
+        # engine runs its profiled loop — only when a recorder is given.
+        self.recorder = recorder
+        if recorder is not None:
+            self.stream.attach_bus(recorder.bus, "ingestion")
+            self.cluster.attach_bus(recorder.bus, "analytics")
+            self.table.attach_bus(recorder.bus, "storage")
+
         self.engine = SimulationEngine(clock=SimClock(tick_seconds=tick_seconds))
+        if recorder is not None:
+            self.engine.profiler = recorder.profiler
         self._pipeline = _FlowPipeline(
             self.generator,
             self.stream,
@@ -338,6 +354,9 @@ class FlowElasticityManager:
                 raise ConfigurationError(
                     "read_control requires a read_workload to control against"
                 )
+            read_actuator = DynamoDBReadActuator(self.table)
+            if self.recorder is not None:
+                read_actuator.instrument(self.recorder.bus, "storage")
             self.read_loop = ControlLoop(
                 name="storage-reads",
                 sensor=CloudWatchSensor(
@@ -349,8 +368,10 @@ class FlowElasticityManager:
                     dimensions=self._dimensions_for(LayerKind.STORAGE),
                 ),
                 controller=read_control.controller,
-                actuator=DynamoDBReadActuator(self.table),
+                actuator=read_actuator,
                 period=read_control.period,
+                decision_log=self.recorder.decisions if self.recorder else None,
+                event_bus=self.recorder.bus if self.recorder else None,
             )
             self.engine.every(self.read_loop.period, self.read_loop.step, name="control.reads")
 
@@ -390,12 +411,16 @@ class FlowElasticityManager:
                 # Sec. 2: controllers act freely *within* the layer's
                 # resource share from the share analyzer, never beyond.
                 actuator = BoundedActuator(actuator, cap=self.share_bounds[kind])
+            if self.recorder is not None:
+                actuator.instrument(self.recorder.bus, kind.name.lower())
             loops[kind] = ControlLoop(
                 name=kind.name.lower(),
                 sensor=sensor,
                 controller=config.controller,
                 actuator=actuator,
                 period=config.period,
+                decision_log=self.recorder.decisions if self.recorder else None,
+                event_bus=self.recorder.bus if self.recorder else None,
             )
         return loops
 
@@ -484,4 +509,5 @@ class FlowElasticityManager:
             sample_period=self.snapshot_period,
             layer_dimensions={kind: self._dimensions_for(kind) for kind in LayerKind},
             read_loop=self.read_loop,
+            recorder=self.recorder,
         )

@@ -12,6 +12,7 @@ from typing import Callable
 
 from repro.core.errors import MonitoringError
 from repro.monitoring.collector import FlowSnapshot
+from repro.observability.events import EventBus
 
 _COMPARATORS: dict[str, Callable[[float, float], bool]] = {
     ">": lambda v, t: v > t,
@@ -61,6 +62,8 @@ class AlertManager:
 
     rules: list[AlertRule] = field(default_factory=list)
     history: list[Alert] = field(default_factory=list)
+    #: Optional flight-recorder bus; firings publish ``slo.breach``.
+    bus: EventBus | None = None
 
     def add_rule(self, rule: AlertRule) -> None:
         self.rules.append(rule)
@@ -73,6 +76,19 @@ class AlertManager:
             if rule.breached(snapshot)
         ]
         self.history.extend(fired)
+        if self.bus is not None:
+            for alert in fired:
+                label = alert.rule.label
+                layer = label.split(".", 1)[0] if "." in label else "flow"
+                self.bus.publish(
+                    alert.time, layer, "slo.breach",
+                    {
+                        "label": label,
+                        "value": alert.value,
+                        "threshold": alert.rule.threshold,
+                        "comparison": alert.rule.comparison,
+                    },
+                )
         return fired
 
     def firings_for(self, label: str) -> list[Alert]:

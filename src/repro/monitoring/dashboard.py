@@ -25,11 +25,16 @@ def sparkline(values: Sequence[float], width: int = 40) -> str:
         return " " * width
     values = list(values)
     if len(values) > width:
-        # Bucket-mean downsampling keeps shape without aliasing spikes away.
-        bucket = len(values) / width
+        # Bucket-mean downsampling keeps shape without aliasing spikes
+        # away. Integer bucket bounds i*n//width partition the series
+        # exactly: every sample lands in exactly one bucket (float
+        # bucket arithmetic here used to drop trailing samples, e.g.
+        # the last of 15 samples at width 11) and the divisor is the
+        # true bucket size.
+        n = len(values)
         values = [
-            sum(values[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))])
-            / max(1, int((i + 1) * bucket) - int(i * bucket))
+            sum(values[i * n // width: (i + 1) * n // width])
+            / ((i + 1) * n // width - i * n // width)
             for i in range(width)
         ]
     low, high = min(values), max(values)
@@ -59,12 +64,33 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     return "\n".join(lines)
 
 
-class Dashboard:
-    """Consolidated live view over a metric collector."""
+def render_events(events, limit: int = 10) -> str:
+    """Render the tail of a flight-recorder event stream as text."""
+    if limit <= 0:
+        raise MonitoringError(f"limit must be positive, got {limit}")
+    tail = list(events)[-limit:]
+    if not tail:
+        return "(no events recorded)"
+    return "\n".join(event.describe() for event in tail)
 
-    def __init__(self, collector: MetricCollector, title: str = "Flower — all-in-one-place") -> None:
+
+class Dashboard:
+    """Consolidated live view over a metric collector.
+
+    With a flight ``recorder`` attached, the render also includes the
+    most recent bus events and the per-loop decision audit summary —
+    the demo's "why did it scale?" panel.
+    """
+
+    def __init__(
+        self,
+        collector: MetricCollector,
+        title: str = "Flower — all-in-one-place",
+        recorder=None,
+    ) -> None:
         self._collector = collector
         self.title = title
+        self._recorder = recorder
 
     def render(self, spark_width: int = 32, history: int = 60) -> str:
         """One panel per measure: sparkline, last, mean, min, max.
@@ -90,4 +116,19 @@ class Dashboard:
         now = snapshots[-1].time
         header = f"{self.title}   (t={now}s, {len(snapshots)} snapshots)"
         table = render_table(["measure", "history", "last", "mean", "min", "max"], rows)
-        return f"{header}\n{'=' * len(header)}\n{table}"
+        sections = [f"{header}\n{'=' * len(header)}\n{table}"]
+        if self._recorder is not None:
+            sections.append(
+                "recent events\n-------------\n"
+                + render_events(self._recorder.bus.events, limit=10)
+            )
+            decision_rows = self._recorder.decisions.summary_rows()
+            if decision_rows:
+                sections.append(
+                    "control decisions\n-----------------\n"
+                    + render_table(
+                        ["loop", "invocations", "acted", "clamped", "last gain"],
+                        decision_rows,
+                    )
+                )
+        return "\n\n".join(sections)

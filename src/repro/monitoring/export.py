@@ -16,23 +16,50 @@ from repro.monitoring.collector import FlowSnapshot
 from repro.workload.traces import Trace
 
 
+def _union_labels(snapshots: Sequence[FlowSnapshot]) -> list[str]:
+    """Sorted union of measure labels across all snapshots.
+
+    Collectors can gain measures mid-run (a loop registered late, a
+    recorder attached partway), so no single snapshot is authoritative.
+    """
+    labels: set[str] = set()
+    for snapshot in snapshots:
+        labels.update(snapshot.values)
+    return sorted(labels)
+
+
 def snapshots_to_csv(snapshots: Sequence[FlowSnapshot], path: str | Path) -> None:
-    """Write snapshots as one row per time, one column per measure."""
+    """Write snapshots as one row per time, one column per measure.
+
+    Columns are the union of labels across all snapshots; a snapshot
+    missing a measure gets an empty cell for it.
+    """
     if not snapshots:
         raise MonitoringError("nothing to export: no snapshots")
-    labels = sorted(snapshots[0].values)
+    labels = _union_labels(snapshots)
     with open(path, "w", newline="") as f:
         writer = csv.writer(f)
         writer.writerow(["time", *labels])
         for snapshot in snapshots:
-            writer.writerow([snapshot.time, *(snapshot.values[label] for label in labels)])
+            writer.writerow(
+                [snapshot.time, *(snapshot.values.get(label, "") for label in labels)]
+            )
 
 
 def snapshots_to_json(snapshots: Sequence[FlowSnapshot], path: str | Path) -> None:
-    """Write snapshots as a JSON list of {time, values} objects."""
+    """Write snapshots as a JSON list of {time, values} objects.
+
+    Every object carries the union of labels across all snapshots, with
+    ``null`` for measures a snapshot is missing — so consumers can rely
+    on a uniform schema.
+    """
     if not snapshots:
         raise MonitoringError("nothing to export: no snapshots")
-    payload = [{"time": s.time, "values": s.values} for s in snapshots]
+    labels = _union_labels(snapshots)
+    payload = [
+        {"time": s.time, "values": {label: s.values.get(label) for label in labels}}
+        for s in snapshots
+    ]
     with open(path, "w") as f:
         json.dump(payload, f, indent=2)
 

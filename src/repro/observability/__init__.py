@@ -1,0 +1,33 @@
+"""Flight recorder: structured events, decision audit log, profiling.
+
+The fourth Flower pillar (cross-platform monitoring, Sec. 3.4) extended
+from *metric values* to *behaviour*: a structured :class:`EventBus`
+spanning the engine, services, actuators and fault injectors; a
+:class:`DecisionLog` capturing every controller invocation's inputs and
+outputs (so Eq. 6–7 behaviour is reconstructable); an opt-in
+:class:`TickProfiler` over the simulation engine's hot loop; and JSONL
+exporters feeding the ``python -m repro.cli trace`` subcommand.
+
+Everything is off by default and injected explicitly — an unobserved
+flow runs the exact unmodified hot loop.
+"""
+
+from repro.observability.decisions import ControlDecision, DecisionLog
+from repro.observability.events import KNOWN_KINDS, Event, EventBus
+from repro.observability.export import read_jsonl, recorder_to_jsonl, write_jsonl
+from repro.observability.profiler import HISTOGRAM_BOUNDS, TickProfiler
+from repro.observability.recorder import FlightRecorder
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "KNOWN_KINDS",
+    "ControlDecision",
+    "DecisionLog",
+    "TickProfiler",
+    "HISTOGRAM_BOUNDS",
+    "FlightRecorder",
+    "write_jsonl",
+    "read_jsonl",
+    "recorder_to_jsonl",
+]

@@ -1,0 +1,148 @@
+"""Controller decision audit log.
+
+Flower's controllers (Eq. 6–7) are only debuggable when every scaling
+decision is recorded together with its inputs: what the sensor saw,
+what the control error was, which gain was in force (and whether the
+gain memory warm-started it), what the raw Eq. 6 command was, and what
+the bounded/clamped actuator actually applied. A :class:`ControlDecision`
+captures exactly that per control-loop invocation, so the controller's
+behaviour is fully reconstructable offline::
+
+    raw_command == state_before + gain * error        (Eq. 6)
+
+(:meth:`ControlDecision.reconstruct_command` replays that identity; the
+test suite uses it to verify a bounded-gain clamp end to end.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import MonitoringError
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """One control-loop invocation, with everything that produced it.
+
+    Attributes
+    ----------
+    time:
+        Simulated second of the invocation.
+    loop:
+        Control-loop name (``ingestion``, ``analytics``, ``storage``,
+        ``storage-reads``).
+    sensed:
+        The sensor measurement ``y_k`` fed to the controller.
+    state_before:
+        The loop's real-valued integrator state ``u_k`` passed to the
+        controller (may differ from the quantized actuator capacity).
+    capacity_before:
+        The actuator-reported capacity before the invocation.
+    raw_command:
+        The controller's unclamped output ``u_{k+1}`` (Eq. 6).
+    applied_command:
+        What the (possibly bounded) actuator actually applied.
+    reference / error / gain:
+        Eq. 6–7 internals from :meth:`Controller.explain`; ``None`` for
+        controllers that do not expose them (e.g. rule-based).
+    memory_recalled / memory_gain:
+        Whether the gain memory warm-started this invocation, and from
+        which remembered gain.
+    """
+
+    time: int
+    loop: str
+    sensed: float
+    state_before: float
+    capacity_before: float
+    raw_command: float
+    applied_command: float
+    reference: float | None = None
+    error: float | None = None
+    gain: float | None = None
+    memory_recalled: bool = False
+    memory_gain: float | None = None
+
+    @property
+    def clamped(self) -> bool:
+        """Whether bounds (share caps, service limits, rounding, rejected
+        updates) altered the controller's raw command."""
+        return self.applied_command != self.raw_command
+
+    @property
+    def acted(self) -> bool:
+        """Whether the invocation changed the applied capacity."""
+        return self.applied_command != self.capacity_before
+
+    def reconstruct_command(self) -> float | None:
+        """Replay Eq. 6 from the recorded inputs.
+
+        Returns ``state_before + gain * error``, or ``None`` when the
+        controller did not expose a gain/error pair (rule-based, or a
+        deadband skip where no actuation term exists).
+        """
+        if self.gain is None or self.error is None:
+            return None
+        return self.state_before + self.gain * self.error
+
+
+class DecisionLog:
+    """Append-only audit log of :class:`ControlDecision` records."""
+
+    def __init__(self) -> None:
+        self._decisions: list[ControlDecision] = []
+
+    def record(self, decision: ControlDecision) -> None:
+        if self._decisions and decision.time < self._decisions[-1].time:
+            raise MonitoringError(
+                f"decision log must be appended in time order: "
+                f"{decision.time} after {self._decisions[-1].time}"
+            )
+        self._decisions.append(decision)
+
+    @property
+    def decisions(self) -> list[ControlDecision]:
+        return list(self._decisions)
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __iter__(self) -> Iterator[ControlDecision]:
+        return iter(self._decisions)
+
+    def for_loop(self, loop: str) -> list[ControlDecision]:
+        return [d for d in self._decisions if d.loop == loop]
+
+    def clamps(self) -> list[ControlDecision]:
+        """Invocations where bounds overrode the controller."""
+        return [d for d in self._decisions if d.clamped]
+
+    def loops(self) -> list[str]:
+        """Loop names present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for decision in self._decisions:
+            seen.setdefault(decision.loop, None)
+        return list(seen)
+
+    def summary_rows(self) -> list[list[str]]:
+        """Per-loop summary rows: invocations, actions, clamps, last gain."""
+        rows: list[list[str]] = []
+        for loop in self.loops():
+            decisions = self.for_loop(loop)
+            acted = sum(1 for d in decisions if d.acted)
+            clamped = sum(1 for d in decisions if d.clamped)
+            last_gain = next(
+                (d.gain for d in reversed(decisions) if d.gain is not None), None
+            )
+            rows.append(
+                [
+                    loop,
+                    str(len(decisions)),
+                    str(acted),
+                    str(clamped),
+                    f"{last_gain:.4f}" if last_gain is not None else "-",
+                ]
+            )
+        return rows

@@ -1,0 +1,135 @@
+"""Structured event bus: the flight recorder's spine.
+
+Everything noteworthy that happens inside a managed flow — a controller
+scaling a layer, Kinesis throttling a producer, a topology rebalance, a
+DynamoDB capacity update taking effect, a fault injection, an SLO alert
+— is published here as a typed :class:`Event` carrying the simulated
+time, the layer it happened in, a dot-namespaced kind, and a small
+structured payload.
+
+The bus is deliberately passive: publishers call :meth:`EventBus.publish`
+only when a bus has been attached (``if bus is not None``), so the
+simulation's hot loops pay nothing when observability is off. Events are
+totally ordered by an auto-incremented sequence number, which makes the
+interleaving of same-tick publishers reconstructable after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro.core.errors import MonitoringError
+
+#: Kinds published by the built-in instrumentation (informative, not a
+#: closed set — external components may publish their own kinds).
+KNOWN_KINDS = (
+    "scale.up",
+    "scale.down",
+    "share.clamp",
+    "actuation.adjusted",
+    "reshard",
+    "reshard.complete",
+    "capacity.update",
+    "capacity.applied",
+    "rebalance",
+    "throttle",
+    "throttle.end",
+    "fault.inject",
+    "slo.breach",
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence inside a simulated flow.
+
+    Attributes
+    ----------
+    time:
+        Simulated second at which the event was published.
+    layer:
+        Which part of the flow it concerns (``ingestion``, ``analytics``,
+        ``storage``, a loop name, or ``flow`` for cross-layer events).
+    kind:
+        Dot-namespaced event type, e.g. ``scale.up`` or ``throttle``.
+    payload:
+        Small structured details (counts, from/to capacities, ids).
+    seq:
+        Bus-assigned sequence number; totally orders events, including
+        several published within the same simulated second.
+    """
+
+    time: int
+    layer: str
+    kind: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+    seq: int = 0
+
+    def describe(self) -> str:
+        """One-line human rendering, used by dashboards and the CLI."""
+        details = " ".join(f"{k}={v}" for k, v in self.payload.items())
+        return f"[t={self.time}s] {self.layer:<12} {self.kind:<18} {details}".rstrip()
+
+
+class EventBus:
+    """Append-only, totally ordered stream of :class:`Event` records.
+
+    Publishers fire and forget; subscribers (if any) are invoked
+    synchronously on each publish, which is how live alerting or
+    streaming exporters can hang off the recorder without the core
+    keeping any extra state.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._subscribers: list[Callable[[Event], None]] = []
+        self._seq = 0
+
+    def publish(
+        self,
+        time: int,
+        layer: str,
+        kind: str,
+        payload: Mapping[str, object] | None = None,
+    ) -> Event:
+        """Record one event; returns the stored (sequence-stamped) record."""
+        if time < 0:
+            raise MonitoringError(f"event time must be non-negative, got {time}")
+        if not kind:
+            raise MonitoringError("event kind must be non-empty")
+        event = Event(time=time, layer=layer, kind=kind, payload=dict(payload or {}), seq=self._seq)
+        self._seq += 1
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Invoke ``callback`` synchronously on every future publish."""
+        self._subscribers.append(callback)
+
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """Events whose kind equals ``kind`` or starts with ``kind.``."""
+        prefix = kind + "."
+        return [e for e in self._events if e.kind == kind or e.kind.startswith(prefix)]
+
+    def for_layer(self, layer: str) -> list[Event]:
+        return [e for e in self._events if e.layer == layer]
+
+    def counts(self) -> dict[str, int]:
+        """Number of events per kind, for summaries and dashboards."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

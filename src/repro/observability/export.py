@@ -1,0 +1,129 @@
+"""JSONL export / import of flight-recorder data.
+
+One line per record, merged into simulated-time order::
+
+    {"type": "event",    "time": 120, "layer": "ingestion", "kind": "scale.up", ...}
+    {"type": "decision", "time": 120, "loop": "ingestion", "sensed": 83.1, ...}
+    {"type": "profile",  "ticks": 7200, ...}
+
+The format round-trips: :func:`read_jsonl` rebuilds the same
+:class:`~repro.observability.events.Event` and
+:class:`~repro.observability.decisions.ControlDecision` records that
+were written, so traces can be archived and re-analysed offline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.errors import MonitoringError
+from repro.observability.decisions import ControlDecision
+from repro.observability.events import Event
+
+_DECISION_FIELDS = (
+    "time",
+    "loop",
+    "sensed",
+    "state_before",
+    "capacity_before",
+    "raw_command",
+    "applied_command",
+    "reference",
+    "error",
+    "gain",
+    "memory_recalled",
+    "memory_gain",
+)
+
+
+def event_to_row(event: Event) -> dict[str, object]:
+    return {
+        "type": "event",
+        "time": event.time,
+        "seq": event.seq,
+        "layer": event.layer,
+        "kind": event.kind,
+        "payload": dict(event.payload),
+    }
+
+
+def decision_to_row(decision: ControlDecision) -> dict[str, object]:
+    row: dict[str, object] = {"type": "decision"}
+    for name in _DECISION_FIELDS:
+        row[name] = getattr(decision, name)
+    row["clamped"] = decision.clamped
+    row["acted"] = decision.acted
+    return row
+
+
+def write_jsonl(
+    path: str | Path,
+    events: Sequence[Event] = (),
+    decisions: Sequence[ControlDecision] = (),
+    profile: dict[str, object] | None = None,
+) -> int:
+    """Write events and decisions (time-ordered) plus an optional final
+    profile line; returns the number of lines written."""
+    rows = [event_to_row(e) for e in events] + [decision_to_row(d) for d in decisions]
+    rows.sort(key=lambda row: row["time"])  # stable: same-time rows keep input order
+    if profile is not None:
+        rows.append({"type": "profile", **profile})
+    with open(path, "w") as f:
+        for row in rows:
+            f.write(json.dumps(row) + "\n")
+    return len(rows)
+
+
+def recorder_to_jsonl(recorder, path: str | Path) -> int:
+    """Export a :class:`FlightRecorder`'s full contents as JSONL."""
+    return write_jsonl(
+        path,
+        events=recorder.bus.events,
+        decisions=recorder.decisions.decisions,
+        profile=recorder.profiler.as_dict() if recorder.profiler is not None else None,
+    )
+
+
+def read_jsonl(path: str | Path) -> dict[str, object]:
+    """Parse a trace file back into typed records.
+
+    Returns ``{"events": [Event, ...], "decisions": [ControlDecision,
+    ...], "profile": dict | None}``.
+    """
+    events: list[Event] = []
+    decisions: list[ControlDecision] = []
+    profile: dict[str, object] | None = None
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise MonitoringError(f"{path}:{lineno}: invalid JSONL: {exc}") from None
+            kind = row.get("type")
+            if kind == "event":
+                events.append(
+                    Event(
+                        time=int(row["time"]),
+                        layer=str(row["layer"]),
+                        kind=str(row["kind"]),
+                        payload=dict(row.get("payload", {})),
+                        seq=int(row.get("seq", 0)),
+                    )
+                )
+            elif kind == "decision":
+                decisions.append(
+                    ControlDecision(
+                        **{name: row.get(name) for name in _DECISION_FIELDS}
+                    )
+                )
+            elif kind == "profile":
+                profile = {k: v for k, v in row.items() if k != "type"}
+            else:
+                raise MonitoringError(f"{path}:{lineno}: unknown record type {kind!r}")
+    events.sort(key=lambda e: e.seq)
+    return {"events": events, "decisions": decisions, "profile": profile}

@@ -1,0 +1,61 @@
+"""The flight recorder: one handle over events, decisions and profiling.
+
+A :class:`FlightRecorder` is what the builder wires through a managed
+flow when observability is requested::
+
+    manager = (
+        FlowBuilder("click-stream", seed=7)
+        .workload(DiurnalRate(mean=800, amplitude=500))
+        .control_all(style="adaptive")
+        .observe(profile=True)
+        .build()
+    )
+    result = manager.run(6 * 3600)
+    result.recorder.to_jsonl("flow.jsonl")
+    print(result.recorder.summary())
+
+Everything is injectable: the engine takes the profiler, services and
+actuators take the event bus, control loops take the bus and the
+decision log — and every hook is a ``None`` check, so a flow built
+without a recorder runs the exact seed-era hot loop.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.observability.decisions import DecisionLog
+from repro.observability.events import EventBus
+from repro.observability.export import recorder_to_jsonl
+from repro.observability.profiler import TickProfiler
+
+
+class FlightRecorder:
+    """Bundles the event bus, decision audit log and optional profiler."""
+
+    def __init__(self, profile: bool = False) -> None:
+        self.bus = EventBus()
+        self.decisions = DecisionLog()
+        self.profiler: TickProfiler | None = TickProfiler() if profile else None
+
+    def to_jsonl(self, path: str | Path) -> int:
+        """Export everything recorded so far; returns lines written."""
+        return recorder_to_jsonl(self, path)
+
+    def summary(self) -> str:
+        """Text digest: event counts, per-loop decision stats, profile."""
+        lines = [f"flight recorder: {len(self.bus)} events, {len(self.decisions)} decisions"]
+        counts = self.bus.counts()
+        if counts:
+            lines.append("events by kind:")
+            for kind in sorted(counts):
+                lines.append(f"  {kind:<20} {counts[kind]}")
+        rows = self.decisions.summary_rows()
+        if rows:
+            lines.append("decisions by loop (invocations / acted / clamped / last gain):")
+            for loop, invocations, acted, clamped, gain in rows:
+                lines.append(f"  {loop:<14} {invocations:>6} {acted:>6} {clamped:>6}  {gain}")
+        if self.profiler is not None and self.profiler.tick_count:
+            lines.append("tick profile:")
+            lines.append(self.profiler.summary())
+        return "\n".join(lines)

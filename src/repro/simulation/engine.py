@@ -18,9 +18,11 @@ benchmark suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Protocol
 
 from repro.core.errors import SimulationError
+from repro.observability.profiler import TickProfiler
 from repro.simulation.clock import SimClock
 
 
@@ -72,6 +74,10 @@ class SimulationEngine:
     """Tick loop over registered components and periodic tasks."""
 
     clock: SimClock = field(default_factory=SimClock)
+    #: Opt-in wall-clock profiler. ``None`` (the default) keeps the
+    #: original allocation-free tick loop — the dispatch happens once
+    #: per :meth:`run` call, not per tick.
+    profiler: TickProfiler | None = None
     _components: list[TickComponent] = field(default_factory=list)
     _tasks: list[PeriodicTask] = field(default_factory=list)
     _tick_hooks: list[Callable[[int], None]] = field(default_factory=list)
@@ -125,6 +131,8 @@ class SimulationEngine:
             )
         self._stopped = False
         end = self.clock.now + duration_seconds
+        if self.profiler is not None:
+            return self._run_profiled(end)
         while self.clock.now < end and not self._stopped:
             now = self.clock.advance()
             for component in self._components:
@@ -134,4 +142,25 @@ class SimulationEngine:
                     task.callback(now)
             for hook in self._tick_hooks:
                 hook(now)
+        return self.clock.now
+
+    def _run_profiled(self, end: int) -> int:
+        """The same tick loop, timed per component, task and whole tick."""
+        profiler = self.profiler
+        labels = {id(c): type(c).__name__ for c in self._components}
+        while self.clock.now < end and not self._stopped:
+            now = self.clock.advance()
+            tick_started = perf_counter()
+            for component in self._components:
+                started = perf_counter()
+                component.on_tick(self.clock)
+                profiler.record_component(labels[id(component)], perf_counter() - started)
+            for task in self._tasks:
+                if task.due(now):
+                    started = perf_counter()
+                    task.callback(now)
+                    profiler.record_task(task.name, perf_counter() - started)
+            for hook in self._tick_hooks:
+                hook(now)
+            profiler.record_tick(perf_counter() - tick_started)
         return self.clock.now

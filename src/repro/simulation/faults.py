@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.cloud.ec2 import InstanceState, SimEC2Fleet
 from repro.core.errors import SimulationError
+from repro.observability.events import EventBus
 from repro.simulation.clock import SimClock
 
 
@@ -38,6 +39,8 @@ class ScheduledVMFaults:
     fleet: SimEC2Fleet
     kill_times: list[int]
     events: list[FaultEvent] = field(default_factory=list)
+    #: Optional flight-recorder bus; injections publish ``fault.inject``.
+    bus: EventBus | None = None
 
     def __post_init__(self) -> None:
         if any(t < 0 for t in self.kill_times):
@@ -52,6 +55,11 @@ class ScheduledVMFaults:
             if victim is not None:
                 self.fleet.fail_instance(victim, now)
                 self.events.append(FaultEvent(time=now, instance_id=victim))
+                if self.bus is not None:
+                    self.bus.publish(
+                        now, "analytics", "fault.inject",
+                        {"instance": victim, "mode": "scheduled"},
+                    )
 
     def _pick_victim(self, now: int) -> str | None:
         running = self.fleet.instances(now, InstanceState.RUNNING)
@@ -75,6 +83,8 @@ class RandomVMFaults:
     rng: np.random.Generator
     mtbf_seconds: float
     events: list[FaultEvent] = field(default_factory=list)
+    #: Optional flight-recorder bus; injections publish ``fault.inject``.
+    bus: EventBus | None = None
 
     def __post_init__(self) -> None:
         if self.mtbf_seconds <= 0:
@@ -87,3 +97,8 @@ class RandomVMFaults:
             if self.rng.random() < hazard:
                 self.fleet.fail_instance(instance.instance_id, now)
                 self.events.append(FaultEvent(time=now, instance_id=instance.instance_id))
+                if self.bus is not None:
+                    self.bus.publish(
+                        now, "analytics", "fault.inject",
+                        {"instance": instance.instance_id, "mode": "random"},
+                    )

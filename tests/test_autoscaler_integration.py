@@ -5,8 +5,6 @@ simulated services Flower's controllers manage — alarms on the flow's
 own CloudWatch metrics trigger scaling policies on the real actuators.
 """
 
-import pytest
-
 from repro import FlowBuilder, LayerKind
 from repro.cloud import MetricAlarm
 from repro.cloud.autoscaling import AutoScaler, ScalingPolicy

@@ -19,6 +19,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--style", "pid"])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.out is None
+        assert args.profile is False
+
 
 class TestCommands:
     def test_demo_prints_dashboard_and_cost(self, capsys):
@@ -26,6 +31,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ingestion.records" in out
         assert "total cost: $" in out
+
+    def test_demo_trace_writes_jsonl(self, capsys, tmp_path):
+        from repro.observability import read_jsonl
+
+        path = tmp_path / "flow.jsonl"
+        assert main(["demo", "--duration", "1800", "--seed", "1",
+                     "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"-> {path}" in out
+        data = read_jsonl(path)
+        assert data["decisions"], "trace should contain control decisions"
+        loops = {d.loop for d in data["decisions"] if d.acted}
+        assert {"ingestion", "storage"} <= loops
+
+    def test_trace_summarises_and_exports(self, capsys, tmp_path):
+        from repro.observability import read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "--duration", "1800", "--seed", "1",
+                     "--profile", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flight recorder:" in out
+        assert "tick profile:" in out
+        assert read_jsonl(path)["profile"]["ticks"] == 1800
 
     def test_fig2_prints_panels_and_model(self, capsys):
         assert main(["fig2", "--duration", "3600", "--seed", "3"]) == 0

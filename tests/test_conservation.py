@@ -7,7 +7,6 @@ reads and capacity changes.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cloud import (

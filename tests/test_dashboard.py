@@ -30,9 +30,40 @@ class TestSparkline:
         with pytest.raises(MonitoringError):
             sparkline([1.0], width=0)
 
+    def test_downsampling_keeps_trailing_samples(self):
+        """Regression: float bucket arithmetic used to drop the last
+        samples — e.g. 15 samples at width 11 never saw index 14, so a
+        trailing spike vanished from the sparkline."""
+        values = [0.0] * 14 + [100.0]
+        line = sparkline(values, width=11)
+        assert line[-1] == "█"
+
+    def test_downsampling_buckets_partition_the_series(self):
+        # Bucket means of a constant series are that constant for every
+        # width; any dropped or double-counted sample would break this.
+        for n in range(2, 40):
+            for width in range(1, n):
+                assert sparkline([7.5] * n, width=width) == "▁" * width
+
+    def test_downsampled_mean_is_exact_bucket_mean(self):
+        # 6 values into 3 buckets of 2: means 1.5, 3.5, 5.5 — strictly
+        # increasing, so the cells must be non-decreasing blocks.
+        line = sparkline([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], width=3)
+        assert len(line) == 3
+        assert line == "".join(sorted(line))
+
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
     def test_output_length_never_exceeds_width(self, values):
         assert len(sparkline(values, width=16)) <= 16
+
+    @given(st.integers(min_value=17, max_value=200))
+    def test_trailing_spike_always_visible(self, n):
+        # A spike appended to a flat series lands in the last bucket,
+        # which is then the unique maximum: its cell must be the full
+        # block whatever (n, width) rounding is in play.
+        line = sparkline([1.0] * (n - 1) + [1000.0], width=16)
+        assert line[-1] == "█"
+        assert set(line[:-1]) == {"▁"}
 
 
 class TestRenderTable:
@@ -81,3 +112,24 @@ class TestDashboard:
         dashboard = Dashboard(self._collector())
         # Should not raise with a tiny history.
         assert dashboard.render(history=2)
+
+    def test_recorder_sections_render(self):
+        from repro.monitoring.dashboard import render_events
+        from repro.observability import ControlDecision, FlightRecorder
+
+        recorder = FlightRecorder()
+        recorder.bus.publish(60, "ingestion", "scale.up", {"from": 2, "to": 4})
+        recorder.decisions.record(
+            ControlDecision(time=60, loop="ingestion", sensed=83.0,
+                            state_before=2.0, capacity_before=2.0,
+                            raw_command=4.0, applied_command=4.0, gain=0.05)
+        )
+        output = Dashboard(self._collector(), recorder=recorder).render()
+        assert "recent events" in output
+        assert "scale.up" in output
+        assert "control decisions" in output
+        assert "ingestion" in output
+        # The standalone event renderer handles the empty case too.
+        assert render_events([]) == "(no events recorded)"
+        with pytest.raises(MonitoringError):
+            render_events([], limit=0)

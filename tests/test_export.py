@@ -33,6 +33,23 @@ class TestSnapshotsToCsv:
         with pytest.raises(MonitoringError):
             snapshots_to_csv([], tmp_path / "x.csv")
 
+    def test_heterogeneous_labels_use_union_with_blanks(self, tmp_path):
+        # A measure registered mid-run appears only in later snapshots;
+        # the header must cover the union and early rows leave it blank.
+        snapshots = [
+            FlowSnapshot(time=60, values={"cpu": 50.0}),
+            FlowSnapshot(time=120, values={"cpu": 55.0, "shards": 3.0}),
+            FlowSnapshot(time=180, values={"shards": 4.0}),
+        ]
+        path = tmp_path / "snapshots.csv"
+        snapshots_to_csv(snapshots, path)
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["time", "cpu", "shards"]
+        assert rows[1] == ["60", "50.0", ""]
+        assert rows[2] == ["120", "55.0", "3.0"]
+        assert rows[3] == ["180", "", "4.0"]
+
 
 class TestSnapshotsToJson:
     def test_roundtrip(self, snapshots, tmp_path):
@@ -45,6 +62,18 @@ class TestSnapshotsToJson:
     def test_empty_rejected(self, tmp_path):
         with pytest.raises(MonitoringError):
             snapshots_to_json([], tmp_path / "x.json")
+
+    def test_heterogeneous_labels_get_uniform_schema(self, tmp_path):
+        snapshots = [
+            FlowSnapshot(time=60, values={"cpu": 50.0}),
+            FlowSnapshot(time=120, values={"cpu": 55.0, "shards": 3.0}),
+        ]
+        path = tmp_path / "snapshots.json"
+        snapshots_to_json(snapshots, path)
+        with open(path) as f:
+            data = json.load(f)
+        assert data[0]["values"] == {"cpu": 50.0, "shards": None}
+        assert data[1]["values"] == {"cpu": 55.0, "shards": 3.0}
 
 
 class TestTracesToCsv:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import FlowBuilder, LayerKind
-from repro.control import BoundedActuator
 from repro.core.errors import ConfigurationError, OptimizationError
 from repro.core.flow import FlowSpec, LayerSpec, clickstream_flow_spec
 from repro.optimization import (

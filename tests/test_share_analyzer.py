@@ -4,7 +4,7 @@ import pytest
 
 from repro.cloud.pricing import PriceBook, ResourcePrice
 from repro.core.errors import OptimizationError
-from repro.core.flow import LayerKind, clickstream_flow_spec
+from repro.core.flow import LayerKind
 from repro.optimization import ResourceShareAnalyzer, ShareConstraint
 
 

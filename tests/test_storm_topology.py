@@ -15,7 +15,7 @@ from repro.cloud import (
 )
 from repro.core.errors import ConfigurationError
 from repro.simulation import SimClock
-from repro.workload import ConstantRate, StepRate
+from repro.workload import StepRate
 
 
 def two_bolt_topology(rebalance=30):

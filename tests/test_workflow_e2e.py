@@ -10,7 +10,6 @@ import pytest
 from repro import FlowBuilder, LayerKind
 from repro.core.flow import FlowSpec, LayerSpec
 from repro.dependency import WorkloadDependencyAnalyzer
-from repro.dependency.analyzer import MetricRef
 from repro.optimization import ResourceShareAnalyzer, ShareConstraint
 from repro.workload import SinusoidalRate
 
