@@ -14,6 +14,13 @@ from repro.analysis.metrics import (
     slo_violation_rate,
 )
 from repro.analysis.report import ComparisonReport
+from repro.analysis.runner import (
+    RunnerError,
+    Scenario,
+    derive_scenario_seed,
+    run_scenarios,
+    run_scenarios_dict,
+)
 from repro.analysis.store import load_run_summary, load_run_traces, save_run
 from repro.analysis.summary import LayerSummary, RunSummary, summarize_run
 
@@ -28,6 +35,11 @@ __all__ = [
     "savings_vs_peak",
     "CostSummary",
     "ComparisonReport",
+    "Scenario",
+    "RunnerError",
+    "run_scenarios",
+    "run_scenarios_dict",
+    "derive_scenario_seed",
     "RunSummary",
     "LayerSummary",
     "summarize_run",

@@ -20,7 +20,13 @@ import sys
 from typing import Sequence
 
 from repro import FlowBuilder, LayerKind, clickstream_flow_spec
-from repro.analysis import ComparisonReport, settling_time, slo_violation_rate
+from repro.analysis import (
+    ComparisonReport,
+    Scenario,
+    run_scenarios,
+    settling_time,
+    slo_violation_rate,
+)
 from repro.core.config import CONTROLLER_FACTORIES
 from repro.dependency import fit_linear, pearson_r
 from repro.monitoring import stacked_panels
@@ -142,33 +148,49 @@ def cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shootout_style(style: str, duration: int, seed: int, reference: float) -> list[float | None]:
+    """One controller style's shootout row (module-level: sweep workers pickle it)."""
+    crowd_at = duration // 4
+    workload = ConstantRate(700.0) + FlashCrowdRate(
+        peak=2200.0, at=crowd_at, rise_seconds=120, decay_seconds=1500
+    )
+    manager = (
+        FlowBuilder(f"cli-{style}", seed=seed)
+        .ingestion(shards=1)
+        .analytics(vms=1)
+        .storage(write_units=200)
+        .workload(workload)
+        .control_all(style=style, reference=reference, period=60)
+        .build()
+    )
+    result = manager.run(duration)
+    util = result.utilization_trace(LayerKind.INGESTION)
+    settle = settling_time(util, 0.0, 85.0, start=crowd_at, hold_seconds=300)
+    return [
+        100.0 * slo_violation_rate(util, "<=", 85.0),
+        float(settle) if settle is not None else None,
+        result.total_cost,
+    ]
+
+
 def cmd_shootout(args: argparse.Namespace) -> int:
     columns = ["violations_%", "settle_s", "cost_$"]
     report = ComparisonReport(
         "controller comparison under a flash crowd", columns
     )
-    crowd_at = args.duration // 4
-    for style in sorted(CONTROLLER_FACTORIES):
-        workload = ConstantRate(700.0) + FlashCrowdRate(
-            peak=2200.0, at=crowd_at, rise_seconds=120, decay_seconds=1500
+    styles = sorted(CONTROLLER_FACTORIES)
+    scenarios = [
+        Scenario(
+            name=style,
+            fn=_shootout_style,
+            kwargs=dict(
+                style=style, duration=args.duration, seed=args.seed, reference=args.reference
+            ),
         )
-        manager = (
-            FlowBuilder(f"cli-{style}", seed=args.seed)
-            .ingestion(shards=1)
-            .analytics(vms=1)
-            .storage(write_units=200)
-            .workload(workload)
-            .control_all(style=style, reference=args.reference, period=60)
-            .build()
-        )
-        result = manager.run(args.duration)
-        util = result.utilization_trace(LayerKind.INGESTION)
-        settle = settling_time(util, 0.0, 85.0, start=crowd_at, hold_seconds=300)
-        report.add_row(style, [
-            100.0 * slo_violation_rate(util, "<=", 85.0),
-            float(settle) if settle is not None else None,
-            result.total_cost,
-        ])
+        for style in styles
+    ]
+    for style, row in zip(styles, run_scenarios(scenarios, jobs=args.jobs)):
+        report.add_row(style, row)
     print(report.render())
     print(f"\nbest on SLO violations: {report.best_row('violations_%')}")
     return 0
@@ -221,6 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
     shootout.add_argument("--duration", type=int, default=2 * 3600)
     shootout.add_argument("--seed", type=int, default=5)
     shootout.add_argument("--reference", type=float, default=60.0)
+    shootout.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the style sweep "
+                               "(results are identical to a serial run)")
     shootout.set_defaults(func=cmd_shootout)
 
     return parser

@@ -40,8 +40,19 @@ class GainMemory:
         return int(math.floor(error / self.bin_width))
 
     def recall(self, error: float) -> float | None:
-        """The gain last used in this error regime, if any."""
-        return self._gains.get(self.bucket(error))
+        """The gain last used in this error regime, if any.
+
+        A hit counts as a *use*, so it refreshes the regime's recency —
+        otherwise a regime recalled every control period (the paper's
+        rapid-elasticity case) could be evicted while stale regimes
+        survive, which would defeat the LRU policy.
+        """
+        key = self.bucket(error)
+        gain = self._gains.get(key)
+        if gain is not None:
+            self._order.remove(key)
+            self._order.append(key)
+        return gain
 
     def remember(self, error: float, gain: float) -> None:
         """Record ``gain`` as the latest gain for this error regime."""

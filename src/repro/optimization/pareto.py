@@ -24,21 +24,21 @@ def dominates(f1: Sequence[float], f2: Sequence[float]) -> bool:
 
 
 def pareto_filter(objectives: Sequence[Sequence[float]]) -> list[int]:
-    """Indices of the non-dominated rows of an objective matrix."""
+    """Indices of the non-dominated rows of an objective matrix.
+
+    Computed in one broadcast dominance matrix instead of an O(n²)
+    Python loop: row ``i`` is kept iff no row ``j`` satisfies
+    ``F[j] <= F[i]`` everywhere and ``F[j] < F[i]`` somewhere.
+    """
     F = np.asarray(objectives, dtype=float)
     if F.ndim != 2:
         raise OptimizationError(f"objectives must be 2-D, got shape {F.shape}")
-    n = len(F)
-    keep: list[int] = []
-    for i in range(n):
-        dominated = False
-        for j in range(n):
-            if i != j and dominates(F[j], F[i]):
-                dominated = True
-                break
-        if not dominated:
-            keep.append(i)
-    return keep
+    if len(F) == 0:
+        return []
+    less_eq = np.all(F[:, None, :] <= F[None, :, :], axis=2)
+    less = np.any(F[:, None, :] < F[None, :, :], axis=2)
+    dominated = (less_eq & less).any(axis=0)
+    return [int(i) for i in np.where(~dominated)[0]]
 
 
 def hypervolume_2d(front: Sequence[Sequence[float]], reference: Sequence[float]) -> float:
@@ -53,13 +53,9 @@ def hypervolume_2d(front: Sequence[Sequence[float]], reference: Sequence[float])
         return 0.0
     # Sort by the first objective ascending; each point contributes a
     # rectangle up to the previous point's second objective.
-    points = points[np.argsort(points[:, 0])]
-    volume = 0.0
-    previous_y = ref[1]
-    for x, y in points:
-        volume += (ref[0] - x) * (previous_y - y)
-        previous_y = y
-    return float(volume)
+    points = points[np.argsort(points[:, 0], kind="stable")]
+    previous_y = np.concatenate(([ref[1]], points[:-1, 1]))
+    return float(np.sum((ref[0] - points[:, 0]) * (previous_y - points[:, 1])))
 
 
 def hypervolume_monte_carlo(
@@ -89,9 +85,7 @@ def hypervolume_monte_carlo(
         return 0.0
     draws = rng.uniform(ideal, ref, size=(samples, F.shape[1]))
     # A draw is covered if some front point dominates it (<= in all dims).
-    covered = np.zeros(samples, dtype=bool)
-    for point in F:
-        covered |= np.all(point <= draws, axis=1)
+    covered = np.all(F[None, :, :] <= draws[:, None, :], axis=2).any(axis=1)
     return float(box * covered.mean())
 
 

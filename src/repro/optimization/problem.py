@@ -54,8 +54,41 @@ class Problem(ABC):
         empty).
         """
 
+    def evaluate_batch(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(objectives, violations)`` for a batch of decision vectors.
+
+        ``X`` has shape ``(n, n_var)``; the result is the ``(n, n_obj)``
+        objective matrix and an ``(n, n_con)`` violation matrix
+        (``n_con`` may be 0). The default implementation falls back to
+        row-wise :meth:`evaluate`; problems with cheap closed-form
+        objectives (e.g. the Eq. 3–5 share problem) override it with a
+        single matrix expression — the optimizer's hot path.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_var:
+            raise OptimizationError(f"batch must have shape (n, {self.n_var}), got {X.shape}")
+        F = np.empty((len(X), self.n_obj))
+        rows: list[np.ndarray] = []
+        for i, x in enumerate(X):
+            f, violations = self.evaluate(x)
+            F[i] = f
+            rows.append(np.atleast_1d(np.asarray(violations, dtype=float)))
+        if not rows:
+            return F, np.zeros((0, 0))
+        n_con = rows[0].size
+        if any(row.size != n_con for row in rows):
+            raise OptimizationError("evaluate returned inconsistent violation counts across rows")
+        V = np.zeros((len(X), n_con))
+        for i, row in enumerate(rows):
+            V[i] = row
+        return F, V
+
     def repair(self, x: np.ndarray) -> np.ndarray:
-        """Clamp to bounds and round integer variables."""
+        """Clamp to bounds and round integer variables.
+
+        Accepts a single ``(n_var,)`` vector or an ``(n, n_var)`` batch —
+        the bound arrays broadcast over rows either way.
+        """
         x = np.clip(x, self.lower, self.upper)
         if self.integer:
             x = np.round(x)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.runner import Scenario, run_scenarios
 from repro.core.errors import OptimizationError
 from repro.core.flow import LayerKind
 from repro.optimization.share_analyzer import (
@@ -113,6 +114,25 @@ class ShareSchedule:
         return "\n".join(lines)
 
 
+def _solve_window(
+    analyzer: ResourceShareAnalyzer,
+    window: BudgetWindow,
+    pick: str,
+    population_size: int,
+    generations: int,
+    window_seed: int,
+    pick_seed: int,
+) -> ScheduledShare:
+    """One window's Eq. 3–5 solve (module-level so workers can pickle it)."""
+    result = analyzer.analyze(
+        budget_per_hour=window.budget_per_hour,
+        population_size=population_size,
+        generations=generations,
+        seed=window_seed,
+    )
+    return ScheduledShare(window=window, result=result, picked=result.pick(pick, seed=pick_seed))
+
+
 def analyze_windows(
     analyzer: ResourceShareAnalyzer,
     windows: list[BudgetWindow],
@@ -120,24 +140,32 @@ def analyze_windows(
     population_size: int = 80,
     generations: int = 150,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ShareSchedule:
     """Solve Eq. 3–5 per window and assemble the schedule.
 
     Each window is solved with a seed derived from the base seed and
     the window index, so schedules are reproducible yet windows are
-    searched independently.
+    searched independently. ``jobs > 1`` fans the per-window NSGA-II
+    solves across worker processes; the schedule is identical to the
+    serial one (each window's seed depends only on its index).
     """
     if not windows:
         raise OptimizationError("need at least one budget window")
-    entries = []
-    for index, window in enumerate(windows):
-        result = analyzer.analyze(
-            budget_per_hour=window.budget_per_hour,
-            population_size=population_size,
-            generations=generations,
-            seed=seed * 1000 + index,
+    scenarios = [
+        Scenario(
+            name=f"window-{index}",
+            fn=_solve_window,
+            kwargs=dict(
+                analyzer=analyzer,
+                window=window,
+                pick=pick,
+                population_size=population_size,
+                generations=generations,
+                window_seed=seed * 1000 + index,
+                pick_seed=seed,
+            ),
         )
-        entries.append(
-            ScheduledShare(window=window, result=result, picked=result.pick(pick, seed=seed))
-        )
-    return ShareSchedule(entries)
+        for index, window in enumerate(windows)
+    ]
+    return ShareSchedule(run_scenarios(scenarios, jobs=jobs))

@@ -110,6 +110,14 @@ class ShareConstraint:
         """``g(x)``; feasible iff ``g(x) <= 0``."""
         return sum(c * shares[k] for k, c in self.coefficients) + self.constant
 
+    def coefficient_vector(self, order: tuple[LayerKind, ...] = LAYER_ORDER) -> np.ndarray:
+        """The constraint as a dense coefficient row over ``order``."""
+        row = np.zeros(len(order))
+        index = {kind: d for d, kind in enumerate(order)}
+        for kind, coefficient in self.coefficients:
+            row[index[kind]] += coefficient
+        return row
+
     def satisfied(self, shares: dict[LayerKind, float], slack: float = 1e-9) -> bool:
         return self.g(shares) <= slack
 
@@ -237,13 +245,29 @@ class _ShareProblem(Problem):
         self._scales = np.array([float(layer.max_units) for layer in layers])
         self._budget = budget_per_hour
         self._constraints = constraints
+        # Dense linear-constraint form (A x + b <= 0) for batch evaluation:
+        # row 0 is the Eq. 4 budget, the rest the Eq. 5 dependency bands.
+        self._A = np.vstack(
+            [self._rates] + [c.coefficient_vector(LAYER_ORDER) for c in constraints]
+        )
+        self._b = np.array([-budget_per_hour] + [c.constant for c in constraints])
 
     def evaluate(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        objectives = -x / self._scales  # maximize shares, normalized
-        shares = dict(zip(LAYER_ORDER, (float(v) for v in x)))
-        g_values = [float(self._rates @ x) - self._budget]
-        g_values.extend(constraint.g(shares) for constraint in self._constraints)
-        violations = np.maximum(0.0, np.array(g_values))
+        # Route through the batch path so a single evaluation and a batch
+        # row agree bit-for-bit (the scalar/vectorized equivalence contract).
+        objectives, violations = self.evaluate_batch(np.asarray(x, dtype=float)[None, :])
+        return objectives[0], violations[0]
+
+    def evaluate_batch(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Eq. 3–5 for a whole population in two matrix expressions.
+
+        The constraint rows use an explicit broadcast-and-sum rather than
+        ``X @ A.T``: BLAS picks different kernels by batch size, and their
+        last-ULP drift would break evaluate(x) == evaluate_batch([x])[0].
+        """
+        X = np.asarray(X, dtype=float)
+        objectives = -X / self._scales
+        violations = np.maximum(0.0, (X[:, None, :] * self._A).sum(axis=2) + self._b)
         return objectives, violations
 
 
@@ -277,11 +301,15 @@ class ResourceShareAnalyzer:
         population_size: int = 100,
         generations: int = 250,
         seed: int = 0,
+        vectorized: bool = True,
     ) -> ShareAnalysisResult:
         """Search the provisioning-plan space; return the Pareto front.
 
         Solutions are de-duplicated on their integer allocation and
         sorted by ingestion share for stable presentation.
+        ``vectorized=False`` selects the optimizer's scalar reference
+        path — same seed, same front, much slower (equivalence tests
+        and benchmarks use it).
         """
         if budget_per_hour <= 0:
             raise OptimizationError(f"budget must be positive, got {budget_per_hour}")
@@ -290,6 +318,7 @@ class ResourceShareAnalyzer:
             problem,
             NSGA2Config(population_size=population_size, generations=generations),
             seed=seed,
+            vectorized=vectorized,
         )
         outcome = optimizer.run()
         unique: dict[tuple[int, int, int], ResourceShare] = {}

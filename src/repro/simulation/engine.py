@@ -88,11 +88,24 @@ class SimulationEngine:
         self._components.append(component)
 
     def add_task(self, task: PeriodicTask) -> None:
-        """Register a periodic task."""
+        """Register a periodic task.
+
+        Both ``interval`` and ``phase`` must be multiples of the tick
+        length: the loop only evaluates ``due`` at tick boundaries, so a
+        misaligned phase (e.g. ``phase=30`` on a 60 s tick) would shift
+        every firing time off the tick grid and the task would silently
+        never run — a staggered controller would simply be dead.
+        """
         if task.interval % self.clock.tick_seconds != 0:
             raise SimulationError(
                 f"task {task.name!r}: interval {task.interval}s is not a "
                 f"multiple of the tick length {self.clock.tick_seconds}s"
+            )
+        if task.phase % self.clock.tick_seconds != 0:
+            raise SimulationError(
+                f"task {task.name!r}: phase {task.phase}s is not a "
+                f"multiple of the tick length {self.clock.tick_seconds}s, "
+                f"so the task would never fire"
             )
         self._tasks.append(task)
 

@@ -86,3 +86,10 @@ class TestCommands:
         for style in ("adaptive", "fixed", "quasi", "rule"):
             assert style in out
         assert "best on SLO violations" in out
+
+    def test_shootout_jobs_output_identical_to_serial(self, capsys):
+        assert main(["shootout", "--duration", "1200"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["shootout", "--duration", "1200", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial

@@ -52,6 +52,28 @@ class TestRememberRecall:
         assert memory.recall(0.5) == 0.15
         assert memory.recall(1.5) is None
 
+    def test_recall_refreshes_lru_position(self):
+        # Regression: recall() used to leave the eviction order untouched,
+        # so the regime recalled every control period (the paper's rapid
+        # elasticity case) could be evicted while stale regimes survived.
+        memory = GainMemory(bin_width=1.0, max_bins=2)
+        memory.remember(0.5, 0.1)
+        memory.remember(1.5, 0.2)
+        assert memory.recall(0.5) == 0.1  # bucket 0 is now the most recent
+        memory.remember(2.5, 0.3)  # must evict bucket 1, not bucket 0
+        assert memory.recall(0.5) == 0.1
+        assert memory.recall(1.5) is None
+        assert memory.recall(2.5) == 0.3
+
+    def test_missed_recall_does_not_change_order(self):
+        memory = GainMemory(bin_width=1.0, max_bins=2)
+        memory.remember(0.5, 0.1)
+        memory.remember(1.5, 0.2)
+        assert memory.recall(9.5) is None  # miss: order unchanged
+        memory.remember(2.5, 0.3)  # still evicts the oldest (bucket 0)
+        assert memory.recall(0.5) is None
+        assert memory.recall(1.5) == 0.2
+
     def test_clear_and_len(self):
         memory = GainMemory()
         memory.remember(5.0, 0.5)

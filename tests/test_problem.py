@@ -61,3 +61,43 @@ class TestFunctionalProblem:
             FunctionalProblem(
                 objectives=[lambda x: 0.0], lower=[0.0, 0.0], upper=[1.0]
             )
+
+
+class TestEvaluateBatchFallback:
+    """The default ``evaluate_batch`` must agree row-for-row with ``evaluate``."""
+
+    def test_fallback_matches_rowwise_evaluate(self):
+        problem = simple_problem()
+        X = np.array([[3.0], [4.5], [-2.0], [0.0]])
+        F, V = problem.evaluate_batch(X)
+        assert F.shape == (4, 2)
+        assert V.shape == (4, 1)
+        for i, x in enumerate(X):
+            f, g = problem.evaluate(x)
+            assert np.array_equal(F[i], f)
+            assert np.array_equal(V[i], g)
+
+    def test_unconstrained_batch_has_zero_width_violations(self):
+        problem = FunctionalProblem(
+            objectives=[lambda x: float(x[0])], lower=[0.0], upper=[1.0]
+        )
+        F, V = problem.evaluate_batch(np.array([[0.1], [0.9]]))
+        assert F.shape == (2, 1)
+        assert V.shape == (2, 0)
+        assert V.sum(axis=1).tolist() == [0.0, 0.0]
+
+    def test_empty_batch(self):
+        F, V = simple_problem().evaluate_batch(np.empty((0, 1)))
+        assert F.shape == (0, 2)
+        assert V.size == 0
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(OptimizationError):
+            simple_problem().evaluate_batch(np.zeros((3, 2)))
+        with pytest.raises(OptimizationError):
+            simple_problem().evaluate_batch(np.zeros(3))
+
+    def test_batch_repair_broadcasts_over_rows(self):
+        problem = simple_problem(integer=True)
+        repaired = problem.repair(np.array([[9.0], [-9.0], [2.6]]))
+        assert repaired.tolist() == [[5.0], [-5.0], [3.0]]

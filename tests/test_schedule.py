@@ -117,6 +117,21 @@ class TestAnalyzeWindows:
         with pytest.raises(OptimizationError):
             analyze_windows(ResourceShareAnalyzer(self._small_flow()), [])
 
+    def test_parallel_windows_identical_to_serial(self):
+        analyzer = ResourceShareAnalyzer(self._small_flow())
+        windows = [
+            BudgetWindow(0, 3600, 0.3),
+            BudgetWindow(3600, 7200, 1.2),
+            BudgetWindow(7200, 10800, 0.6),
+        ]
+        kwargs = dict(population_size=24, generations=20, seed=5)
+        serial = analyze_windows(analyzer, windows, **kwargs, jobs=1)
+        parallel = analyze_windows(analyzer, windows, **kwargs, jobs=2)
+        assert serial.table() == parallel.table()
+        for a, b in zip(serial.entries, parallel.entries):
+            assert a.picked == b.picked
+            assert [s.shares for s in a.result.solutions] == [s.shares for s in b.result.solutions]
+
 
 class TestManagerIntegration:
     def test_scheduled_bounds_switch_at_window_boundary(self):

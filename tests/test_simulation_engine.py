@@ -78,6 +78,22 @@ class TestSimulationEngine:
         with pytest.raises(SimulationError):
             engine.every(10, lambda t: None)
 
+    def test_task_phase_must_align_with_tick(self):
+        # Regression: a task with phase=30 on a 60 s tick satisfies
+        # (now - phase) % interval == 0 at t=30, 90, ... — times the
+        # engine never visits — so it used to register fine and then
+        # silently never fire (a staggered controller was simply dead).
+        engine = SimulationEngine(clock=SimClock(tick_seconds=60))
+        with pytest.raises(SimulationError, match="phase"):
+            engine.every(60, lambda t: None, phase=30)
+
+    def test_aligned_phase_staggers_firings(self):
+        engine = SimulationEngine(clock=SimClock(tick_seconds=30))
+        fired = []
+        engine.every(60, fired.append, phase=30, name="staggered")
+        engine.run(240)
+        assert fired == [30, 90, 150, 210]
+
     def test_tick_hooks_run_after_components(self):
         engine = SimulationEngine()
         events = []
