@@ -1,0 +1,66 @@
+"""Bit-exact fingerprint of the E6 fig6 end-to-end run.
+
+Used to verify the metric-pipeline optimization preserves the PR-2
+determinism contract: run before and after the change and diff the
+output. Every trace value is repr()'d at full precision, so a single
+ULP of drift anywhere in the run changes the hash.
+"""
+
+import hashlib
+import json
+import sys
+import time
+
+from repro.core.flow import LayerKind
+
+sys.path.insert(0, ".")
+from benchmarks.test_bench_fig6_e2e_elasticity import DURATION, SEED, fig6_workload  # noqa: E402
+
+from repro import FlowBuilder  # noqa: E402
+
+
+def main() -> None:
+    manager = (
+        FlowBuilder("fig6", seed=SEED)
+        .ingestion(shards=2)
+        .analytics(vms=2)
+        .storage(write_units=300)
+        .workload(fig6_workload())
+        .control_all(style="adaptive", reference=60.0, period=60)
+        .build()
+    )
+    started = time.perf_counter()
+    run = manager.run(DURATION)
+    elapsed = time.perf_counter() - started
+
+    lines = []
+    for kind in LayerKind:
+        for label, trace in (
+            ("util", run.utilization_trace(kind)),
+            ("cap", run.capacity_trace(kind, period=300)),
+            ("throttle", run.throttle_trace(kind)),
+        ):
+            lines.append(
+                f"{kind.name}.{label} times={list(trace.times)!r} values={[repr(v) for v in trace.values]!r}"
+            )
+    records = run.trace(
+        "AWS/Kinesis", "IncomingRecords", period=300, statistic="Sum",
+        dimensions=run.layer_dimensions[LayerKind.INGESTION],
+    )
+    lines.append(f"records values={[repr(v) for v in records.values]!r}")
+    for snap in run.collector.snapshots:
+        lines.append(f"snap t={snap.time} {sorted((k, repr(v)) for k, v in snap.values.items())!r}")
+    lines.append(f"cost={[(k, repr(v)) for k, v in sorted(run.cost_by_layer.items())]!r}")
+    lines.append(f"dropped={run.dropped_records},{run.dropped_writes}")
+
+    blob = "\n".join(lines).encode()
+    digest = hashlib.sha256(blob).hexdigest()
+    print(json.dumps({"sha256": digest, "wall_seconds": round(elapsed, 3)}))
+    out = sys.argv[1] if len(sys.argv) > 1 else None
+    if out:
+        with open(out, "wb") as f:
+            f.write(blob)
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,10 @@ def save_run(result: FlowRunResult, directory: str | Path, slo_utilization: floa
         <dir>/summary.json                      # totals + per-layer numbers
         <dir>/dashboard.txt                     # the all-in-one-place view
         <dir>/<layer>_<kind>.csv                # nine traces (3 layers x 3 kinds)
+
+    The CSV traces and the summary read the same series on the same
+    period grid, so each series is aggregated once (the metric store
+    memoizes reads per series version; nothing writes after a run).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)

@@ -68,11 +68,18 @@ class RunSummary:
         return f"{table}\n{footer}"
 
 
-def summarize_run(result: FlowRunResult, slo_utilization: float = 85.0) -> RunSummary:
+def summarize_run(
+    result: FlowRunResult, slo_utilization: float = 85.0, period: int | None = None
+) -> RunSummary:
     """Build a :class:`RunSummary` from a finished run.
 
     ``slo_utilization`` is the compliance threshold applied to every
-    layer's utilisation trace (the "SLO" column).
+    layer's utilisation trace (the "SLO" column); ``period`` is the
+    aggregation period of the traces read (default: the run's sample
+    period). Reads on the same period grid as other reporting —
+    benchmarks re-plotting the same traces, :func:`~repro.analysis.store.save_run`
+    — are served from the metric store's read memo rather than
+    re-aggregated, so summarising a finished run twice costs one pass.
     """
     layers = []
     cost_keys = {
@@ -81,9 +88,9 @@ def summarize_run(result: FlowRunResult, slo_utilization: float = 85.0) -> RunSu
         LayerKind.STORAGE: "storage",
     }
     for kind in LayerKind:
-        utilization = result.utilization_trace(kind)
-        capacity = result.capacity_trace(kind)
-        throttles = result.throttle_trace(kind)
+        utilization = result.utilization_trace(kind, period)
+        capacity = result.capacity_trace(kind, period)
+        throttles = result.throttle_trace(kind, period)
         loop = result.loops.get(kind)
         layers.append(LayerSummary(
             kind=kind,

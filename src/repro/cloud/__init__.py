@@ -8,7 +8,12 @@ provisioned-capacity throttling, burst credits, capacity-change delays
 and period-aggregated metrics.
 """
 
-from repro.cloud.cloudwatch import MetricAlarm, SimCloudWatch
+from repro.cloud.cloudwatch import (
+    SUPPORTED_STATISTICS,
+    MetricAlarm,
+    SimCloudWatch,
+    validate_statistic,
+)
 from repro.cloud.dynamodb import DynamoDBConfig, SimDynamoDBTable
 from repro.cloud.ec2 import EC2Config, SimEC2Fleet
 from repro.cloud.kinesis import KinesisConfig, SimKinesisStream
@@ -18,6 +23,8 @@ from repro.cloud.storm import BoltSpec, SimStormCluster, StormConfig, TopologyCo
 __all__ = [
     "SimCloudWatch",
     "MetricAlarm",
+    "SUPPORTED_STATISTICS",
+    "validate_statistic",
     "SimKinesisStream",
     "KinesisConfig",
     "SimEC2Fleet",

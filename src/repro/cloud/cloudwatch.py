@@ -6,19 +6,65 @@ simulated service pushes its per-tick measurements here, and sensors
 read them back aggregated over a monitoring window — the same indirect
 path a real deployment uses, so monitoring delay and aggregation
 effects are part of the control loop.
+
+Complexity contract (see DESIGN.md "Metric-store complexity contract"):
+appends are O(1) amortized, window reads are O(log n + window) via
+bisect over the strictly time-ordered series, and period aggregation is
+a single left-to-right pass over the located slice. Aggregation order
+is pinned left-to-right (append order), so the switch from per-period
+re-scans to the single pass does not move ``Average``/``Sum`` results
+by a ULP. Reads are additionally memoized per series version: co-located
+alarms, sensors and collectors asking for the same (window, statistic)
+within one control period aggregate once.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.errors import MonitoringError
 
-#: Statistics supported by :meth:`SimCloudWatch.get_metric_statistics`.
+#: Named statistics supported by :meth:`SimCloudWatch.get_metric_statistics`.
+#: Percentile statistics (``p0`` .. ``p100``, e.g. ``p50``, ``p99``,
+#: ``p99.9``) are also supported; use :func:`validate_statistic` to
+#: check an arbitrary statistic string.
 SUPPORTED_STATISTICS = ("Average", "Sum", "Maximum", "Minimum", "SampleCount")
+
+
+def validate_statistic(statistic: str) -> str:
+    """Validate a statistic name; returns it unchanged if supported.
+
+    Accepts the named statistics in :data:`SUPPORTED_STATISTICS` plus
+    CloudWatch-style percentiles ``pXX`` with ``XX`` in [0, 100] (e.g.
+    ``p99``). Raises :class:`MonitoringError` otherwise — at
+    construction time for sensors and alarms, so a typo fails fast
+    instead of on the first control period.
+    """
+    if statistic in SUPPORTED_STATISTICS:
+        return statistic
+    if statistic.startswith("p"):
+        try:
+            q = float(statistic[1:])
+        except ValueError:
+            q = math.nan
+        if 0.0 <= q <= 100.0:
+            return statistic
+        raise MonitoringError(
+            f"bad percentile statistic {statistic!r}: want pXX with XX in [0, 100]"
+        )
+    raise MonitoringError(
+        f"unsupported statistic {statistic!r}; supported: "
+        f"{', '.join(SUPPORTED_STATISTICS)} or pXX percentiles"
+    )
+
+
+#: Memo sentinel for "the window held no datapoints" — distinct from any
+#: float so a legitimate NaN aggregate is never confused with emptiness.
+_EMPTY_WINDOW = object()
 
 
 def _dimension_key(dimensions: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
@@ -63,10 +109,20 @@ def _percentile(values: list[float], q: float) -> float:
 
 @dataclass
 class _Series:
-    """A single metric stream: strictly time-ordered (t, value) pairs."""
+    """A single metric stream: strictly time-ordered (t, value) pairs.
+
+    The time-ordered invariant (enforced in :meth:`append`) is what
+    makes O(log n) window location sound: both ends of a right-closed
+    window ``(start, end]`` are found by binary search, and the located
+    slice is already in append order, so aggregating it left-to-right
+    matches the old full-scan filter bit for bit.
+    """
 
     times: list[int] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
+    #: Bumped on every append; read memos key on it, so a stale cached
+    #: aggregate can never be served after new data lands.
+    version: int = 0
 
     def append(self, t: int, value: float) -> None:
         if self.times and t < self.times[-1]:
@@ -75,10 +131,16 @@ class _Series:
             )
         self.times.append(t)
         self.values.append(float(value))
+        self.version += 1
+
+    def locate(self, start: int, end: int) -> tuple[int, int]:
+        """Index range ``[lo, hi)`` of datapoints with start < t <= end."""
+        return bisect_right(self.times, start), bisect_right(self.times, end)
 
     def window(self, start: int, end: int) -> list[float]:
         """Values with start < t <= end (CloudWatch-style right-closed)."""
-        return [v for t, v in zip(self.times, self.values) if start < t <= end]
+        lo, hi = self.locate(start, end)
+        return self.values[lo:hi]
 
 
 class SimCloudWatch:
@@ -89,6 +151,11 @@ class SimCloudWatch:
             _Series
         )
         self._alarms: list[MetricAlarm] = []
+        # Per-series read memo: series key -> [version, {request: result}].
+        # Entries are discarded wholesale when the series version moves,
+        # so the memo holds at most one control period's worth of
+        # distinct read shapes per series.
+        self._read_memo: dict[tuple, list] = {}
 
     # ------------------------------------------------------------------
     # Writing
@@ -110,13 +177,12 @@ class SimCloudWatch:
     # ------------------------------------------------------------------
     def list_metrics(self, namespace: str | None = None) -> list[tuple[str, str]]:
         """Return (namespace, metric_name) pairs, optionally filtered."""
-        seen: list[tuple[str, str]] = []
+        seen: dict[tuple[str, str], None] = {}
         for ns, name, _dims in self._series:
             if namespace is not None and ns != namespace:
                 continue
-            if (ns, name) not in seen:
-                seen.append((ns, name))
-        return seen
+            seen[(ns, name)] = None
+        return list(seen)
 
     def get_metric_statistics(
         self,
@@ -134,22 +200,36 @@ class SimCloudWatch:
         ``(start, end]`` that contains at least one datapoint. Periods
         are right-aligned on ``end``: the latest period covers
         ``(end - period, end]``.
+
+        Cost is one O(log n) window location plus a single left-to-right
+        pass over the located slice, regardless of how many periods the
+        range spans.
         """
         if period <= 0:
             raise MonitoringError(f"period must be positive, got {period}")
         if end <= start:
             raise MonitoringError(f"end ({end}) must be after start ({start})")
-        series = self._get_series(namespace, metric_name, dimensions)
+        validate_statistic(statistic)
+        key = (namespace, metric_name, _dimension_key(dimensions))
+        series = self._get_series_by_key(key, namespace, metric_name, dimensions)
+        memo = self._memo_for(key, series)
+        request = (start, end, period, statistic)
+        cached = memo.get(request)
+        if cached is not None:
+            return list(cached)
         results: list[tuple[int, float]] = []
-        period_end = end
-        while period_end > start:
-            period_start = max(period_end - period, start)
-            values = series.window(period_start, period_end)
-            if values:
-                results.append((period_end, _aggregate(values, statistic)))
-            period_end -= period
-        results.reverse()
-        return results
+        times = series.times
+        values = series.values
+        i, hi = series.locate(start, end)
+        while i < hi:
+            # Right-aligned period containing times[i]: boundaries sit
+            # at end - k*period, and the bucket is right-closed.
+            period_end = end - (end - times[i]) // period * period
+            j = bisect_right(times, period_end, i, hi)
+            results.append((period_end, _aggregate(values[i:j], statistic)))
+            i = j
+        memo[request] = results
+        return list(results)
 
     def get_metric_value(
         self,
@@ -167,15 +247,27 @@ class SimCloudWatch:
         the monitoring window ending at ``now``. Raises if the window is
         empty and no ``default`` is given.
         """
-        series = self._get_series(namespace, metric_name, dimensions, allow_missing=default is not None)
-        values = series.window(now - window, now) if series is not None else []
-        if not values:
+        validate_statistic(statistic)
+        key = (namespace, metric_name, _dimension_key(dimensions))
+        if key not in self._series:
+            if default is None:
+                self._raise_unknown(namespace, metric_name, dimensions)
+            return default
+        series = self._series[key]
+        memo = self._memo_for(key, series)
+        request = (now - window, now, None, statistic)
+        cached = memo.get(request)
+        if cached is None:
+            values = series.window(now - window, now)
+            cached = _aggregate(values, statistic) if values else _EMPTY_WINDOW
+            memo[request] = cached
+        if cached is _EMPTY_WINDOW:
             if default is None:
                 raise MonitoringError(
                     f"no datapoints for {namespace}/{metric_name} in ({now - window}, {now}]"
                 )
             return default
-        return _aggregate(values, statistic)
+        return cached
 
     def get_series(
         self,
@@ -186,6 +278,14 @@ class SimCloudWatch:
         """Raw (times, values) of a metric series (copies)."""
         series = self._get_series(namespace, metric_name, dimensions)
         return list(series.times), list(series.values)
+
+    def _memo_for(self, key: tuple, series: _Series) -> dict:
+        """The read memo for ``key``, reset whenever the series grows."""
+        entry = self._read_memo.get(key)
+        if entry is None or entry[0] != series.version:
+            entry = [series.version, {}]
+            self._read_memo[key] = entry
+        return entry[1]
 
     def _get_series(
         self,
@@ -198,12 +298,28 @@ class SimCloudWatch:
         if key not in self._series:
             if allow_missing:
                 return None
-            known = ", ".join(f"{ns}/{name}" for ns, name in self.list_metrics()) or "<none>"
-            raise MonitoringError(
-                f"unknown metric {namespace}/{metric_name} "
-                f"(dimensions={dict(_dimension_key(dimensions))}); known metrics: {known}"
-            )
+            self._raise_unknown(namespace, metric_name, dimensions)
         return self._series[key]
+
+    def _get_series_by_key(
+        self,
+        key: tuple,
+        namespace: str,
+        metric_name: str,
+        dimensions: dict[str, str] | None,
+    ) -> _Series:
+        if key not in self._series:
+            self._raise_unknown(namespace, metric_name, dimensions)
+        return self._series[key]
+
+    def _raise_unknown(
+        self, namespace: str, metric_name: str, dimensions: dict[str, str] | None
+    ) -> None:
+        known = ", ".join(f"{ns}/{name}" for ns, name in self.list_metrics()) or "<none>"
+        raise MonitoringError(
+            f"unknown metric {namespace}/{metric_name} "
+            f"(dimensions={dict(_dimension_key(dimensions))}); known metrics: {known}"
+        )
 
     # ------------------------------------------------------------------
     # Alarms
@@ -237,6 +353,11 @@ class MetricAlarm:
     threshold for ``evaluation_periods`` consecutive periods, which is
     exactly the "rule-based techniques that quickly trigger in response
     to predefined threshold violations" the paper contrasts Flower with.
+
+    Co-located alarms — several alarms (or an alarm plus a sensor) over
+    the same series, window and statistic — aggregate once per control
+    period: the store memoizes reads per series version, so evaluation
+    cost does not multiply with the number of watchers.
     """
 
     name: str
@@ -259,6 +380,7 @@ class MetricAlarm:
             )
         if self.evaluation_periods <= 0:
             raise MonitoringError(f"alarm {self.name!r}: evaluation_periods must be positive")
+        validate_statistic(self.statistic)
 
     def evaluate(self, cloudwatch: SimCloudWatch, now: int) -> str:
         """Re-evaluate state at ``now`` and fire transition callbacks."""

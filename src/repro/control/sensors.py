@@ -7,13 +7,21 @@ simulated CloudWatch, which every service pushes its measurements to.
 
 from __future__ import annotations
 
-from repro.cloud.cloudwatch import SimCloudWatch
+from repro.cloud.cloudwatch import SimCloudWatch, validate_statistic
 from repro.control.base import Sensor
 from repro.core.errors import ControlError
 
 
 class CloudWatchSensor(Sensor):
-    """Aggregates one CloudWatch metric over a trailing window."""
+    """Aggregates one CloudWatch metric over a trailing window.
+
+    Any statistic the store supports may be requested, including
+    ``pXX`` percentiles (e.g. ``p99`` for tail-latency control); the
+    statistic is validated at construction so a typo fails here rather
+    than on the first control period. Co-located readers of the same
+    (series, window, statistic) — other sensors, alarms, the collector —
+    share one aggregation per control period via the store's read memo.
+    """
 
     def __init__(
         self,
@@ -26,6 +34,7 @@ class CloudWatchSensor(Sensor):
     ) -> None:
         if window <= 0:
             raise ControlError(f"monitoring window must be positive, got {window}")
+        validate_statistic(statistic)
         self._cloudwatch = cloudwatch
         self.namespace = namespace
         self.metric = metric

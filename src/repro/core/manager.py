@@ -41,7 +41,7 @@ from repro.simulation.clock import SimClock
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import derive_rng
 from repro.workload.clickstream import ClickStreamConfig, ClickStreamGenerator
-from repro.workload.generators import RatePattern
+from repro.workload.generators import RateGrid, RatePattern
 from repro.workload.traces import Trace
 
 #: Per-layer controlled variable: (namespace, metric).
@@ -105,6 +105,7 @@ class _FlowPipeline:
         self.cloudwatch = cloudwatch
         self.cost_meters = cost_meters
         self.read_workload = read_workload
+        self._read_grid: RateGrid | None = None
         self._read_rng = read_rng
         self._producer_backlog_records = 0
         self._producer_backlog_bytes = 0
@@ -159,7 +160,13 @@ class _FlowPipeline:
         #     window dashboard over streaming data". Reads that throttle
         #     are lost page views, not retried.
         if self.read_workload is not None:
-            expected = self.read_workload.rate(now) * clock.tick_seconds
+            # Batched like the click generator: read rates come from a
+            # chunked grid, not a rate() call per tick (bit-identical by
+            # the values() contract).
+            grid = self._read_grid
+            if grid is None or grid.step != clock.tick_seconds:
+                grid = self._read_grid = RateGrid(self.read_workload, clock.tick_seconds)
+            expected = grid.rate_at(now) * clock.tick_seconds
             read_units = int(self._read_rng.poisson(expected)) if expected > 0 else 0
             self.table.read(read_units, clock)
 

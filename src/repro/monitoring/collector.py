@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cloud.cloudwatch import SimCloudWatch
+from repro.cloud.cloudwatch import SimCloudWatch, validate_statistic
 from repro.core.errors import MonitoringError
 from repro.workload.traces import Trace
 
@@ -29,6 +29,7 @@ class MetricSpec:
     def __post_init__(self) -> None:
         if not self.label:
             raise MonitoringError("metric label must be non-empty")
+        validate_statistic(self.statistic)
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,12 @@ class MetricCollector:
         (A metric with no datapoints yet — e.g. before the first tick —
         reads as zero rather than failing the whole snapshot, matching
         how monitoring dashboards behave on cold start.)
+
+        Each read is O(log n + window) against the store, and specs that
+        share a (series, window, statistic) with a sensor or alarm — the
+        usual case, since dashboards watch the controlled variables —
+        reuse that aggregation via the store's per-version read memo
+        instead of re-scanning.
         """
         if not self._specs:
             raise MonitoringError("no metrics registered; call add() first")

@@ -15,6 +15,7 @@ from repro.workload.generators import (
     FlashCrowdRate,
     NoisyRate,
     RampRate,
+    RateGrid,
     RatePattern,
     ReplayRate,
     SinusoidalRate,
@@ -36,6 +37,7 @@ __all__ = [
     "NoisyRate",
     "CompositeRate",
     "ReplayRate",
+    "RateGrid",
     "ClickStreamGenerator",
     "ClickStreamConfig",
     "ClickBatch",

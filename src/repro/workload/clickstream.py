@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.core.errors import ConfigurationError
 from repro.simulation.clock import SimClock
-from repro.workload.generators import RatePattern
+from repro.workload.generators import RateGrid, RatePattern
 
 
 @dataclass(frozen=True)
@@ -90,10 +90,21 @@ class ClickStreamGenerator:
         self._page_probs = weights / weights.sum()
         self._total_records = 0
         self._total_bytes = 0
+        self._grid: RateGrid | None = None
 
     def generate(self, clock: SimClock) -> ClickBatch:
-        """Produce the click events arriving during the current tick."""
-        expected = self.pattern.rate(clock.now) * clock.tick_seconds
+        """Produce the click events arriving during the current tick.
+
+        Arrival rates are read through a :class:`RateGrid` chunked on
+        the clock's tick length, so a deep pattern stack is evaluated
+        one array chunk at a time instead of per tick — bit-identical to
+        calling ``pattern.rate(now)`` directly, by the ``values()`` grid
+        contract.
+        """
+        grid = self._grid
+        if grid is None or grid.step != clock.tick_seconds:
+            grid = self._grid = RateGrid(self.pattern, clock.tick_seconds)
+        expected = grid.rate_at(clock.now) * clock.tick_seconds
         records = int(self._rng.poisson(expected)) if expected > 0 else 0
         if records == 0:
             return ClickBatch(0, 0, 0)

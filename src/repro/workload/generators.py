@@ -37,13 +37,42 @@ class RatePattern(ABC):
         return CompositeRate([self, other], mode="product")
 
     def sample(self, start: int, end: int, step: int = 60) -> Trace:
-        """Evaluate the pattern on a grid — useful for plotting/tests."""
+        """Evaluate the pattern on a grid, as a :class:`Trace`.
+
+        Grid semantics are shared with :meth:`values`: the points are
+        ``range(start, end, step)`` (``end`` excluded) and each value is
+        exactly what ``rate(t)`` returns at that point — useful for
+        plotting and for tests that compare against the per-tick path.
+        """
         if step <= 0:
             raise ConfigurationError("step must be positive")
         trace = Trace(type(self).__name__)
         for t in range(start, end, step):
             trace.append(t, self.rate(t))
         return trace
+
+    def values(self, start: int, end: int, step: int = 1) -> np.ndarray:
+        """Grid evaluation: ``rate(t)`` for ``t in range(start, end, step)``.
+
+        The contract is *exact* elementwise equality with per-tick
+        ``rate(t)`` calls — not statistical equivalence. The batched
+        tick loops (:class:`RateGrid`, the manager's pipeline, the
+        click-stream generator) read arrival rates through this API one
+        chunk at a time instead of one Python call per tick, and rely on
+        this equality to keep runs bit-identical to the unbatched loop.
+        Subclasses overriding this must preserve the equality to the
+        last ULP (beware vectorized transcendentals: ``np.sin`` over an
+        array may differ from ``math.sin`` per element).
+        """
+        if step <= 0:
+            raise ConfigurationError("step must be positive")
+        return np.array([self.rate(t) for t in range(start, end, step)], dtype=float)
+
+    def _grid_times(self, start: int, end: int, step: int) -> np.ndarray:
+        """The shared grid raster for vectorized :meth:`values` overrides."""
+        if step <= 0:
+            raise ConfigurationError("step must be positive")
+        return np.arange(start, end, step, dtype=np.int64)
 
 
 class ConstantRate(RatePattern):
@@ -56,6 +85,9 @@ class ConstantRate(RatePattern):
 
     def rate(self, t: int) -> float:
         return self.value
+
+    def values(self, start: int, end: int, step: int = 1) -> np.ndarray:
+        return np.full(len(self._grid_times(start, end, step)), self.value)
 
 
 class StepRate(RatePattern):
@@ -78,6 +110,13 @@ class StepRate(RatePattern):
             return self.base
         return self.level
 
+    def values(self, start: int, end: int, step: int = 1) -> np.ndarray:
+        t = self._grid_times(start, end, step)
+        active = t >= self.at
+        if self.until is not None:
+            active &= t < self.until
+        return np.where(active, self.level, self.base)
+
 
 class RampRate(RatePattern):
     """Linear ramp from ``start_rate`` at ``t0`` to ``end_rate`` at ``t1``."""
@@ -99,6 +138,15 @@ class RampRate(RatePattern):
             return self.end_rate
         progress = (t - self.t0) / (self.t1 - self.t0)
         return self.start_rate + progress * (self.end_rate - self.start_rate)
+
+    def values(self, start: int, end: int, step: int = 1) -> np.ndarray:
+        # Elementwise +, -, *, / are exact IEEE ops, identical between
+        # the scalar and array paths — unlike transcendentals, which is
+        # why SinusoidalRate keeps the loop default.
+        t = self._grid_times(start, end, step)
+        progress = (t - self.t0) / (self.t1 - self.t0)
+        ramp = self.start_rate + progress * (self.end_rate - self.start_rate)
+        return np.where(t <= self.t0, self.start_rate, np.where(t >= self.t1, self.end_rate, ramp))
 
 
 class SinusoidalRate(RatePattern):
@@ -148,6 +196,11 @@ class WeeklyRate(RatePattern):
     def rate(self, t: int) -> float:
         day = (t // 86400) % 7
         return self.daily.rate(t) * self.day_factors[day]
+
+    def values(self, start: int, end: int, step: int = 1) -> np.ndarray:
+        t = self._grid_times(start, end, step)
+        factors = np.asarray(self.day_factors)[(t // 86400) % 7]
+        return self.daily.values(start, end, step) * factors
 
 
 class FlashCrowdRate(RatePattern):
@@ -214,6 +267,14 @@ class BurstyRate(RatePattern):
                 return base * self.multiplier
         return base
 
+    def values(self, start: int, end: int, step: int = 1) -> np.ndarray:
+        t = self._grid_times(start, end, step)
+        base = self.inner.values(start, end, step)
+        in_burst = np.zeros(len(t), dtype=bool)
+        for burst_start in self.burst_starts:
+            in_burst |= (t >= burst_start) & (t < burst_start + self.duration_seconds)
+        return np.where(in_burst, base * self.multiplier, base)
+
 
 class NoisyRate(RatePattern):
     """Multiplicative log-normal noise, piecewise-constant per interval.
@@ -245,6 +306,11 @@ class NoisyRate(RatePattern):
         index = min(max(t, 0) // self.interval, len(self._factors) - 1)
         return self.inner.rate(t) * float(self._factors[index])
 
+    def values(self, start: int, end: int, step: int = 1) -> np.ndarray:
+        t = self._grid_times(start, end, step)
+        index = np.minimum(np.maximum(t, 0) // self.interval, len(self._factors) - 1)
+        return self.inner.values(start, end, step) * self._factors[index]
+
 
 class CompositeRate(RatePattern):
     """Sum or product of several patterns."""
@@ -264,6 +330,59 @@ class CompositeRate(RatePattern):
         for pattern in self.patterns:
             value *= pattern.rate(t)
         return value
+
+    def values(self, start: int, end: int, step: int = 1) -> np.ndarray:
+        # Accumulate in the same left-to-right order as rate(): float
+        # addition is not associative, so order is part of the contract.
+        total = None
+        for pattern in self.patterns:
+            part = pattern.values(start, end, step)
+            if total is None:
+                total = 0.0 + part if self.mode == "sum" else 1.0 * part
+            else:
+                total = total + part if self.mode == "sum" else total * part
+        return total
+
+
+class RateGrid:
+    """Chunked grid evaluation of a pattern, for hot tick loops.
+
+    Deep pattern stacks (``NoisyRate(BurstyRate(DiurnalRate(...)))``)
+    cost several Python calls — plus a burst-interval scan — *per tick*
+    when read via ``rate(t)``. A ``RateGrid`` instead materialises the
+    next ``chunk`` grid points through :meth:`RatePattern.values` and
+    serves lookups from the array, so the per-tick cost in the manager's
+    run loop is one array index.
+
+    Because ``values()`` is contractually elementwise-equal to per-tick
+    ``rate(t)`` calls, reading through a grid is bit-identical to the
+    unbatched loop (asserted by ``tests/test_generators.py``). Lookups
+    off the grid's step raster fall back to ``rate(t)`` directly, so any
+    caller may probe arbitrary times without drift.
+    """
+
+    def __init__(self, pattern: RatePattern, step: int, chunk: int = 512) -> None:
+        if step <= 0:
+            raise ConfigurationError("step must be positive")
+        if chunk <= 0:
+            raise ConfigurationError("chunk must be positive")
+        self.pattern = pattern
+        self.step = int(step)
+        self.chunk = int(chunk)
+        self._start = 0
+        self._rates: np.ndarray = np.empty(0)
+
+    def rate_at(self, t: int) -> float:
+        """``pattern.rate(t)``, served from the precomputed chunk."""
+        offset = t - self._start
+        if offset % self.step:
+            return self.pattern.rate(t)
+        index = offset // self.step
+        if not 0 <= index < len(self._rates):
+            self._start = t
+            self._rates = self.pattern.values(t, t + self.chunk * self.step, self.step)
+            index = 0
+        return float(self._rates[index])
 
 
 class ReplayRate(RatePattern):

@@ -1,8 +1,10 @@
 """Unit tests for the simulated CloudWatch metric store and alarms."""
 
+import numpy as np
 import pytest
 
-from repro.cloud import MetricAlarm, SimCloudWatch
+from repro.cloud import SUPPORTED_STATISTICS, MetricAlarm, SimCloudWatch, validate_statistic
+from repro.cloud.cloudwatch import _aggregate
 from repro.core.errors import MonitoringError
 
 
@@ -98,6 +100,151 @@ class TestStatistics:
         _fill(cw, [1.0, 2.0, 3.0, 4.0])  # t=1..4
         # Window (2, 4] -> values 3, 4.
         assert cw.get_metric_value("NS", "M", now=4, window=2) == 3.5
+
+
+def _brute_window(times, values, start, end):
+    """The seed implementation's full-scan filter: start < t <= end."""
+    return [v for t, v in zip(times, values) if start < t <= end]
+
+
+def _brute_statistics(times, values, start, end, period, statistic):
+    """The seed implementation: one full re-scan per candidate period."""
+    results = []
+    period_end = end
+    while period_end > start:
+        period_start = max(period_end - period, start)
+        window = _brute_window(times, values, period_start, period_end)
+        if window:
+            results.append((period_end, _aggregate(window, statistic)))
+        period_end -= period
+    results.reverse()
+    return results
+
+
+class TestWindowBoundaries:
+    """Right-closed ``(start, end]`` semantics at exact tick boundaries."""
+
+    def test_start_boundary_excluded_end_included(self, cw):
+        _fill(cw, [1.0, 2.0, 3.0, 4.0])  # t=1..4
+        # (1, 3]: t=1 is on the start boundary and must be excluded;
+        # t=3 is on the end boundary and must be included.
+        assert cw.get_metric_value("NS", "M", now=3, window=2) == pytest.approx(2.5)
+        assert cw.get_metric_statistics("NS", "M", 1, 3, 2) == [(3, 2.5)]
+
+    def test_duplicate_timestamps_on_boundary(self, cw):
+        for v in (1.0, 2.0, 3.0):
+            cw.put_metric_data("NS", "M", v, 10)
+        cw.put_metric_data("NS", "M", 9.0, 11)
+        # All three t=10 points sit on the end boundary of (0, 10].
+        assert cw.get_metric_value("NS", "M", now=10, window=10, statistic="Sum") == 6.0
+        # ...and on the (excluded) start boundary of (10, 11].
+        assert cw.get_metric_value("NS", "M", now=11, window=1, statistic="Sum") == 9.0
+
+    def test_empty_window_default_with_existing_series(self, cw):
+        _fill(cw, [1.0, 2.0])  # t=1, t=2
+        # The series exists but the window (5, 10] is empty.
+        assert cw.get_metric_value("NS", "M", now=10, window=5, default=-1.0) == -1.0
+        with pytest.raises(MonitoringError, match=r"\(5, 10\]"):
+            cw.get_metric_value("NS", "M", now=10, window=5)
+
+    def test_single_datapoint_percentile(self, cw):
+        cw.put_metric_data("NS", "M", 42.0, 1)
+        for stat in ("p0", "p50", "p99", "p100"):
+            assert cw.get_metric_value("NS", "M", now=1, window=1, statistic=stat) == 42.0
+        assert cw.get_metric_statistics("NS", "M", 0, 1, 1, "p99") == [(1, 42.0)]
+
+
+class TestBisectAgainstBruteForce:
+    """The O(log n) fast path must equal the seed full-scan bit for bit."""
+
+    def test_randomized_windows(self, cw):
+        rng = np.random.default_rng(1234)
+        steps = rng.integers(0, 3, size=400)  # duplicates and gaps
+        times = np.cumsum(steps).tolist()
+        values = rng.normal(50.0, 20.0, size=400).tolist()
+        for t, v in zip(times, values):
+            cw.put_metric_data("NS", "M", v, int(t))
+        horizon = int(times[-1])
+        for _ in range(200):
+            a, b = sorted(rng.integers(-5, horizon + 5, size=2))
+            if a == b:
+                b += 1
+            got = cw.get_series("NS", "M")
+            window = cw._series[("NS", "M", ())].window(int(a), int(b))
+            assert window == _brute_window(got[0], got[1], a, b)
+
+    @pytest.mark.parametrize("statistic", ["Average", "Sum", "Maximum", "Minimum",
+                                           "SampleCount", "p50", "p99"])
+    def test_randomized_period_aggregation(self, statistic):
+        rng = np.random.default_rng(987)
+        cw = SimCloudWatch()
+        times = np.cumsum(rng.integers(0, 4, size=300)).tolist()
+        values = rng.uniform(0.0, 100.0, size=300).tolist()
+        for t, v in zip(times, values):
+            cw.put_metric_data("NS", "M", v, int(t))
+        horizon = int(times[-1])
+        for _ in range(60):
+            a, b = sorted(int(x) for x in rng.integers(-3, horizon + 3, size=2))
+            if a == b:
+                b += 1
+            period = int(rng.integers(1, 50))
+            got = cw.get_metric_statistics("NS", "M", a, b, period, statistic)
+            want = _brute_statistics(times, values, a, b, period, statistic)
+            assert got == want  # bit-exact, not approx
+
+
+class TestReadMemo:
+    def test_memo_never_serves_stale_data(self, cw):
+        _fill(cw, [10.0, 20.0])  # t=1, t=2
+        assert cw.get_metric_value("NS", "M", now=2, window=2) == 15.0
+        cw.put_metric_data("NS", "M", 90.0, 2)  # same timestamp, new data
+        assert cw.get_metric_value("NS", "M", now=2, window=2) == 40.0
+        assert cw.get_metric_statistics("NS", "M", 0, 2, 2) == [(2, 40.0)]
+        cw.put_metric_data("NS", "M", 100.0, 3)
+        assert cw.get_metric_statistics("NS", "M", 0, 3, 3) == [(3, 55.0)]
+
+    def test_memoized_statistics_are_copies(self, cw):
+        _fill(cw, [1.0, 2.0])
+        first = cw.get_metric_statistics("NS", "M", 0, 2, 1)
+        first.append((99, 99.0))  # a caller mutating its result...
+        second = cw.get_metric_statistics("NS", "M", 0, 2, 1)
+        assert second == [(1, 1.0), (2, 2.0)]  # ...must not poison the memo
+
+    def test_empty_window_is_memoized_per_version(self, cw):
+        _fill(cw, [1.0], start=1)
+        assert cw.get_metric_value("NS", "M", now=10, window=2, default=0.0) == 0.0
+        cw.put_metric_data("NS", "M", 7.0, 9)
+        assert cw.get_metric_value("NS", "M", now=10, window=2, default=0.0) == 7.0
+
+
+class TestStatisticValidation:
+    def test_named_statistics_accepted(self):
+        for stat in SUPPORTED_STATISTICS:
+            assert validate_statistic(stat) == stat
+
+    def test_percentiles_accepted(self):
+        for stat in ("p0", "p50", "p99", "p99.9", "p100"):
+            assert validate_statistic(stat) == stat
+
+    def test_bad_statistics_rejected(self):
+        for stat in ("Mean", "avg", "p101", "p-1", "pfoo", ""):
+            with pytest.raises(MonitoringError):
+                validate_statistic(stat)
+
+    def test_get_metric_statistics_rejects_unknown_statistic(self, cw):
+        _fill(cw, [1.0])
+        with pytest.raises(MonitoringError, match="unsupported statistic"):
+            cw.get_metric_statistics("NS", "M", 0, 1, 1, "Median")
+
+    def test_alarm_rejects_bad_statistic_at_construction(self):
+        with pytest.raises(MonitoringError, match="percentile"):
+            MetricAlarm("a", "NS", "M", threshold=1.0, statistic="p200")
+
+    def test_alarm_accepts_percentile_statistic(self, cw):
+        alarm = MetricAlarm("tail", "NS", "M", threshold=90.0, statistic="p99", period=10)
+        cw.put_alarm(alarm)
+        _fill(cw, [95.0] * 10)  # t=1..10
+        assert alarm.evaluate(cw, 10) == "ALARM"
 
 
 class TestAlarms:

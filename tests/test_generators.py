@@ -13,11 +13,21 @@ from repro.workload import (
     FlashCrowdRate,
     NoisyRate,
     RampRate,
+    RateGrid,
     ReplayRate,
     SinusoidalRate,
     StepRate,
     Trace,
+    WeeklyRate,
 )
+
+
+def _fig2_style_stack(horizon=7200, seed=11):
+    """A deep composite stack like the benchmarks use."""
+    base = SinusoidalRate(mean=800.0, amplitude=300.0, period=horizon)
+    crowd = base + FlashCrowdRate(peak=400, at=horizon // 3)
+    bursty = BurstyRate(crowd, derive_rng(seed, "bursts"), horizon=horizon)
+    return NoisyRate(bursty, derive_rng(seed, "noise"), horizon=horizon, sigma=0.1)
 
 
 class TestConstantAndStep:
@@ -174,6 +184,86 @@ class TestSample:
         trace = ConstantRate(5).sample(0, 300, step=60)
         assert trace.times == [0, 60, 120, 180, 240]
         assert all(v == 5.0 for v in trace.values)
+
+
+class TestGridEvaluation:
+    """The values()/RateGrid contract the batched manager path rests on:
+    grid evaluation equals per-tick rate(t) calls exactly."""
+
+    def test_values_equals_per_tick_rate_calls(self):
+        pattern = _fig2_style_stack()
+        grid = pattern.values(0, 3600, step=1)
+        loop = [pattern.rate(t) for t in range(0, 3600)]
+        assert grid.tolist() == loop  # bit-exact, not approx
+
+    def test_values_matches_sample_grid(self):
+        pattern = _fig2_style_stack()
+        trace = pattern.sample(100, 1000, step=7)
+        assert pattern.values(100, 1000, step=7).tolist() == trace.values
+
+    def test_values_rejects_bad_step(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRate(1).values(0, 10, step=0)
+
+    def test_rate_grid_is_bit_identical_across_chunks(self):
+        pattern = _fig2_style_stack()
+        grid = RateGrid(pattern, step=1, chunk=64)  # force many refills
+        for t in range(0, 1000):
+            assert grid.rate_at(t) == pattern.rate(t)
+
+    def test_rate_grid_off_raster_falls_back(self):
+        pattern = _fig2_style_stack()
+        grid = RateGrid(pattern, step=10, chunk=8)
+        assert grid.rate_at(0) == pattern.rate(0)
+        assert grid.rate_at(13) == pattern.rate(13)  # off the 10 s raster
+        assert grid.rate_at(20) == pattern.rate(20)
+
+    def test_rate_grid_handles_backwards_jumps(self):
+        pattern = _fig2_style_stack()
+        grid = RateGrid(pattern, step=1, chunk=16)
+        assert grid.rate_at(500) == pattern.rate(500)
+        assert grid.rate_at(3) == pattern.rate(3)
+
+    def test_rate_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            RateGrid(ConstantRate(1), step=0)
+        with pytest.raises(ConfigurationError):
+            RateGrid(ConstantRate(1), step=1, chunk=0)
+
+    def test_vectorized_overrides_match_loop(self):
+        """Every pattern with a vectorized values() override stays
+        elementwise bit-identical to the per-tick rate(t) loop."""
+        patterns = [
+            ConstantRate(5.0),
+            StepRate(base=10, level=100, at=600, until=1200),
+            StepRate(base=10, level=100, at=600),
+            RampRate(5, 50, t0=300, t1=900),
+            WeeklyRate(ConstantRate(7.0), day_factors=[1, 0.5, 2, 1, 1, 0.25, 3]),
+            BurstyRate(
+                SinusoidalRate(mean=100, amplitude=40, period=3600),
+                derive_rng(3, "bursts"), horizon=7200, bursts_per_hour=4.0,
+            ),
+            NoisyRate(
+                RampRate(10, 200, t0=0, t1=7200),
+                derive_rng(3, "noise"), horizon=7200, sigma=0.3,
+            ),
+            CompositeRate([ConstantRate(3), RampRate(0, 10, 0, 1000)], mode="sum"),
+            CompositeRate([ConstantRate(3), StepRate(base=1, level=2, at=500)], mode="product"),
+        ]
+        for pattern in patterns:
+            got = pattern.values(0, 2000, step=7)
+            want = [pattern.rate(t) for t in range(0, 2000, 7)]
+            assert got.tolist() == want, type(pattern).__name__
+
+    def test_weekly_values_across_day_boundaries(self):
+        """The day-factor index must wrap mod 7 exactly like rate()."""
+        weekly = WeeklyRate(
+            SinusoidalRate(mean=50, amplitude=20, period=86400),
+            day_factors=[1.0, 0.5, 2.0, 1.0, 1.5, 0.25, 3.0],
+        )
+        got = weekly.values(0, 9 * 86400, step=3571)  # off-raster step crosses every boundary
+        want = [weekly.rate(t) for t in range(0, 9 * 86400, 3571)]
+        assert got.tolist() == want
 
 
 class TestProperties:

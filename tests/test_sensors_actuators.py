@@ -37,6 +37,19 @@ class TestCloudWatchSensor:
         with pytest.raises(ControlError):
             CloudWatchSensor(SimCloudWatch(), "NS", "M", window=0)
 
+    def test_percentile_statistic(self):
+        cw = SimCloudWatch()
+        for t, v in enumerate([10.0, 20.0, 30.0, 1000.0], start=1):
+            cw.put_metric_data("NS", "Latency", v, t)
+        sensor = CloudWatchSensor(cw, "NS", "Latency", window=60, statistic="p50")
+        assert sensor.measure(60) == pytest.approx(25.0)
+
+    def test_bad_statistic_rejected_at_construction(self):
+        from repro.core.errors import MonitoringError
+
+        with pytest.raises(MonitoringError, match="unsupported statistic"):
+            CloudWatchSensor(SimCloudWatch(), "NS", "M", statistic="Median")
+
 
 class TestKinesisShardActuator:
     def test_get_and_apply(self):
