@@ -1,9 +1,17 @@
 """Bit-exact fingerprint of the E6 fig6 end-to-end run.
 
-Used to verify the metric-pipeline optimization preserves the PR-2
-determinism contract: run before and after the change and diff the
-output. Every trace value is repr()'d at full precision, so a single
-ULP of drift anywhere in the run changes the hash.
+Used to verify the metric-pipeline and span-execution optimizations
+preserve the PR-2 determinism contract: run before and after the change
+and diff the output. Every trace value is repr()'d at full precision,
+so a single ULP of drift anywhere in the run changes the hash.
+
+Usage::
+
+    python benchmarks/_fig6_fingerprint.py [BLOB_OUT] [--reference]
+
+``--reference`` disables span execution and runs the per-tick loop; a
+matching hash with and without the flag is the span equivalence check
+the CI benchmark-smoke job performs.
 """
 
 import hashlib
@@ -20,6 +28,8 @@ from repro import FlowBuilder  # noqa: E402
 
 
 def main() -> None:
+    args = [a for a in sys.argv[1:] if a != "--reference"]
+    spans = "--reference" not in sys.argv[1:]
     manager = (
         FlowBuilder("fig6", seed=SEED)
         .ingestion(shards=2)
@@ -27,6 +37,7 @@ def main() -> None:
         .storage(write_units=300)
         .workload(fig6_workload())
         .control_all(style="adaptive", reference=60.0, period=60)
+        .spans(spans)
         .build()
     )
     started = time.perf_counter()
@@ -55,8 +66,12 @@ def main() -> None:
 
     blob = "\n".join(lines).encode()
     digest = hashlib.sha256(blob).hexdigest()
-    print(json.dumps({"sha256": digest, "wall_seconds": round(elapsed, 3)}))
-    out = sys.argv[1] if len(sys.argv) > 1 else None
+    print(
+        json.dumps(
+            {"sha256": digest, "wall_seconds": round(elapsed, 3), "span_execution": spans}
+        )
+    )
+    out = args[0] if args else None
     if out:
         with open(out, "wb") as f:
             f.write(blob)

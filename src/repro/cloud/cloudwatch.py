@@ -24,7 +24,9 @@ import math
 from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.core.errors import MonitoringError
 
@@ -107,40 +109,128 @@ def _percentile(values: list[float], q: float) -> float:
     return ordered[low] + weight * (ordered[high] - ordered[low])
 
 
-@dataclass
 class _Series:
-    """A single metric stream: strictly time-ordered (t, value) pairs.
+    """A single metric stream: time-ordered (t, value) pairs, columnar.
 
-    The time-ordered invariant (enforced in :meth:`append`) is what
-    makes O(log n) window location sound: both ends of a right-closed
-    window ``(start, end]`` are found by binary search, and the located
-    slice is already in append order, so aggregating it left-to-right
-    matches the old full-scan filter bit for bit.
+    Storage is a pair of growable numpy arrays (``int64`` times,
+    ``float64`` values) so whole spans of datapoints land in one
+    :meth:`extend` — the columnar write path the span scheduler uses —
+    while :meth:`append` keeps the scalar per-tick path. The
+    time-ordered invariant (enforced on both paths) is what makes
+    O(log n) window location sound: both ends of a right-closed window
+    ``(start, end]`` are found by binary search, and the located slice
+    is already in append order, so aggregating it left-to-right matches
+    the old full-scan filter bit for bit. Everything handed back out
+    (windows, raw series, aggregation inputs) is converted to builtin
+    ``int``/``float`` so numpy scalar types never leak into results.
     """
 
-    times: list[int] = field(default_factory=list)
-    values: list[float] = field(default_factory=list)
-    #: Bumped on every append; read memos key on it, so a stale cached
-    #: aggregate can never be served after new data lands.
-    version: int = 0
+    __slots__ = ("_times", "_values", "_len", "version")
+
+    def __init__(self) -> None:
+        self._times = np.empty(16, dtype=np.int64)
+        self._values = np.empty(16, dtype=np.float64)
+        self._len = 0
+        #: Bumped on every append/extend; read memos key on it, so a
+        #: stale cached aggregate can never be served after new data
+        #: lands.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def times(self) -> np.ndarray:
+        """View of the recorded timestamps (do not mutate)."""
+        return self._times[: self._len]
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the recorded values (do not mutate)."""
+        return self._values[: self._len]
+
+    def _reserve(self, extra: int) -> None:
+        need = self._len + extra
+        capacity = self._times.shape[0]
+        if need <= capacity:
+            return
+        while capacity < need:
+            capacity *= 2
+        times = np.empty(capacity, dtype=np.int64)
+        values = np.empty(capacity, dtype=np.float64)
+        times[: self._len] = self._times[: self._len]
+        values[: self._len] = self._values[: self._len]
+        self._times = times
+        self._values = values
 
     def append(self, t: int, value: float) -> None:
-        if self.times and t < self.times[-1]:
+        n = self._len
+        if n and t < self._times[n - 1]:
             raise MonitoringError(
-                f"metric datapoints must be time-ordered: got t={t} after t={self.times[-1]}"
+                f"metric datapoints must be time-ordered: "
+                f"got t={t} after t={int(self._times[n - 1])}"
             )
-        self.times.append(t)
-        self.values.append(float(value))
+        self._reserve(1)
+        self._times[n] = t
+        self._values[n] = value
+        self._len = n + 1
+        self.version += 1
+
+    def extend(self, times: Sequence[int], values: Sequence[float]) -> None:
+        """Append a whole time-ordered batch; one version bump.
+
+        The columns are written straight into the reserved tail (one C
+        conversion, no intermediate arrays) and validated in place; a
+        rejected batch leaves ``_len`` untouched, so the garbage past
+        the end is invisible and overwritten by the next append.
+        """
+        count = len(times)
+        if count != len(values):
+            raise MonitoringError(
+                f"batch times/values must be equal length, "
+                f"got {count} and {len(values)} datapoints"
+            )
+        if count == 0:
+            return
+        n = self._len
+        self._reserve(count)
+        ta = self._times
+        try:
+            ta[n : n + count] = times
+            self._values[n : n + count] = values
+        except (ValueError, TypeError) as exc:
+            raise MonitoringError(
+                f"batch times/values must be flat numeric columns: {exc}"
+            ) from None
+        seg = ta[n : n + count]
+        if count > 1:
+            disordered = seg[1:] < seg[:-1]
+            if disordered.any():
+                i = int(np.nonzero(disordered)[0][0])
+                raise MonitoringError(
+                    f"metric datapoints must be time-ordered: "
+                    f"got t={int(seg[i + 1])} after t={int(seg[i])}"
+                )
+        if n and seg[0] < ta[n - 1]:
+            raise MonitoringError(
+                f"metric datapoints must be time-ordered: "
+                f"got t={int(seg[0])} after t={int(ta[n - 1])}"
+            )
+        self._len = n + count
         self.version += 1
 
     def locate(self, start: int, end: int) -> tuple[int, int]:
         """Index range ``[lo, hi)`` of datapoints with start < t <= end."""
-        return bisect_right(self.times, start), bisect_right(self.times, end)
+        t = self._times[: self._len]
+        return (
+            int(np.searchsorted(t, start, side="right")),
+            int(np.searchsorted(t, end, side="right")),
+        )
 
     def window(self, start: int, end: int) -> list[float]:
         """Values with start < t <= end (CloudWatch-style right-closed)."""
         lo, hi = self.locate(start, end)
-        return self.values[lo:hi]
+        return self._values[lo:hi].tolist()
 
 
 class SimCloudWatch:
@@ -171,6 +261,26 @@ class SimCloudWatch:
         """Record one datapoint. Timestamps must be non-decreasing per series."""
         key = (namespace, metric_name, _dimension_key(dimensions))
         self._series[key].append(timestamp, value)
+
+    def put_metric_data_batch(
+        self,
+        namespace: str,
+        metric_name: str,
+        times: Sequence[int],
+        values: Sequence[float],
+        dimensions: dict[str, str] | None = None,
+    ) -> None:
+        """Record a whole time-ordered batch of datapoints in one call.
+
+        This is the columnar write path for span execution: a span's
+        worth of per-tick measurements lands as one array append, with
+        one series-version bump, instead of one ``put_metric_data`` per
+        tick. Batch order is append order — identical to issuing the
+        scalar puts one at a time — so reads and memo semantics are
+        unchanged.
+        """
+        key = (namespace, metric_name, _dimension_key(dimensions))
+        self._series[key].extend(times, values)
 
     # ------------------------------------------------------------------
     # Reading
@@ -218,14 +328,17 @@ class SimCloudWatch:
         if cached is not None:
             return list(cached)
         results: list[tuple[int, float]] = []
-        times = series.times
-        values = series.values
-        i, hi = series.locate(start, end)
-        while i < hi:
+        lo, hi = series.locate(start, end)
+        # Materialize the located slice as builtin ints/floats once:
+        # aggregation then never sees numpy scalars.
+        times = series.times[lo:hi].tolist()
+        values = series.values[lo:hi].tolist()
+        i, n = 0, hi - lo
+        while i < n:
             # Right-aligned period containing times[i]: boundaries sit
             # at end - k*period, and the bucket is right-closed.
             period_end = end - (end - times[i]) // period * period
-            j = bisect_right(times, period_end, i, hi)
+            j = bisect_right(times, period_end, i, n)
             results.append((period_end, _aggregate(values[i:j], statistic)))
             i = j
         memo[request] = results
@@ -277,7 +390,7 @@ class SimCloudWatch:
     ) -> tuple[list[int], list[float]]:
         """Raw (times, values) of a metric series (copies)."""
         series = self._get_series(namespace, metric_name, dimensions)
-        return list(series.times), list(series.values)
+        return series.times.tolist(), series.values.tolist()
 
     def _memo_for(self, key: tuple, series: _Series) -> dict:
         """The read memo for ``key``, reset whenever the series grows."""

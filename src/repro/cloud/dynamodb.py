@@ -71,6 +71,9 @@ class SimDynamoDBTable:
         config: DynamoDBConfig | None = None,
     ) -> None:
         self.name = name
+        # Metric dimensions are immutable for the table's lifetime;
+        # built once instead of per emit call.
+        self._dims = {"TableName": name}
         self.config = config or DynamoDBConfig()
         if not self.config.min_write_units <= write_units <= self.config.max_write_units:
             raise CapacityError(
@@ -137,6 +140,22 @@ class SimDynamoDBTable:
                     {"dimension": "read", "units": self._read_units},
                 )
         return self._read_units
+
+    def next_capacity_event(self, now: int) -> int | None:
+        """Earliest future time either throughput dimension changes.
+
+        The span scheduler's horizon: the sooner of the pending write
+        and read capacity updates completing after ``now``. ``None``
+        when both dimensions are stable (updates already ripe at ``now``
+        are applied by the next capacity call, i.e. at span start).
+        """
+        best: int | None = None
+        if self._pending_write_target is not None and self._pending_ready_at > now:
+            best = self._pending_ready_at
+        if self._pending_read_target is not None and self._pending_read_ready_at > now:
+            if best is None or self._pending_read_ready_at < best:
+                best = self._pending_read_ready_at
+        return best
 
     def read_updating(self, now: int) -> bool:
         return self._pending_read_target is not None and now < self._pending_read_ready_at
@@ -279,7 +298,7 @@ class SimDynamoDBTable:
     # ------------------------------------------------------------------
     def emit_metrics(self, cloudwatch, clock: SimClock) -> None:
         now = clock.now
-        dims = {"TableName": self.name}
+        dims = self._dims
         provisioned = self.write_capacity(now) * clock.tick_seconds
         utilization = 100.0 * self._tick_consumed / provisioned if provisioned else 0.0
         cloudwatch.put_metric_data(
@@ -312,6 +331,46 @@ class SimDynamoDBTable:
         self._tick_throttled = 0
         self._tick_read_consumed = 0
         self._tick_read_throttled = 0
+
+    def emit_metrics_span(
+        self,
+        cloudwatch,
+        times: list[int],
+        consumed: list[int],
+        throttled: list[int],
+        utilization: list[float],
+        burst: list[float],
+        read_consumed: list[int],
+        read_throttled: list[int],
+        read_utilization: list[float],
+        write_capacity: int,
+        read_capacity: int,
+    ) -> None:
+        """Columnar :meth:`emit_metrics` for a whole span of ticks.
+
+        Provisioned capacities are constant inside a span (a pending
+        update completing is a span boundary), so they arrive as scalars
+        and broadcast per tick. Throttle-episode tracking replays tick
+        by tick — write then read per tick, matching the per-tick loop —
+        when a bus is attached.
+        """
+        dims = self._dims
+        batch = cloudwatch.put_metric_data_batch
+        count = len(times)
+        batch(NAMESPACE, "ConsumedWriteCapacityUnits", times, consumed, dims)
+        batch(NAMESPACE, "WriteThrottleEvents", times, throttled, dims)
+        batch(NAMESPACE, "ProvisionedWriteCapacityUnits", times, [write_capacity] * count, dims)
+        batch(NAMESPACE, "WriteUtilization", times, utilization, dims)
+        batch(NAMESPACE, "BurstBalance", times, burst, dims)
+        batch(NAMESPACE, "ConsumedReadCapacityUnits", times, read_consumed, dims)
+        batch(NAMESPACE, "ReadThrottleEvents", times, read_throttled, dims)
+        batch(NAMESPACE, "ProvisionedReadCapacityUnits", times, [read_capacity] * count, dims)
+        batch(NAMESPACE, "ReadUtilization", times, read_utilization, dims)
+        if self._bus is not None:
+            track = self._track_throttle_episode
+            for t, tick_throttled, tick_read_throttled in zip(times, throttled, read_throttled):
+                track(t, "write", tick_throttled)
+                track(t, "read", tick_read_throttled)
 
     def _track_throttle_episode(self, now: int, dimension: str, throttled: int) -> None:
         """Coalesce per-tick throttling into start/end events per

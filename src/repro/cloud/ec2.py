@@ -115,6 +115,27 @@ class SimEC2Fleet:
     def billable_count(self, now: int) -> int:
         return sum(1 for i in self._instances if i.billable(now))
 
+    def next_capacity_event(self, now: int) -> int | None:
+        """Earliest future time the running-instance count will change.
+
+        The span scheduler's horizon: the next boot completing
+        (``ready_at``) or, defensively, a termination scheduled in the
+        future (the built-in actuators terminate at the current time,
+        so in practice only boots appear here). ``None`` when the fleet
+        is stable past ``now``.
+        """
+        best: int | None = None
+        for instance in self._instances:
+            terminated_at = instance.terminated_at
+            if terminated_at is not None and terminated_at <= now:
+                continue
+            if instance.ready_at > now and (best is None or instance.ready_at < best):
+                best = instance.ready_at
+            if terminated_at is not None and terminated_at > now:
+                if best is None or terminated_at < best:
+                    best = terminated_at
+        return best
+
     # ------------------------------------------------------------------
     # Scaling
     # ------------------------------------------------------------------

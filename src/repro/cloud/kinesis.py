@@ -96,6 +96,9 @@ class SimKinesisStream:
         config: KinesisConfig | None = None,
     ) -> None:
         self.name = name
+        # Metric dimensions are immutable for the stream's lifetime;
+        # built once instead of per emit call.
+        self._dims = {"StreamName": name}
         self.config = config or KinesisConfig()
         if not self.config.min_shards <= shards <= self.config.max_shards:
             raise CapacityError(
@@ -174,6 +177,18 @@ class SimKinesisStream:
                 {"from": current, "to": target, "ready_at": self._reshard_ready_at},
             )
         return target
+
+    def next_capacity_event(self, now: int) -> int | None:
+        """Earliest future time the stream's capacity will change.
+
+        The span scheduler's horizon: a pending reshard completing after
+        ``now``. ``None`` when capacity is stable (including a reshard
+        already ripe at ``now`` — that one is applied by the very next
+        capacity call, i.e. at the start of the next span).
+        """
+        if self._reshard_target is not None and self._reshard_ready_at > now:
+            return self._reshard_ready_at
+        return None
 
     def write_capacity_records(self, now: int) -> int:
         """Records/second the stream can currently absorb.
@@ -272,7 +287,7 @@ class SimKinesisStream:
     def emit_metrics(self, cloudwatch, clock: SimClock) -> None:
         """Flush this tick's counters to CloudWatch and reset them."""
         now = clock.now
-        dims = {"StreamName": self.name}
+        dims = self._dims
         capacity = self.write_capacity_records(now) * clock.tick_seconds
         # Utilization is accepted/capacity — the saturating signal real
         # dashboards show; overload beyond 100% is visible through the
@@ -295,27 +310,65 @@ class SimKinesisStream:
             NAMESPACE, "MillisBehindLatest", self.iterator_age_millis(), now, dims
         )
         if self._bus is not None:
-            self._track_throttle_episode(now)
+            self._track_throttle_episode(now, self._tick_throttled)
         self._tick_accepted = 0
         self._tick_accepted_bytes = 0
         self._tick_throttled = 0
         self._tick_read = 0
 
-    def _track_throttle_episode(self, now: int) -> None:
+    def emit_metrics_span(
+        self,
+        cloudwatch,
+        times: list[int],
+        accepted: list[int],
+        accepted_bytes: list[int],
+        throttled: list[int],
+        read: list[int],
+        utilization: list[float],
+        backlog: list[int],
+        lag_ms: list[float],
+        shard_count: int,
+    ) -> None:
+        """Columnar :meth:`emit_metrics` for a whole span of ticks.
+
+        The caller (the pipeline's span executor) computed the per-tick
+        columns with the exact per-tick arithmetic; this method lands
+        them as batch appends — same values, same append order, one
+        series-version bump per metric per span — and replays the
+        throttle-episode tracking tick by tick when a bus is attached.
+        Tick counters are assumed already folded into the columns, so
+        unlike :meth:`emit_metrics` there is nothing to reset here.
+        """
+        dims = self._dims
+        batch = cloudwatch.put_metric_data_batch
+        batch(NAMESPACE, "IncomingRecords", times, accepted, dims)
+        batch(NAMESPACE, "IncomingBytes", times, accepted_bytes, dims)
+        batch(NAMESPACE, "WriteProvisionedThroughputExceeded", times, throttled, dims)
+        batch(NAMESPACE, "GetRecords.Records", times, read, dims)
+        batch(NAMESPACE, "ShardCount", times, [shard_count] * len(times), dims)
+        batch(NAMESPACE, "WriteUtilization", times, utilization, dims)
+        batch(NAMESPACE, "BacklogRecords", times, backlog, dims)
+        batch(NAMESPACE, "MillisBehindLatest", times, lag_ms, dims)
+        if self._bus is not None:
+            track = self._track_throttle_episode
+            for t, tick_throttled in zip(times, throttled):
+                track(t, tick_throttled)
+
+    def _track_throttle_episode(self, now: int, throttled: int) -> None:
         """Coalesce per-tick throttling into bounded start/end events.
 
         A sustained overload publishes two events (``throttle`` when it
         starts, ``throttle.end`` with totals when it clears) instead of
         one per tick, keeping traces readable and bounded.
         """
-        if self._tick_throttled:
+        if throttled:
             if self._throttle_since is None:
                 self._throttle_since = now
                 self._throttle_records = 0
                 self._bus.publish(
-                    now, self._bus_layer, "throttle", {"records": self._tick_throttled}
+                    now, self._bus_layer, "throttle", {"records": throttled}
                 )
-            self._throttle_records += self._tick_throttled
+            self._throttle_records += throttled
         elif self._throttle_since is not None:
             self._bus.publish(
                 now,

@@ -158,6 +158,9 @@ class SimStormCluster:
         topology: TopologyConfig | None = None,
     ) -> None:
         self.name = name
+        # Metric dimensions are immutable for the cluster's lifetime;
+        # built once instead of per emit call.
+        self._dims = {"Topology": name}
         self.fleet = fleet
         self.config = config or StormConfig()
         self.topology = topology
@@ -280,6 +283,34 @@ class SimStormCluster:
         """Whether a topology rebalance is in flight at ``now``."""
         return self.topology is not None and now < self._rebalancing_until
 
+    def next_capacity_event(self, now: int) -> int | None:
+        """Earliest future time the cluster's own capacity will change.
+
+        The only internal event is a rebalance window ending (VM-count
+        changes come from the fleet and are reported by its own
+        ``next_capacity_event``). ``None`` when no rebalance is in
+        flight past ``now``.
+        """
+        if self.topology is not None and now < self._rebalancing_until:
+            return self._rebalancing_until
+        return None
+
+    def next_window_flush(self, now: int, tick_seconds: int) -> int:
+        """The tick at which the current aggregation window will flush.
+
+        Span execution draws its CPU-noise normals in flush-bounded
+        segments of this length, so each segment's batched draws and
+        the flush's Poisson draw interleave in the same bitstream order
+        as the per-tick loop: one normal per tick, then the flush draw
+        on the segment's last tick. (Flushes themselves do not bound
+        spans.)
+        """
+        remaining = self.config.window_seconds - self._window_elapsed
+        ticks = -(-remaining // tick_seconds)
+        if ticks < 1:
+            ticks = 1
+        return now + ticks * tick_seconds
+
     @property
     def pending_records(self) -> int:
         """Tuples pulled from the stream but not yet processed."""
@@ -294,10 +325,36 @@ class SimStormCluster:
     # ------------------------------------------------------------------
     def emit_metrics(self, cloudwatch, clock: SimClock) -> None:
         now = clock.now
-        dims = {"Topology": self.name}
+        dims = self._dims
         cloudwatch.put_metric_data(NAMESPACE, "CPUUtilization", self._tick_cpu, now, dims)
         cloudwatch.put_metric_data(NAMESPACE, "ProcessedRecords", self._tick_processed, now, dims)
         cloudwatch.put_metric_data(NAMESPACE, "PendingTuples", self._pending_records, now, dims)
         cloudwatch.put_metric_data(NAMESPACE, "RunningVMs", self.fleet.running_count(now), now, dims)
         cloudwatch.put_metric_data(NAMESPACE, "ProvisionedVMs", self.fleet.provisioned_count(now), now, dims)
         cloudwatch.put_metric_data(NAMESPACE, "EmittedWrites", self._tick_writes_emitted, now, dims)
+
+    def emit_metrics_span(
+        self,
+        cloudwatch,
+        times: list[int],
+        cpu: list[float],
+        processed: list[int],
+        pending: list[int],
+        writes: list[int],
+        running_vms: int,
+        provisioned_vms: int,
+    ) -> None:
+        """Columnar :meth:`emit_metrics` for a whole span of ticks.
+
+        VM counts are constant inside a span (any change is a span
+        boundary), so they arrive as scalars and broadcast per tick.
+        """
+        dims = self._dims
+        batch = cloudwatch.put_metric_data_batch
+        count = len(times)
+        batch(NAMESPACE, "CPUUtilization", times, cpu, dims)
+        batch(NAMESPACE, "ProcessedRecords", times, processed, dims)
+        batch(NAMESPACE, "PendingTuples", times, pending, dims)
+        batch(NAMESPACE, "RunningVMs", times, [running_vms] * count, dims)
+        batch(NAMESPACE, "ProvisionedVMs", times, [provisioned_vms] * count, dims)
+        batch(NAMESPACE, "EmittedWrites", times, writes, dims)

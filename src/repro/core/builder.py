@@ -65,6 +65,7 @@ class FlowBuilder:
         self._ec2: EC2Config | None = None
         self._dynamodb: DynamoDBConfig | None = None
         self._recorder: FlightRecorder | None = None
+        self._span_execution = True
 
     # ------------------------------------------------------------------
     # Layers (the drag-and-drop step)
@@ -217,6 +218,17 @@ class FlowBuilder:
         self._tick_seconds = seconds
         return self
 
+    def spans(self, enabled: bool = True) -> "FlowBuilder":
+        """Enable or disable span-batched execution (on by default).
+
+        With spans the engine fuses the quiet ticks between control
+        boundaries into single batched calls — bit-identical to the
+        per-tick reference loop, just faster. Disable to force the
+        reference loop (e.g. for equivalence checks).
+        """
+        self._span_execution = enabled
+        return self
+
     def observe(
         self, profile: bool = False, recorder: FlightRecorder | None = None
     ) -> "FlowBuilder":
@@ -264,4 +276,5 @@ class FlowBuilder:
             ec2=self._ec2,
             dynamodb=self._dynamodb,
             recorder=self._recorder,
+            span_execution=self._span_execution,
         )

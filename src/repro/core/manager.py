@@ -185,6 +185,373 @@ class _FlowPipeline:
         self.cost_meters["storage"].accrue(self.table.write_capacity(now), dt)
         self.cost_meters["storage_reads"].accrue(self.table.read_capacity(now), dt)
 
+    # ------------------------------------------------------------------
+    # Span execution (see DESIGN.md "Span execution contract")
+    # ------------------------------------------------------------------
+    def span_horizon(self, now: int, limit: int, tick_seconds: int) -> int:
+        """Latest span end the data path can accept, at most ``limit``.
+
+        Two kinds of internal events bound a span (aggregation-window
+        flushes do *not*: :meth:`run_span` draws its CPU-noise normals
+        in flush-bounded segments, so a flush's Poisson draw lands at
+        exactly the bitstream position the per-tick loop gives it):
+
+        * a pending reshard / capacity update / rebalance completing —
+          the span must end on the last tick before the first affected
+          tick, unless that first affected tick is the very next one
+          (then :meth:`run_span`'s capacity hoist applies it);
+        * the running VM count changing (a boot completing or a future
+          termination) — the affected tick always runs as its own
+          single-tick span, because the change can *trigger* a topology
+          rebalance whose end time is unknowable before it happens.
+        """
+        first_tick = now + tick_seconds
+        horizon = limit
+        for event in (
+            self.stream.next_capacity_event(now),
+            self.table.next_capacity_event(now),
+            self.cluster.next_capacity_event(now),
+        ):
+            if event is None or event <= first_tick:
+                continue
+            affected = now + tick_seconds * (-(-(event - now) // tick_seconds))
+            if affected - tick_seconds < horizon:
+                horizon = affected - tick_seconds
+        fleet_event = self.cluster.fleet.next_capacity_event(now)
+        if fleet_event is not None:
+            affected = now + tick_seconds * (-(-(fleet_event - now) // tick_seconds))
+            bound = affected - tick_seconds if affected > first_tick else first_tick
+            if bound < horizon:
+                horizon = bound
+        return horizon
+
+    def run_span(self, clock: SimClock, span_end: int) -> None:
+        """Execute the ticks ``(clock.now, span_end]`` as one batch.
+
+        Bit-identical to calling :meth:`on_tick` once per tick: the
+        capacity coefficients are constant across the span (that is what
+        :meth:`span_horizon` guarantees), so every capacity lookup, dict
+        build and method dispatch is hoisted out of the loop, RNG draws
+        are batched per stream in bitstream order, the backlog/throttle
+        recurrence runs over plain locals, and the per-tick metric
+        values land as columnar batch appends at the end of the span.
+        """
+        dt = clock.tick_seconds
+        now = clock.now
+        count = (span_end - now) // dt
+        first_tick = now + dt
+        stream = self.stream
+        cluster = self.cluster
+        table = self.table
+
+        # Workload draws first, as in the per-tick loop (the generator
+        # touches no service state, so its batch can lead the span).
+        records_col, payload_col, distinct_col = self.generator.generate_span(
+            first_tick, count, dt
+        )
+
+        # Capacity hoist, in the per-tick loop's call order so pending
+        # changes ripe at the first tick apply — and publish their bus
+        # events — exactly where the reference path would apply them.
+        record_cap = stream.write_capacity_records(first_tick) * dt
+        byte_cap = stream.write_capacity_bytes(first_tick) * dt
+        shards = stream.shard_count(first_tick)
+        stream_read_cap = shards * stream.config.read_records_per_shard_per_second * dt
+        fleet = cluster.fleet
+        vms = fleet.running_count(first_tick)
+        analytics_cap = cluster._capacity_this_tick(vms, first_tick) * dt
+        poll_limit = int(analytics_cap * cluster.config.poll_factor)
+        provisioned_vms = fleet.provisioned_count(first_tick)
+        billable_vms = fleet.billable_count(first_tick)
+        write_units = table.write_capacity(first_tick)
+        read_units_cap = table.read_capacity(first_tick)
+        write_cap = write_units * dt
+        read_cap = read_units_cap * dt
+        write_bucket_cap = table.config.burst_seconds * write_units
+        read_bucket_cap = table.config.burst_seconds * read_units_cap
+
+        # CPU-noise normals are drawn in flush-bounded segments: the
+        # scalar loop's draw order on the cluster's stream is one normal
+        # per tick with a flush Poisson interleaved at each window
+        # boundary, so each refill batches exactly the normals up to
+        # (and including) the next flush tick. Batched normals are
+        # bit-identical to the same number of scalar draws.
+        noise_std = cluster.config.cpu_noise_std
+        storm_normal = cluster._rng.normal
+        noise_buf: list[float] = []
+        noise_idx = 0
+
+        has_reads = self.read_workload is not None
+        if has_reads:
+            read_grid = self._read_grid
+            if read_grid is None or read_grid.step != dt:
+                read_grid = self._read_grid = RateGrid(self.read_workload, dt)
+            read_rates = read_grid.rates_span(first_tick, count)
+            read_poisson = self._read_rng.poisson
+
+        # Service state into locals for the recurrence.
+        max_backlog = self.MAX_BACKLOG
+        backlog_records = self._producer_backlog_records
+        backlog_bytes = self._producer_backlog_bytes
+        dropped_records = self.dropped_records
+        buffer_records = stream._buffer_records
+        buffer_bytes = stream._buffer_bytes
+        smoothed_rate = stream._smoothed_rate
+        pending = cluster._pending_records
+        window_keys = cluster._window_keys
+        window_records = cluster._window_records
+        window_elapsed = cluster._window_elapsed
+        window_seconds = cluster.config.window_seconds
+        distinct_estimator = cluster._distinct_estimator
+        storm_poisson = cluster._rng.poisson
+        idle = cluster.config.cpu_idle_percent
+        burst = table._burst_bucket
+        read_burst = table._read_burst_bucket
+        write_backlog = self._write_backlog
+        dropped_writes = self.dropped_writes
+        alpha = min(1.0, dt / 60.0)
+        two_record_cap = 2 * record_cap
+        two_write_cap = 2 * write_cap
+
+        times: list[int] = []
+        k_accepted: list[int] = []
+        k_accepted_bytes: list[int] = []
+        k_throttled: list[int] = []
+        k_read: list[int] = []
+        k_util: list[float] = []
+        k_backlog: list[int] = []
+        k_lag: list[float] = []
+        s_cpu: list[float] = []
+        s_processed: list[int] = []
+        s_pending: list[int] = []
+        s_writes: list[int] = []
+        d_consumed: list[int] = []
+        d_throttled: list[int] = []
+        d_util: list[float] = []
+        d_burst: list[float] = []
+        d_read_consumed: list[int] = []
+        d_read_throttled: list[int] = []
+        d_read_util: list[float] = []
+        # Bound-method locals: ~20 column appends per tick make the
+        # attribute lookups measurable in this loop.
+        times_append = times.append
+        k_accepted_append = k_accepted.append
+        k_accepted_bytes_append = k_accepted_bytes.append
+        k_throttled_append = k_throttled.append
+        k_read_append = k_read.append
+        k_util_append = k_util.append
+        k_backlog_append = k_backlog.append
+        k_lag_append = k_lag.append
+        s_cpu_append = s_cpu.append
+        s_processed_append = s_processed.append
+        s_pending_append = s_pending.append
+        s_writes_append = s_writes.append
+        d_consumed_append = d_consumed.append
+        d_throttled_append = d_throttled.append
+        d_util_append = d_util.append
+        d_burst_append = d_burst.append
+        d_read_consumed_append = d_read_consumed.append
+        d_read_throttled_append = d_read_throttled.append
+        d_read_util_append = d_read_util.append
+
+        cpu = cluster._tick_cpu
+        processed = cluster._tick_processed
+        writes = cluster._tick_writes_emitted
+        t = now
+        for i in range(count):
+            t += dt
+            times_append(t)
+            records = records_col[i]
+            payload = payload_col[i]
+
+            # 1. Producer retries + Kinesis put (see on_tick step 1).
+            retry_records = min(backlog_records, two_record_cap)
+            if backlog_records:
+                retry_bytes = int(backlog_bytes * retry_records / backlog_records)
+            else:
+                retry_bytes = 0
+            offered = records + retry_records
+            offered_bytes = payload + retry_bytes
+            if offered == 0:
+                accepted = 0
+                accepted_bytes = 0
+                throttled = 0
+                throttled_bytes = 0
+            else:
+                record_fraction = min(1.0, record_cap / offered)
+                byte_fraction = min(1.0, byte_cap / offered_bytes) if offered_bytes else 1.0
+                fraction = min(record_fraction, byte_fraction)
+                accepted = int(offered * fraction)
+                accepted_bytes = int(offered_bytes * fraction)
+                buffer_records += accepted
+                buffer_bytes += accepted_bytes
+                throttled = offered - accepted
+                throttled_bytes = offered_bytes - accepted_bytes
+            backlog_records = backlog_records - retry_records + throttled
+            backlog_bytes = backlog_bytes - retry_bytes + throttled_bytes
+            if backlog_records > max_backlog:
+                dropped_records += backlog_records - max_backlog
+                backlog_bytes = int(backlog_bytes * max_backlog / backlog_records)
+                backlog_records = max_backlog
+
+            # 2. Storm pulls and processes (pull_and_process, inlined).
+            wanted = poll_limit - pending
+            if wanted < 0:
+                wanted = 0
+            handed = min(wanted, buffer_records, stream_read_cap)
+            if buffer_records:
+                buffer_bytes -= int(buffer_bytes * handed / buffer_records)
+            buffer_records -= handed
+            pending += handed
+            processed = min(pending, analytics_cap)
+            pending -= processed
+            if vms > 0:
+                if analytics_cap > 0:
+                    cpu = idle + (100.0 - idle) * (processed / analytics_cap)
+                else:
+                    cpu = idle
+                if pending > 0:
+                    cpu = 100.0
+            else:
+                cpu = 0.0
+            if noise_std:
+                if noise_idx == len(noise_buf):
+                    # Refill up to (and including) the next flush tick;
+                    # window_elapsed has not yet counted this tick.
+                    seg = -(-(window_seconds - window_elapsed) // dt)
+                    if seg < 1:
+                        seg = 1
+                    remaining = count - i
+                    if seg > remaining:
+                        seg = remaining
+                    noise_buf = storm_normal(0.0, noise_std, size=seg).tolist()
+                    noise_idx = 0
+                noise = noise_buf[noise_idx]
+                noise_idx += 1
+            else:
+                noise = 0.0
+            cpu = float(min(100.0, max(0.0, cpu + noise)))
+            window_keys += distinct_col[i]
+            window_records += processed
+            window_elapsed += dt
+            writes = 0
+            if window_elapsed >= window_seconds:
+                if distinct_estimator is not None:
+                    expected = distinct_estimator(window_records)
+                    writes = int(storm_poisson(expected)) if expected > 0 else 0
+                else:
+                    ticks_in_window = max(1, window_elapsed // dt)
+                    writes = int(round(window_keys / ticks_in_window))
+                window_keys = 0.0
+                window_records = 0
+                window_elapsed = 0
+
+            # 3. DynamoDB writes + retry pacing (on_tick step 3).
+            retry_writes = min(write_backlog, two_write_cap)
+            units = writes + retry_writes
+            write_accepted = min(units, write_cap)
+            excess = units - write_accepted
+            if excess > 0 and burst > 0:
+                from_burst = int(min(excess, burst))
+                write_accepted += from_burst
+                excess -= from_burst
+                burst -= from_burst
+            unused = max(0, write_cap - units)
+            burst = min(write_bucket_cap, burst + unused)
+            write_backlog = write_backlog - retry_writes + excess
+            if write_backlog > max_backlog:
+                dropped_writes += write_backlog - max_backlog
+                write_backlog = max_backlog
+
+            # 3b. Dashboard reads (on_tick step 3b).
+            if has_reads:
+                read_expected = read_rates[i] * dt
+                read_units = int(read_poisson(read_expected)) if read_expected > 0 else 0
+                read_accepted = min(read_units, read_cap)
+                read_excess = read_units - read_accepted
+                if read_excess > 0 and read_burst > 0:
+                    from_burst = int(min(read_excess, read_burst))
+                    read_accepted += from_burst
+                    read_excess -= from_burst
+                    read_burst -= from_burst
+                read_unused = max(0, read_cap - read_units)
+                read_burst = min(read_bucket_cap, read_burst + read_unused)
+            else:
+                read_accepted = 0
+                read_excess = 0
+
+            # 4. Metric columns, with the emit-time arithmetic verbatim.
+            k_accepted_append(accepted)
+            k_accepted_bytes_append(accepted_bytes)
+            k_throttled_append(throttled)
+            k_read_append(handed)
+            k_util_append(100.0 * accepted / record_cap if record_cap else 0.0)
+            k_backlog_append(buffer_records)
+            tick_rate = accepted / dt
+            smoothed_rate += alpha * (tick_rate - smoothed_rate)
+            if buffer_records == 0:
+                k_lag_append(0.0)
+            else:
+                k_lag_append(1000.0 * buffer_records / max(smoothed_rate, 1e-9))
+            s_cpu_append(cpu)
+            s_processed_append(processed)
+            s_pending_append(pending)
+            s_writes_append(writes)
+            d_consumed_append(write_accepted)
+            d_throttled_append(excess)
+            d_util_append(100.0 * write_accepted / write_cap if write_cap else 0.0)
+            d_burst_append(burst)
+            d_read_consumed_append(read_accepted)
+            d_read_throttled_append(read_excess)
+            d_read_util_append(100.0 * read_accepted / read_cap if read_cap else 0.0)
+
+        # Write service state back.
+        self._producer_backlog_records = backlog_records
+        self._producer_backlog_bytes = backlog_bytes
+        self.dropped_records = dropped_records
+        self._write_backlog = write_backlog
+        self.dropped_writes = dropped_writes
+        stream._buffer_records = buffer_records
+        stream._buffer_bytes = buffer_bytes
+        stream._smoothed_rate = smoothed_rate
+        cluster._pending_records = pending
+        cluster._window_keys = window_keys
+        cluster._window_records = window_records
+        cluster._window_elapsed = window_elapsed
+        cluster._tick_cpu = cpu
+        cluster._tick_processed = processed
+        cluster._tick_writes_emitted = writes
+        table._burst_bucket = burst
+        table._read_burst_bucket = read_burst
+
+        # 4. Columnar metric emission (same values, same append order).
+        cloudwatch = self.cloudwatch
+        stream.emit_metrics_span(
+            cloudwatch, times, k_accepted, k_accepted_bytes, k_throttled, k_read,
+            k_util, k_backlog, k_lag, shards,
+        )
+        cluster.emit_metrics_span(
+            cloudwatch, times, s_cpu, s_processed, s_pending, s_writes,
+            vms, provisioned_vms,
+        )
+        table.emit_metrics_span(
+            cloudwatch, times, d_consumed, d_throttled, d_util, d_burst,
+            d_read_consumed, d_read_throttled, d_read_util,
+            write_units, read_units_cap,
+        )
+
+        # 5. Costs: every accrued quantity is an integer and constant
+        #    across the span, so one accrue over count*dt seconds sums
+        #    exactly (integer-valued float adds below 2**53 are exact);
+        #    usage volumes are ints and sum exactly too.
+        span_seconds = count * dt
+        meters = self.cost_meters
+        meters["ingestion"].accrue(shards, span_seconds)
+        meters["ingestion"].record_usage(sum(k_accepted))
+        meters["analytics"].accrue(billable_vms, span_seconds)
+        meters["storage"].accrue(write_units, span_seconds)
+        meters["storage_reads"].accrue(read_units_cap, span_seconds)
+
 
 @dataclass
 class FlowRunResult:
@@ -219,7 +586,8 @@ class FlowRunResult:
         datapoints = self.cloudwatch.get_metric_statistics(
             namespace, metric, 0, self.duration_seconds, period, statistic, dimensions
         )
-        return Trace.from_series(f"{namespace}/{metric}", *zip(*datapoints)) if datapoints else Trace(metric)
+        name = f"{namespace}/{metric}"
+        return Trace.from_series(name, *zip(*datapoints)) if datapoints else Trace(name)
 
     def utilization_trace(self, kind: LayerKind, period: int | None = None) -> Trace:
         namespace, metric = LAYER_SENSE[kind]
@@ -279,6 +647,7 @@ class FlowElasticityManager:
         ec2: EC2Config | None = None,
         dynamodb: DynamoDBConfig | None = None,
         recorder: FlightRecorder | None = None,
+        span_execution: bool = True,
     ) -> None:
         self.flow = flow or clickstream_flow_spec()
         self.capacities = capacities or ServiceCapacities()
@@ -331,6 +700,15 @@ class FlowElasticityManager:
             "storage_reads": CostMeter(self.price_book, "dynamodb.rcu"),
         }
 
+        # Service names are fixed at construction, so the per-layer
+        # metric dimension dicts are too; sensors, the collector and the
+        # run result all share these instead of rebuilding them.
+        self._layer_dims: dict[LayerKind, dict[str, str]] = {
+            LayerKind.INGESTION: {"StreamName": self.stream.name},
+            LayerKind.ANALYTICS: {"Topology": self.cluster.name},
+            LayerKind.STORAGE: {"TableName": self.table.name},
+        }
+
         # Flight recorder: everything downstream is opt-in — services
         # publish to the bus, loops feed the decision audit log, and the
         # engine runs its profiled loop — only when a recorder is given.
@@ -340,7 +718,9 @@ class FlowElasticityManager:
             self.cluster.attach_bus(recorder.bus, "analytics")
             self.table.attach_bus(recorder.bus, "storage")
 
-        self.engine = SimulationEngine(clock=SimClock(tick_seconds=tick_seconds))
+        self.engine = SimulationEngine(
+            clock=SimClock(tick_seconds=tick_seconds), span_execution=span_execution
+        )
         if recorder is not None:
             self.engine.profiler = recorder.profiler
         self._pipeline = _FlowPipeline(
@@ -442,11 +822,7 @@ class FlowElasticityManager:
                 actuator.cap = float(bounds[kind])
 
     def _dimensions_for(self, kind: LayerKind) -> dict[str, str]:
-        return {
-            LayerKind.INGESTION: {"StreamName": self.stream.name},
-            LayerKind.ANALYTICS: {"Topology": self.cluster.name},
-            LayerKind.STORAGE: {"TableName": self.table.name},
-        }[kind]
+        return self._layer_dims[kind]
 
     def _build_collector(self) -> MetricCollector:
         collector = MetricCollector(self.cloudwatch, window=self.snapshot_period)

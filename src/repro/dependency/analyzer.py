@@ -67,8 +67,12 @@ class DependencyModel:
         )
 
 
-def _align(a: Trace, b: Trace) -> tuple[list[float], list[float]]:
-    """Pair up values of two traces on their common timestamps."""
+def _align_columns(a: Trace, b: Trace) -> tuple[list[float], list[float]]:
+    """Pair up values of two traces on their common timestamps.
+
+    Returns the aligned columns however few common timestamps there
+    are; callers enforce the >= 3 minimum.
+    """
     b_by_time = dict(zip(b.times, b.values))
     xs: list[float] = []
     ys: list[float] = []
@@ -76,11 +80,21 @@ def _align(a: Trace, b: Trace) -> tuple[list[float], list[float]]:
         if t in b_by_time:
             xs.append(v)
             ys.append(b_by_time[t])
+    return xs, ys
+
+
+def _too_few(a_name: str, b_name: str, common: int) -> RegressionError:
+    return RegressionError(
+        f"traces {a_name!r} and {b_name!r} share only {common} "
+        "timestamps; need >= 3 (resample them to a common period first)"
+    )
+
+
+def _align(a: Trace, b: Trace) -> tuple[list[float], list[float]]:
+    """Pair up values of two traces on their common timestamps."""
+    xs, ys = _align_columns(a, b)
     if len(xs) < 3:
-        raise RegressionError(
-            f"traces {a.name!r} and {b.name!r} share only {len(xs)} "
-            "timestamps; need >= 3 (resample them to a common period first)"
-        )
+        raise _too_few(a.name, b.name, len(xs))
     return xs, ys
 
 
@@ -104,6 +118,15 @@ class WorkloadDependencyAnalyzer:
         self.min_abs_r = min_abs_r
         self.alpha = alpha
         self._series: dict[MetricRef, Trace] = {}
+        # Aligned columns per ordered (source, target) pair, shared by
+        # fit_pair/correlation/analyze/correlation_matrix so each
+        # unordered pair is aligned once, not once per direction per
+        # caller. A successful entry holds the (xs, ys) columns; a
+        # failed one holds the common-timestamp count (int) so the
+        # per-ordering error message can be reconstructed.
+        self._align_cache: dict[
+            tuple[MetricRef, MetricRef], tuple[list[float], list[float]] | int
+        ] = {}
 
     def add_series(self, layer: LayerKind, metric: str, trace: Trace) -> MetricRef:
         """Register a workload-log series for one layer metric."""
@@ -111,6 +134,9 @@ class WorkloadDependencyAnalyzer:
             raise RegressionError(f"series {layer.name}/{metric} has fewer than 3 points")
         ref = MetricRef(layer, metric)
         self._series[ref] = trace
+        # The new (or replaced) trace invalidates any alignment that
+        # involved this ref; dropping the whole memo is cheap and safe.
+        self._align_cache.clear()
         return ref
 
     @property
@@ -150,12 +176,12 @@ class WorkloadDependencyAnalyzer:
         """Fit Eq. 1 for one ordered (source -> target) pair."""
         if source == target:
             raise RegressionError("source and target must differ")
-        xs, ys = _align(self._trace(source), self._trace(target))
+        xs, ys = self._aligned(source, target)
         return DependencyModel(source=source, target=target, result=fit_linear(xs, ys))
 
     def correlation(self, source: MetricRef, target: MetricRef, max_lag: int = 0) -> CrossCorrelation:
         """Lagged cross-correlation between two registered series."""
-        xs, ys = _align(self._trace(source), self._trace(target))
+        xs, ys = self._aligned(source, target)
         return cross_correlation(xs, ys, max_lag)
 
     def analyze(self, cross_layer_only: bool = True) -> list[DependencyModel]:
@@ -206,7 +232,7 @@ class WorkloadDependencyAnalyzer:
                     cells.append(f"{'1.000':>{width}}")
                     continue
                 try:
-                    xs, ys = _align(self._trace(row_ref), self._trace(col_ref))
+                    xs, ys = self._aligned(row_ref, col_ref)
                     from repro.dependency.regression import pearson_r
 
                     cells.append(f"{pearson_r(xs, ys):>+{width}.3f}")
@@ -214,6 +240,28 @@ class WorkloadDependencyAnalyzer:
                     cells.append(f"{'n/a':>{width}}")
             lines.append(f"{str(row_ref):<{width}}  " + "  ".join(cells))
         return "\n".join(lines)
+
+    def _aligned(self, source: MetricRef, target: MetricRef) -> tuple[list[float], list[float]]:
+        """Cached aligned (source values, target values) columns.
+
+        Each unordered pair is aligned at most once: trace timestamps
+        are strictly increasing, so the common timestamps come out in
+        the same (sorted) order whichever trace drives the scan, and
+        the reversed ordering is exactly the cached columns swapped.
+        """
+        cache = self._align_cache
+        entry = cache.get((source, target))
+        if entry is None:
+            reverse = cache.get((target, source))
+            if reverse is not None:
+                entry = reverse if isinstance(reverse, int) else (reverse[1], reverse[0])
+            else:
+                xs, ys = _align_columns(self._trace(source), self._trace(target))
+                entry = (xs, ys) if len(xs) >= 3 else len(xs)
+            cache[(source, target)] = entry
+        if isinstance(entry, int):
+            raise _too_few(self._trace(source).name, self._trace(target).name, entry)
+        return entry
 
     def _trace(self, ref: MetricRef) -> Trace:
         try:

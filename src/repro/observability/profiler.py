@@ -64,6 +64,25 @@ class TickProfiler:
             self.tick_seconds_max = elapsed
         self.histogram[bisect_left(HISTOGRAM_BOUNDS, elapsed)] += 1
 
+    def record_span(self, ticks: int, elapsed: float) -> None:
+        """Account a whole span of ``ticks`` ticks that took ``elapsed``.
+
+        Span execution times the span as a unit, so per-tick durations
+        are attributed at the span's mean: ``tick_count`` and the
+        histogram advance by ``ticks`` (keeping ``sum(histogram) ==
+        tick_count``), and the max tracks the mean-per-tick — the
+        per-tick resolution inside a span is intentionally given up for
+        the speed of not calling ``perf_counter`` twice per tick.
+        """
+        if ticks <= 0:
+            return
+        self.tick_count += ticks
+        self.tick_seconds_total += elapsed
+        mean = elapsed / ticks
+        if mean > self.tick_seconds_max:
+            self.tick_seconds_max = mean
+        self.histogram[bisect_left(HISTOGRAM_BOUNDS, mean)] += ticks
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------

@@ -58,5 +58,25 @@ class SimClock:
         self._ticks += 1
         return self._now
 
+    def advance_to(self, t: int) -> int:
+        """Advance directly to ``t``, counting the ticks in between.
+
+        Used by span execution: after a span ``(now, t]`` has been
+        processed in bulk, the clock jumps to the span end while
+        :attr:`ticks` stays consistent with having advanced one tick at
+        a time. ``t`` must lie ahead of the clock on the tick grid.
+        """
+        delta = t - self._now
+        if delta <= 0:
+            raise SimulationError(f"cannot advance clock backwards: now={self._now}, target={t}")
+        if delta % self.tick_seconds != 0:
+            raise SimulationError(
+                f"target {t}s is not on the tick grid "
+                f"(now={self._now}s, tick={self.tick_seconds}s)"
+            )
+        self._ticks += delta // self.tick_seconds
+        self._now = t
+        return self._now
+
     def __repr__(self) -> str:
         return f"SimClock(now={self._now}s, tick={self.tick_seconds}s)"

@@ -33,6 +33,40 @@ class TickComponent(Protocol):
         ...
 
 
+class SpanComponent(Protocol):
+    """A component that can process a whole span of ticks at once.
+
+    Between control boundaries the flow's dynamics are a fixed-capacity
+    recurrence, so a span-capable component batches the ticks
+    ``(clock.now, span_end]`` in one call. The contract mirrors the
+    per-tick loop exactly:
+
+    * ``span_horizon(now, limit, tick_seconds)`` returns the latest
+      span end the component can accept, at most ``limit``: the last
+      tick before any internal state event (pending reshard/rebalance/
+      warm-up completion) would change the recurrence's coefficients —
+      except events landing on the very next tick, which the component
+      resolves itself at span start — and exactly the tick of an
+      aggregation-window flush, so a flush is always a span's last
+      tick. The returned time must lie on the tick grid.
+    * ``run_span(clock, span_end)`` executes ticks ``clock.now + dt ..
+      span_end`` (inclusive) without advancing the clock; the engine
+      advances it afterwards. Results must be bit-identical to calling
+      ``on_tick`` once per tick.
+    """
+
+    def on_tick(self, clock: SimClock) -> None:  # pragma: no cover - protocol
+        ...
+
+    def span_horizon(
+        self, now: int, limit: int, tick_seconds: int
+    ) -> int:  # pragma: no cover - protocol
+        ...
+
+    def run_span(self, clock: SimClock, span_end: int) -> None:  # pragma: no cover - protocol
+        ...
+
+
 @dataclass
 class PeriodicTask:
     """A callback fired every ``interval`` simulated seconds.
@@ -68,6 +102,17 @@ class PeriodicTask:
             return False
         return (now - self.phase) % self.interval == 0
 
+    def next_due(self, now: int) -> int:
+        """Earliest firing time strictly after ``now``.
+
+        This is the task's contribution to the span boundary: the span
+        starting just after ``now`` may extend at most to this time, so
+        the firing lands exactly on a span end.
+        """
+        if now < self.phase:
+            return self.phase
+        return now + self.interval - (now - self.phase) % self.interval
+
 
 @dataclass
 class SimulationEngine:
@@ -78,6 +123,11 @@ class SimulationEngine:
     #: original allocation-free tick loop — the dispatch happens once
     #: per :meth:`run` call, not per tick.
     profiler: TickProfiler | None = None
+    #: Batch quiet ticks into spans when every component supports the
+    #: :class:`SpanComponent` protocol and no per-tick hooks are
+    #: registered; otherwise :meth:`run` silently falls back to the
+    #: per-tick reference loop. Disable to force the reference loop.
+    span_execution: bool = True
     _components: list[TickComponent] = field(default_factory=list)
     _tasks: list[PeriodicTask] = field(default_factory=list)
     _tick_hooks: list[Callable[[int], None]] = field(default_factory=list)
@@ -144,6 +194,14 @@ class SimulationEngine:
             )
         self._stopped = False
         end = self.clock.now + duration_seconds
+        if (
+            self.span_execution
+            and not self._tick_hooks
+            and all(
+                hasattr(c, "run_span") and hasattr(c, "span_horizon") for c in self._components
+            )
+        ):
+            return self._run_spans(end)
         if self.profiler is not None:
             return self._run_profiled(end)
         while self.clock.now < end and not self._stopped:
@@ -155,6 +213,58 @@ class SimulationEngine:
                     task.callback(now)
             for hook in self._tick_hooks:
                 hook(now)
+        return self.clock.now
+
+    def _run_spans(self, end: int) -> int:
+        """Span scheduler: batch the quiet ticks between control boundaries.
+
+        Each iteration computes the next boundary — the earliest of the
+        run end, any task's next firing, and any component's span
+        horizon (pending capacity events, aggregation-window flushes) —
+        then hands every component the whole span ``(now, boundary]`` in
+        one ``run_span`` call, advances the clock, and fires the tasks
+        due at the boundary. Because every task firing time is itself a
+        boundary, tasks fire at exactly the times the per-tick loop
+        would fire them, observing exactly the same service and metric
+        state.
+        """
+        profiler = self.profiler
+        labels = {id(c): type(c).__name__ for c in self._components}
+        dt = self.clock.tick_seconds
+        minimum = dt  # a span is never shorter than one tick
+        while self.clock.now < end and not self._stopped:
+            now = self.clock.now
+            boundary = end
+            for task in self._tasks:
+                due = task.next_due(now)
+                if due < boundary:
+                    boundary = due
+            for component in self._components:
+                horizon = component.span_horizon(now, boundary, dt)
+                if horizon < boundary:
+                    boundary = horizon
+            if boundary < now + minimum:
+                boundary = now + minimum
+            if profiler is not None:
+                span_started = perf_counter()
+                for component in self._components:
+                    started = perf_counter()
+                    component.run_span(self.clock, boundary)
+                    profiler.record_component(labels[id(component)], perf_counter() - started)
+                self.clock.advance_to(boundary)
+                for task in self._tasks:
+                    if task.due(boundary):
+                        started = perf_counter()
+                        task.callback(boundary)
+                        profiler.record_task(task.name, perf_counter() - started)
+                profiler.record_span((boundary - now) // dt, perf_counter() - span_started)
+            else:
+                for component in self._components:
+                    component.run_span(self.clock, boundary)
+                self.clock.advance_to(boundary)
+                for task in self._tasks:
+                    if task.due(boundary):
+                        task.callback(boundary)
         return self.clock.now
 
     def _run_profiled(self, end: int) -> int:

@@ -91,6 +91,10 @@ class ClickStreamGenerator:
         self._total_records = 0
         self._total_bytes = 0
         self._grid: RateGrid | None = None
+        # expected_distinct is a pure function of the record count and
+        # the (fixed) popularity law; Poisson-sampled counts revisit the
+        # same values constantly, so the occupancy sum is memoized.
+        self._distinct_cache: dict[int, float] = {}
 
     def generate(self, clock: SimClock) -> ClickBatch:
         """Produce the click events arriving during the current tick.
@@ -113,6 +117,62 @@ class ClickStreamGenerator:
         self._total_records += records
         self._total_bytes += payload
         return ClickBatch(records=records, payload_bytes=payload, distinct_keys=distinct)
+
+    def generate_span(
+        self, start: int, count: int, tick_seconds: int
+    ) -> tuple[list[int], list[int], list[int]]:
+        """Per-tick batches for the ``count`` ticks at ``start``,
+        ``start + tick_seconds``, ...
+
+        The click stream's RNG draws interleave *within* each tick
+        (arrival Poisson, then per-record size log-normals, then the
+        distinct-page Poisson, all on one stream), so the draws stay a
+        per-tick loop — what the span path saves is the per-tick method
+        dispatch, config lookups and ``ClickBatch`` allocation. Returns
+        the ``(records, payload_bytes, distinct_keys)`` columns,
+        bit-identical to ``count`` :meth:`generate` calls.
+        """
+        grid = self._grid
+        if grid is None or grid.step != tick_seconds:
+            grid = self._grid = RateGrid(self.pattern, tick_seconds)
+        rates = grid.rates_span(start, count)
+        poisson = self._rng.poisson
+        lognormal = self._rng.lognormal
+        sigma = self.config.record_bytes_sigma
+        mean = self.config.mean_record_bytes
+        mu = np.log(mean) - 0.5 * sigma * sigma
+        catalog_pages = self.config.catalog_pages
+        expected_distinct = self.expected_distinct
+        distinct_cache = self._distinct_cache
+        records_col: list[int] = []
+        payload_col: list[int] = []
+        distinct_col: list[int] = []
+        span_records = 0
+        span_bytes = 0
+        for rate in rates:
+            expected = rate * tick_seconds
+            records = int(poisson(expected)) if expected > 0 else 0
+            if records == 0:
+                payload = 0
+                distinct = 0
+            else:
+                if sigma == 0.0 or records > 10000:
+                    payload = int(records * mean)
+                else:
+                    payload = int(lognormal(mu, sigma, size=records).sum())
+                expected_pages = distinct_cache.get(records)
+                if expected_pages is None:
+                    expected_pages = expected_distinct(records)
+                jittered = poisson(expected_pages) if expected_pages > 0 else 0
+                distinct = int(min(catalog_pages, jittered))
+                span_records += records
+                span_bytes += payload
+            records_col.append(records)
+            payload_col.append(payload)
+            distinct_col.append(distinct)
+        self._total_records += span_records
+        self._total_bytes += span_bytes
+        return records_col, payload_col, distinct_col
 
     def _sample_payload(self, records: int) -> int:
         """Total bytes for ``records`` events, log-normal per-record sizes.
@@ -143,7 +203,11 @@ class ClickStreamGenerator:
             raise ConfigurationError("records must be non-negative")
         if records == 0:
             return 0.0
-        return float(np.sum(1.0 - np.power(1.0 - self._page_probs, records)))
+        cached = self._distinct_cache.get(records)
+        if cached is None:
+            cached = float(np.sum(1.0 - np.power(1.0 - self._page_probs, records)))
+            self._distinct_cache[records] = cached
+        return cached
 
     def _expected_distinct_pages(self, records: int) -> int:
         """Per-tick distinct page count with Poisson jitter."""

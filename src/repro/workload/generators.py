@@ -384,6 +384,20 @@ class RateGrid:
             index = 0
         return float(self._rates[index])
 
+    def rates_span(self, start: int, count: int) -> list[float]:
+        """``[rate_at(start + i * step) for i in range(count)]`` in one call.
+
+        Patterns are pure (even :class:`NoisyRate` pre-draws its
+        factors) and ``values()`` is elementwise-equal to ``rate(t)``,
+        so one grid evaluation over the span returns bit-identical
+        values regardless of how chunk refills would have fallen. The
+        cached chunk is left untouched for interleaved ``rate_at`` use.
+        """
+        if count <= 0:
+            return []
+        step = self.step
+        return self.pattern.values(start, start + count * step, step).tolist()
+
 
 class ReplayRate(RatePattern):
     """Replays a recorded trace with step-hold interpolation."""

@@ -1,0 +1,216 @@
+"""Span execution must be bit-identical to the per-tick reference loop.
+
+Every test here runs the same flow twice — once with span-batched
+execution (the default) and once with ``.spans(False)`` forcing the
+per-tick loop — and asserts the complete observable state matches
+exactly: every raw metric datapoint (compared by ``repr`` so a single
+ULP of drift fails), cost-meter accumulators, drop counters, collector
+snapshots, and control decisions.
+
+Bus *events* are compared as per-timestamp multisets: the span path may
+emit same-timestamp events in a different relative order (e.g. a read
+``capacity.applied`` lands before a throttle episode), but the set of
+events at each simulated second is identical.
+
+Scenario coverage targets exactly the hazards inside a span: reshard
+completions, topology rebalances, EC2 warm-ups, aggregation-window
+flushes, and MAX_BACKLOG crossings.
+"""
+
+import random
+
+from repro.cloud.storm import BoltSpec, TopologyConfig
+from repro.core.builder import FlowBuilder
+from repro.core.flow import LayerKind
+from repro.core.manager import _FlowPipeline
+from repro.workload.generators import ConstantRate, SinusoidalRate, StepRate
+
+
+def _raw_metrics(result):
+    """Every stored datapoint of every series, reprs at full precision."""
+    out = {}
+    for key, series in result.cloudwatch._series.items():
+        out[key] = (
+            series.times.tolist(),
+            [repr(v) for v in series.values.tolist()],
+        )
+    return out
+
+
+def _costs(result):
+    return [(name, repr(meter.total_cost)) for name, meter in sorted(result.cost_meters.items())]
+
+
+def _snapshots(result):
+    return [
+        (snap.time, sorted((k, repr(v)) for k, v in snap.values.items()))
+        for snap in result.collector.snapshots
+    ]
+
+
+def _decisions(result):
+    out = []
+    if result.recorder is None:
+        return out
+    for d in result.recorder.decisions:
+        out.append(repr(d))
+    return out
+
+
+def _event_multiset(result):
+    """Events keyed by timestamp, order-insensitive within a second."""
+    if result.recorder is None:
+        return []
+    rows = [
+        (e.time, e.layer, e.kind, tuple(sorted((k, repr(v)) for k, v in e.payload.items())))
+        for e in result.recorder.bus
+    ]
+    return sorted(rows)
+
+
+def assert_equivalent(reference, spanned, events: bool = False):
+    assert spanned.dropped_records == reference.dropped_records
+    assert spanned.dropped_writes == reference.dropped_writes
+    assert _raw_metrics(spanned) == _raw_metrics(reference)
+    assert _costs(spanned) == _costs(reference)
+    assert _snapshots(spanned) == _snapshots(reference)
+    if events:
+        assert _event_multiset(spanned) == _event_multiset(reference)
+        assert _decisions(spanned) == _decisions(reference)
+
+
+def run_pair(make_builder, horizon, events: bool = False):
+    """Build + run the flow with spans off and on; return both results."""
+    results = []
+    for spans in (False, True):
+        builder = make_builder().spans(spans)
+        if events:
+            builder = builder.observe()
+        results.append(builder.build().run(horizon))
+    return results
+
+
+class TestControlledFlowEquivalence:
+    def test_adaptive_control_with_scaling_events(self):
+        """Reshards, DDB updates, EC2 warm-ups and flushes inside spans."""
+
+        def build():
+            return (
+                FlowBuilder("span-eq", seed=11)
+                .ingestion(shards=2)
+                .analytics(vms=2)
+                .storage(write_units=300)
+                .workload(SinusoidalRate(mean=1500, amplitude=1100, period=600))
+                .control_all(style="adaptive", reference=60.0, period=30)
+            )
+
+        reference, spanned = run_pair(build, 1200)
+        assert_equivalent(reference, spanned)
+        # The scenario must actually scale, or it proves nothing about
+        # capacity events landing mid-span.
+        for kind in (LayerKind.INGESTION, LayerKind.ANALYTICS, LayerKind.STORAGE):
+            cap = spanned.capacity_trace(kind, period=60).values
+            assert min(cap) < max(cap), f"{kind} never scaled"
+
+    def test_randomized_seeds_and_periods(self):
+        """Property-style sweep: random seeds, periods, shapes."""
+        rng = random.Random(0xF10E)
+        for _ in range(4):
+            seed = rng.randrange(10_000)
+            period = rng.choice([20, 30, 60])
+            mean = rng.randrange(600, 2200)
+            amplitude = rng.randrange(200, mean)
+
+            def build():
+                return (
+                    FlowBuilder("span-eq-rand", seed=seed)
+                    .ingestion(shards=2)
+                    .analytics(vms=2)
+                    .storage(write_units=250)
+                    .workload(SinusoidalRate(mean=mean, amplitude=amplitude, period=420))
+                    .control_all(style="adaptive", reference=60.0, period=period)
+                )
+
+            reference, spanned = run_pair(build, 900)
+            assert_equivalent(reference, spanned)
+
+    def test_topology_rebalance_inside_span(self):
+        """VM-count changes trigger rebalance windows; spans must clamp."""
+        topology = TopologyConfig(
+            bolts=(
+                BoltSpec("parse", records_per_executor_per_second=500, executors=4),
+                BoltSpec("aggregate", records_per_executor_per_second=250, executors=4),
+            ),
+            executor_slots_per_vm=4,
+            rebalance_seconds=25,
+        )
+
+        def build():
+            return (
+                FlowBuilder("span-eq-topo", seed=3)
+                .ingestion(shards=3)
+                .analytics(vms=2, topology=topology)
+                .storage(write_units=300)
+                .workload(StepRate(base=700, level=2400, at=240))
+                .control_all(style="adaptive", reference=60.0, period=30)
+            )
+
+        reference, spanned = run_pair(build, 900, events=True)
+        assert_equivalent(reference, spanned, events=True)
+        rebalances = spanned.recorder.bus.of_kind("rebalance")
+        assert rebalances, "scenario never rebalanced"
+
+    def test_read_workload_and_read_control(self):
+        def build():
+            return (
+                FlowBuilder("span-eq-reads", seed=21)
+                .ingestion(shards=2)
+                .analytics(vms=2)
+                .storage(write_units=280)
+                .workload(SinusoidalRate(mean=1200, amplitude=700, period=500))
+                .control_all(style="adaptive", reference=60.0, period=30)
+                .reads(
+                    StepRate(base=40, level=260, at=300),
+                    read_units=100,
+                    style="adaptive",
+                    reference=60.0,
+                    period=30,
+                )
+            )
+
+        reference, spanned = run_pair(build, 900)
+        assert_equivalent(reference, spanned)
+
+    def test_max_backlog_crossing_inside_span(self, monkeypatch):
+        """Drop accounting when the backlog clamps mid-span."""
+        monkeypatch.setattr(_FlowPipeline, "MAX_BACKLOG", 25_000)
+
+        def build():
+            # Static under-provisioned flow: no control boundaries, so
+            # the clamp must happen inside long spans.
+            return (
+                FlowBuilder("span-eq-drop", seed=5)
+                .ingestion(shards=1)
+                .analytics(vms=1)
+                .storage(write_units=40)
+                .workload(ConstantRate(4000))
+            )
+
+        reference, spanned = run_pair(build, 300)
+        assert_equivalent(reference, spanned)
+        assert spanned.dropped_records > 0, "backlog never crossed the cap"
+
+    def test_coarse_tick_flow(self):
+        def build():
+            return (
+                FlowBuilder("span-eq-tick", seed=9)
+                .ingestion(shards=2)
+                .analytics(vms=2)
+                .storage(write_units=300)
+                .workload(SinusoidalRate(mean=1400, amplitude=800, period=600))
+                .control_all(style="adaptive", reference=60.0, period=30)
+                .tick(5)
+            )
+
+        reference, spanned = run_pair(build, 1500)
+        assert_equivalent(reference, spanned)
