@@ -41,6 +41,11 @@ from repro.core import (
 )
 from repro.observability import FlightRecorder
 
+# Imported after repro.core: the chaos package reaches into the cloud
+# services, whose modules import repro.core.errors — importing chaos
+# first would re-enter a partially initialized repro.cloud.
+from repro.chaos import ChaosSchedule, FaultKind, FaultSpec
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -57,5 +62,8 @@ __all__ = [
     "clickstream_flow_spec",
     "FlightRecorder",
     "FlowerError",
+    "ChaosSchedule",
+    "FaultKind",
+    "FaultSpec",
     "__version__",
 ]

@@ -1,0 +1,30 @@
+"""Cross-layer chaos harness.
+
+Deterministic, seeded fault injection for every layer of a managed
+flow — ingestion (Kinesis reshard stalls, shard brownouts), analytics
+(Storm worker crashes, failed rebalances), storage (DynamoDB throttle
+storms, rejected capacity updates) and monitoring (CloudWatch metric
+delay/dropout) — plus the always-on :class:`InvariantChecker` that
+audits conservation, capacity bounds, cost additivity and controller
+bounds while the faults land, and MTTR probes for judging how fast
+each controller style restores the flow.
+"""
+
+from repro.chaos.injector import ChaosEvent, ChaosInjector
+from repro.chaos.invariants import InvariantChecker, InvariantReport, Violation
+from repro.chaos.mttr import RecoverySample, recovery_times
+from repro.chaos.schedule import FAULT_LAYER, ChaosSchedule, FaultKind, FaultSpec
+
+__all__ = [
+    "FAULT_LAYER",
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosSchedule",
+    "FaultKind",
+    "FaultSpec",
+    "InvariantChecker",
+    "InvariantReport",
+    "RecoverySample",
+    "Violation",
+    "recovery_times",
+]

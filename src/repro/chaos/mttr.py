@@ -1,0 +1,77 @@
+"""Post-hoc recovery-time (MTTR) analysis of chaos runs.
+
+Given a finished run and the chaos events it recorded, measure how
+long the disturbed layer's utilization took to settle back into a
+healthy band after each injected fault — the recovery metric the MTTR
+benchmark compares across controller styles. Monitoring-layer faults
+have no utilization trace of their own and are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.flow import LayerKind
+
+_LAYER_KIND = {
+    "ingestion": LayerKind.INGESTION,
+    "analytics": LayerKind.ANALYTICS,
+    "storage": LayerKind.STORAGE,
+}
+
+
+@dataclass(frozen=True)
+class RecoverySample:
+    """How one layer recovered from one injected fault."""
+
+    fault: str
+    layer: str
+    injected_at: int
+    #: Seconds from injection until utilization settled into the band
+    #: (and stayed there); ``None`` if it never recovered in the run.
+    recovery_seconds: int | None
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_seconds is not None
+
+
+def recovery_times(
+    result,
+    *,
+    band_high: float = 90.0,
+    hold_seconds: int = 300,
+    period: int = 60,
+) -> list[RecoverySample]:
+    """One :class:`RecoverySample` per injected fault in the run.
+
+    Recovery is defined as the layer's utilization settling into
+    ``[0, band_high]`` for at least ``hold_seconds`` after the
+    injection, measured on the ``period``-aggregated utilization trace
+    (same machinery as the controller-shootout settling metric).
+    """
+    # Imported here: repro.analysis pulls in the run-summary store,
+    # which imports the manager, which imports this package — a cycle
+    # at module import time but not at call time.
+    from repro.analysis.metrics import settling_time
+
+    samples: list[RecoverySample] = []
+    for event in result.chaos_events:
+        if event.phase != "inject":
+            continue
+        kind = _LAYER_KIND.get(event.layer)
+        if kind is None:
+            continue  # monitoring faults: no layer utilization to settle
+        trace = result.utilization_trace(kind, period=period)
+        settle = settling_time(
+            trace, 0.0, band_high, start=event.time, hold_seconds=hold_seconds
+        )
+        samples.append(
+            RecoverySample(
+                fault=event.fault,
+                layer=event.layer,
+                injected_at=event.time,
+                recovery_seconds=settle,
+            )
+        )
+    return samples

@@ -1,0 +1,192 @@
+"""The chaos scenario DSL: what breaks, where, when, and how hard.
+
+A :class:`ChaosSchedule` is a declarative list of :class:`FaultSpec`
+entries plus a seed. It is pure data — validation happens here, and the
+:class:`~repro.chaos.injector.ChaosInjector` turns it into state
+transitions on the simulated services at run time. Schedules round-trip
+through plain dicts/JSON so scenarios can live in files or CLI flags.
+
+Fault windows are half-open ``[start, start + duration)``: the fault's
+effects are active from the first tick at or after ``start`` and
+cleared at the first tick at or after the end. Same-kind windows must
+not overlap (each fault kind owns one knob on its service; overlapping
+windows would silently overwrite each other's intensity).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.errors import ConfigurationError
+
+
+class FaultKind(str, Enum):
+    """Every fault the chaos harness can inject."""
+
+    #: Ingestion: in-flight and new reshards take ``intensity``× longer.
+    RESHARD_STALL = "reshard-stall"
+    #: Ingestion: a fraction ``intensity`` of write capacity browns out.
+    SHARD_BROWNOUT = "shard-brownout"
+    #: Analytics: ``intensity`` running VMs crash at ``start`` (point fault).
+    WORKER_CRASH = "worker-crash"
+    #: Analytics: a stuck rebalance pauses processing for ``duration``.
+    REBALANCE_FAIL = "rebalance-fail"
+    #: Storage: a fraction ``intensity`` of usable throughput throttles away.
+    THROTTLE_STORM = "throttle-storm"
+    #: Storage: capacity-update API calls fail transiently.
+    UPDATE_REJECT = "update-reject"
+    #: Monitoring: sensors see data ``intensity`` seconds old.
+    METRIC_DELAY = "metric-delay"
+    #: Monitoring: sensors see no data at all.
+    METRIC_DROPOUT = "metric-dropout"
+
+
+#: The flow layer each fault kind lands in (event/labeling taxonomy).
+FAULT_LAYER: dict[FaultKind, str] = {
+    FaultKind.RESHARD_STALL: "ingestion",
+    FaultKind.SHARD_BROWNOUT: "ingestion",
+    FaultKind.WORKER_CRASH: "analytics",
+    FaultKind.REBALANCE_FAIL: "analytics",
+    FaultKind.THROTTLE_STORM: "storage",
+    FaultKind.UPDATE_REJECT: "storage",
+    FaultKind.METRIC_DELAY: "monitoring",
+    FaultKind.METRIC_DROPOUT: "monitoring",
+}
+
+#: Point faults fire once at ``start`` and have no window to clear.
+POINT_FAULTS = frozenset({FaultKind.WORKER_CRASH})
+
+#: Kinds whose intensity is a capacity *fraction* in (0, 1).
+_FRACTION_KINDS = frozenset({FaultKind.SHARD_BROWNOUT, FaultKind.THROTTLE_STORM})
+
+#: Kinds whose intensity must be >= 1 (a factor, a count, or seconds).
+_SCALAR_KINDS = frozenset(
+    {FaultKind.RESHARD_STALL, FaultKind.WORKER_CRASH, FaultKind.METRIC_DELAY}
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: kind, window and intensity.
+
+    ``intensity`` semantics depend on the kind — a capacity fraction in
+    (0, 1) for brownouts and throttle storms, a latency factor > 1 for
+    reshard stalls, a VM count for worker crashes, a staleness in
+    seconds for metric delay, and unused for rebalance failures,
+    update rejects and metric dropouts.
+    """
+
+    kind: FaultKind
+    start: int
+    duration: int = 0
+    intensity: float = 0.0
+
+    def __post_init__(self) -> None:
+        kind = FaultKind(self.kind)
+        object.__setattr__(self, "kind", kind)
+        if self.start < 0:
+            raise ConfigurationError(f"{kind.value}: start must be non-negative, got {self.start}")
+        if kind in POINT_FAULTS:
+            if self.duration != 0:
+                raise ConfigurationError(
+                    f"{kind.value} is a point fault; duration must be 0, got {self.duration}"
+                )
+        elif self.duration <= 0:
+            raise ConfigurationError(
+                f"{kind.value}: duration must be positive, got {self.duration}"
+            )
+        if kind in _FRACTION_KINDS and not 0.0 < self.intensity < 1.0:
+            raise ConfigurationError(
+                f"{kind.value}: intensity is a capacity fraction in (0, 1), "
+                f"got {self.intensity}"
+            )
+        if kind in _SCALAR_KINDS and self.intensity < 1.0:
+            raise ConfigurationError(
+                f"{kind.value}: intensity must be >= 1, got {self.intensity}"
+            )
+
+    @property
+    def end(self) -> int:
+        """First second at which the fault is no longer active."""
+        return self.start + self.duration
+
+    @property
+    def layer(self) -> str:
+        return FAULT_LAYER[self.kind]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "start": self.start,
+            "duration": self.duration,
+            "intensity": self.intensity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(
+            kind=FaultKind(data["kind"]),
+            start=int(data["start"]),
+            duration=int(data.get("duration", 0)),
+            intensity=float(data.get("intensity", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seeded, validated set of faults to inject into one run."""
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    name: str = field(default="chaos", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        by_kind: dict[FaultKind, list[FaultSpec]] = {}
+        for spec in self.faults:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigurationError(f"faults must be FaultSpec instances, got {spec!r}")
+            by_kind.setdefault(spec.kind, []).append(spec)
+        for kind, specs in by_kind.items():
+            if kind in POINT_FAULTS:
+                continue
+            specs = sorted(specs, key=lambda s: s.start)
+            for earlier, later in zip(specs, specs[1:]):
+                if later.start < earlier.end:
+                    raise ConfigurationError(
+                        f"overlapping {kind.value} windows: "
+                        f"[{earlier.start}, {earlier.end}) and "
+                        f"[{later.start}, {later.end})"
+                    )
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @property
+    def layers(self) -> set[str]:
+        """Flow layers this schedule disturbs."""
+        return {spec.layer for spec in self.faults}
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSchedule":
+        return cls(
+            faults=tuple(FaultSpec.from_dict(f) for f in data.get("faults", ())),
+            seed=int(data.get("seed", 0)),
+            name=str(data.get("name", "chaos")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        return cls.from_dict(json.loads(text))

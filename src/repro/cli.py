@@ -9,6 +9,7 @@ is the terminal version::
     python -m repro.cli fig2       # workload dependency analysis (Fig. 2 / Eq. 2)
     python -m repro.cli pareto     # resource share analysis (Fig. 4)
     python -m repro.cli shootout   # controller comparison (Sec. 3.3)
+    python -m repro.cli chaos      # fault injection + invariant audit + MTTR
 
 Every command accepts ``--seed`` and prints deterministic output.
 """
@@ -19,7 +20,15 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro import FlowBuilder, LayerKind, clickstream_flow_spec
+from repro import (
+    ChaosSchedule,
+    FaultKind,
+    FaultSpec,
+    FlowBuilder,
+    FlowerError,
+    LayerKind,
+    clickstream_flow_spec,
+)
 from repro.analysis import (
     ComparisonReport,
     Scenario,
@@ -27,6 +36,7 @@ from repro.analysis import (
     settling_time,
     slo_violation_rate,
 )
+from repro.chaos import recovery_times
 from repro.core.config import CONTROLLER_FACTORIES
 from repro.dependency import fit_linear, pearson_r
 from repro.monitoring import stacked_panels
@@ -196,6 +206,83 @@ def cmd_shootout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault(text: str) -> FaultSpec:
+    """``KIND:START[:DURATION[:INTENSITY]]`` -> :class:`FaultSpec`."""
+    parts = text.split(":")
+    if not 2 <= len(parts) <= 4:
+        raise SystemExit(
+            f"bad --fault {text!r}: expected KIND:START[:DURATION[:INTENSITY]]"
+        )
+    try:
+        kind = FaultKind(parts[0])
+    except ValueError:
+        known = ", ".join(sorted(k.value for k in FaultKind))
+        raise SystemExit(f"unknown fault kind {parts[0]!r}; one of: {known}")
+    try:
+        start = int(parts[1])
+        duration = int(parts[2]) if len(parts) > 2 else 0
+        intensity = float(parts[3]) if len(parts) > 3 else 0.0
+        return FaultSpec(kind=kind, start=start, duration=duration, intensity=intensity)
+    except (ValueError, FlowerError) as exc:
+        raise SystemExit(f"bad --fault {text!r}: {exc}")
+
+
+def _default_chaos(duration: int, seed: int) -> ChaosSchedule:
+    """One fault per flow layer, spaced across the run."""
+    return ChaosSchedule(faults=(
+        FaultSpec(kind=FaultKind.SHARD_BROWNOUT, start=duration // 6,
+                  duration=duration // 12, intensity=0.5),
+        FaultSpec(kind=FaultKind.WORKER_CRASH, start=duration // 2, intensity=1),
+        FaultSpec(kind=FaultKind.THROTTLE_STORM, start=2 * duration // 3,
+                  duration=duration // 12, intensity=0.6),
+    ), seed=seed, name="cli-default")
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.schedule:
+        try:
+            with open(args.schedule) as handle:
+                schedule = ChaosSchedule.from_json(handle.read())
+        except (OSError, ValueError, FlowerError) as exc:
+            raise SystemExit(f"cannot load schedule {args.schedule!r}: {exc}")
+    elif args.fault:
+        schedule = ChaosSchedule(
+            faults=tuple(_parse_fault(text) for text in args.fault), seed=args.seed
+        )
+    else:
+        schedule = _default_chaos(args.duration, args.seed)
+
+    manager = (
+        FlowBuilder("cli-chaos", seed=args.seed)
+        .ingestion(shards=2)
+        .analytics(vms=2)
+        .storage(write_units=300)
+        .workload(ConstantRate(1500.0))
+        .control_all(style=args.style, reference=args.reference, period=60)
+        .chaos(schedule)
+        .build()
+    )
+    result = manager.run(args.duration)
+
+    print(f"fault timeline ({schedule.name}, seed {schedule.seed}):")
+    for event in result.chaos_events:
+        detail = f"  {event.detail}" if event.detail else ""
+        print(f"  t={event.time:>6}  {event.phase:<6} {event.fault:<15} "
+              f"[{event.layer}]{detail}")
+
+    print("\nrecovery (utilization back into band and holding):")
+    for sample in recovery_times(result):
+        status = (
+            f"{sample.recovery_seconds:.0f}s" if sample.recovered else "NOT RECOVERED"
+        )
+        print(f"  {sample.fault:<15} [{sample.layer}] injected t={sample.injected_at}: {status}")
+
+    print()
+    print(result.invariants.describe())
+    print(f"total cost: ${result.total_cost:.4f}")
+    return 0 if result.invariants.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -247,6 +334,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the style sweep "
                                "(results are identical to a serial run)")
     shootout.set_defaults(func=cmd_shootout)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a managed flow under injected faults and audit recovery"
+    )
+    chaos.add_argument("--duration", type=int, default=2 * 3600, help="simulated seconds")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--style", choices=sorted(CONTROLLER_FACTORIES), default="adaptive")
+    chaos.add_argument("--reference", type=float, default=60.0)
+    chaos.add_argument("--fault", action="append", metavar="KIND:START[:DURATION[:INTENSITY]]",
+                       help="add one fault (repeatable); kinds: "
+                            + ", ".join(sorted(k.value for k in FaultKind)))
+    chaos.add_argument("--schedule", default=None, metavar="PATH",
+                       help="load a ChaosSchedule JSON file (overrides --fault); "
+                            "default scenario: one fault per layer")
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

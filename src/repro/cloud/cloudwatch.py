@@ -246,6 +246,13 @@ class SimCloudWatch:
         # so the memo holds at most one control period's worth of
         # distinct read shapes per series.
         self._read_memo: dict[tuple, list] = {}
+        # Monitoring-layer fault injection (chaos harness). A metric
+        # delay makes sensors query a window ending ``delay`` seconds in
+        # the past; a dropout makes sensor reads return no data at all.
+        # Both affect only sensor *reads* — datapoints keep landing, so
+        # recovery is instant when the fault clears.
+        self.sensor_delay_seconds = 0
+        self.sensor_dropout = False
 
     # ------------------------------------------------------------------
     # Writing

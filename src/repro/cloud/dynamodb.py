@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.errors import CapacityError, ConfigurationError
+from repro.core.errors import CapacityError, ConfigurationError, TransientAPIError
 from repro.simulation.clock import SimClock
 
 #: CloudWatch namespace used by the table's metrics.
@@ -102,6 +102,15 @@ class SimDynamoDBTable:
         self._tick_throttled = 0
         self._tick_read_consumed = 0
         self._tick_read_throttled = 0
+        # Lifetime conservation counter (never reset; audited by the
+        # invariant checker against the analytics layer's write stream).
+        self.total_write_accepted = 0
+        # Fault-injection state (chaos harness). A throttle storm scales
+        # down the *usable* capacity while provision — and billing —
+        # stay unchanged; an update-reject window makes capacity-update
+        # API calls raise ``TransientAPIError``.
+        self._degradation_factor = 1.0
+        self._updates_failing = False
         # Flight-recorder hooks (off unless attach_bus() is called).
         self._bus = None
         self._bus_layer = "storage"
@@ -113,6 +122,32 @@ class SimDynamoDBTable:
         flight recorder; without a bus the table records nothing."""
         self._bus = bus
         self._bus_layer = layer
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def set_throttle_storm(self, capacity_lost: float) -> None:
+        """Degrade usable throughput by ``capacity_lost`` (in (0, 1)).
+
+        Models a partition-level throttling storm: requests beyond the
+        degraded rate are rejected even though the table's provisioned
+        (and billed) capacity is unchanged.
+        """
+        if not 0.0 < capacity_lost < 1.0:
+            raise ConfigurationError(
+                f"throttle storm capacity_lost must be in (0, 1), got {capacity_lost}"
+            )
+        self._degradation_factor = 1.0 - capacity_lost
+
+    def clear_throttle_storm(self) -> None:
+        self._degradation_factor = 1.0
+
+    def fail_updates(self) -> None:
+        """Make capacity-update calls raise :class:`TransientAPIError`."""
+        self._updates_failing = True
+
+    def restore_updates(self) -> None:
+        self._updates_failing = False
 
     # ------------------------------------------------------------------
     # Capacity
@@ -141,6 +176,23 @@ class SimDynamoDBTable:
                 )
         return self._read_units
 
+    def effective_write_capacity(self, now: int) -> int:
+        """Usable write units/second at ``now``: provision scaled by any
+        active throttling storm. Equals :meth:`write_capacity` outside
+        fault windows."""
+        capacity = self.write_capacity(now)
+        if self._degradation_factor != 1.0:
+            capacity = int(capacity * self._degradation_factor)
+        return capacity
+
+    def effective_read_capacity(self, now: int) -> int:
+        """Usable read units/second at ``now`` (see
+        :meth:`effective_write_capacity`)."""
+        capacity = self.read_capacity(now)
+        if self._degradation_factor != 1.0:
+            capacity = int(capacity * self._degradation_factor)
+        return capacity
+
     def next_capacity_event(self, now: int) -> int | None:
         """Earliest future time either throughput dimension changes.
 
@@ -168,6 +220,10 @@ class SimDynamoDBTable:
         decrease-rate-limited by the cooldown (the two throughput
         dimensions update independently, as in the real service).
         """
+        if self._updates_failing:
+            raise TransientAPIError(
+                f"table {self.name!r}: UpdateTable(read) failed transiently (injected fault)"
+            )
         current = self.read_capacity(now)
         target = max(self.config.min_read_units, min(self.config.max_read_units, int(target)))
         if self.read_updating(now):
@@ -204,6 +260,10 @@ class SimDynamoDBTable:
         returned); decreases during the decrease cooldown are ignored
         (current capacity is returned).
         """
+        if self._updates_failing:
+            raise TransientAPIError(
+                f"table {self.name!r}: UpdateTable(write) failed transiently (injected fault)"
+            )
         current = self.write_capacity(now)
         target = max(self.config.min_write_units, min(self.config.max_write_units, int(target)))
         if self.updating(now):
@@ -243,7 +303,10 @@ class SimDynamoDBTable:
         if units < 0:
             raise ConfigurationError("units must be non-negative")
         now = clock.now
-        provisioned = self.write_capacity(now) * clock.tick_seconds
+        # Acceptance and bucket refill run off the *effective* (fault-
+        # degraded) rate; the bucket cap stays at provisioned level,
+        # since banked credits are a property of what was paid for.
+        provisioned = self.effective_write_capacity(now) * clock.tick_seconds
         accepted = min(units, provisioned)
         excess = units - accepted
         if excess > 0 and self._burst_bucket > 0:
@@ -255,6 +318,7 @@ class SimDynamoDBTable:
         bucket_cap = self.config.burst_seconds * self.write_capacity(now)
         self._burst_bucket = min(bucket_cap, self._burst_bucket + unused)
         self._tick_consumed += accepted
+        self.total_write_accepted += accepted
         self._tick_throttled += excess
         return WriteResult(accepted_units=accepted, throttled_units=excess)
 
@@ -268,7 +332,7 @@ class SimDynamoDBTable:
         if units < 0:
             raise ConfigurationError("units must be non-negative")
         now = clock.now
-        provisioned = self.read_capacity(now) * clock.tick_seconds
+        provisioned = self.effective_read_capacity(now) * clock.tick_seconds
         accepted = min(units, provisioned)
         excess = units - accepted
         if excess > 0 and self._read_burst_bucket > 0:
@@ -299,7 +363,10 @@ class SimDynamoDBTable:
     def emit_metrics(self, cloudwatch, clock: SimClock) -> None:
         now = clock.now
         dims = self._dims
-        provisioned = self.write_capacity(now) * clock.tick_seconds
+        # Utilization runs off the effective rate so the sensed signal
+        # saturates when a throttling storm shrinks usable capacity —
+        # exactly what pushes an adaptive controller to scale up.
+        provisioned = self.effective_write_capacity(now) * clock.tick_seconds
         utilization = 100.0 * self._tick_consumed / provisioned if provisioned else 0.0
         cloudwatch.put_metric_data(
             NAMESPACE, "ConsumedWriteCapacityUnits", self._tick_consumed, now, dims
@@ -310,7 +377,7 @@ class SimDynamoDBTable:
         )
         cloudwatch.put_metric_data(NAMESPACE, "WriteUtilization", utilization, now, dims)
         cloudwatch.put_metric_data(NAMESPACE, "BurstBalance", self._burst_bucket, now, dims)
-        read_provisioned = self.read_capacity(now) * clock.tick_seconds
+        read_provisioned = self.effective_read_capacity(now) * clock.tick_seconds
         read_utilization = (
             100.0 * self._tick_read_consumed / read_provisioned if read_provisioned else 0.0
         )

@@ -118,6 +118,15 @@ class SimKinesisStream:
         # Smoothed incoming rate (records/s), for the iterator-age
         # estimate: lag seconds ~= backlog / recent arrival rate.
         self._smoothed_rate = 0.0
+        # Lifetime conservation counters (never reset; the invariant
+        # checker audits them against the downstream layers).
+        self.total_accepted_records = 0
+        self.total_read_records = 0
+        # Fault-injection state (chaos harness). A brownout removes a
+        # fraction of write capacity; a reshard stall multiplies the
+        # latency of reshard operations started while it is active.
+        self._brownout_factor = 1.0
+        self._reshard_stall_factor = 1.0
         # Flight-recorder hooks (off unless attach_bus() is called).
         self._bus = None
         self._bus_layer = "ingestion"
@@ -132,6 +141,48 @@ class SimKinesisStream:
         recorder; without a bus the stream records nothing."""
         self._bus = bus
         self._bus_layer = layer
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def set_brownout(self, capacity_lost: float) -> None:
+        """Remove ``capacity_lost`` (a fraction in (0, 1)) of write capacity.
+
+        Models a subset of shards browning out: provisioned shard count
+        is unchanged (and still billed), but the usable write throughput
+        drops until :meth:`clear_brownout`.
+        """
+        if not 0.0 < capacity_lost < 1.0:
+            raise ConfigurationError(
+                f"brownout capacity_lost must be in (0, 1), got {capacity_lost}"
+            )
+        self._brownout_factor = 1.0 - capacity_lost
+
+    def clear_brownout(self) -> None:
+        self._brownout_factor = 1.0
+
+    def set_reshard_stall(self, factor: float) -> None:
+        """Multiply the duration of reshards started while active."""
+        if factor < 1.0:
+            raise ConfigurationError(f"reshard stall factor must be >= 1, got {factor}")
+        self._reshard_stall_factor = factor
+
+    def clear_reshard_stall(self) -> None:
+        self._reshard_stall_factor = 1.0
+
+    def stall_inflight_reshard(self, now: int) -> int | None:
+        """Extend an in-flight reshard by the current stall factor.
+
+        Returns the new ready time, or ``None`` if no reshard was in
+        flight. The remaining duration (not the elapsed part) is
+        stretched, so a stall landing mid-reshard only delays what is
+        left.
+        """
+        if self._reshard_target is None or self._reshard_ready_at <= now:
+            return None
+        remaining = self._reshard_ready_at - now
+        self._reshard_ready_at = now + int(remaining * self._reshard_stall_factor)
+        return self._reshard_ready_at
 
     # ------------------------------------------------------------------
     # Capacity
@@ -167,6 +218,8 @@ class SimKinesisStream:
             return current
         delta = abs(target - current)
         duration = self.config.base_reshard_seconds + delta * self.config.reshard_seconds_per_shard
+        if self._reshard_stall_factor != 1.0:
+            duration = int(duration * self._reshard_stall_factor)
         self._reshard_target = target
         self._reshard_ready_at = now + duration
         if self._bus is not None:
@@ -203,6 +256,8 @@ class SimKinesisStream:
         if self.config.hash_key_skew:
             bottleneck = self.config.records_per_shard_per_second / self.config.hot_shard_share(shards)
             limit = min(limit, int(bottleneck))
+        if self._brownout_factor != 1.0:
+            limit = int(limit * self._brownout_factor)
         return limit
 
     def write_capacity_bytes(self, now: int) -> int:
@@ -211,6 +266,8 @@ class SimKinesisStream:
         if self.config.hash_key_skew:
             bottleneck = self.config.bytes_per_shard_per_second / self.config.hot_shard_share(shards)
             limit = min(limit, int(bottleneck))
+        if self._brownout_factor != 1.0:
+            limit = int(limit * self._brownout_factor)
         return limit
 
     # ------------------------------------------------------------------
@@ -238,6 +295,7 @@ class SimKinesisStream:
         accepted_bytes = int(payload_bytes * fraction)
         self._buffer_records += accepted
         self._buffer_bytes += accepted_bytes
+        self.total_accepted_records += accepted
         self._tick_accepted += accepted
         self._tick_accepted_bytes += accepted_bytes
         self._tick_throttled += records - accepted
@@ -261,6 +319,7 @@ class SimKinesisStream:
         if self._buffer_records:
             self._buffer_bytes -= int(self._buffer_bytes * handed / self._buffer_records)
         self._buffer_records -= handed
+        self.total_read_records += handed
         self._tick_read += handed
         return handed
 

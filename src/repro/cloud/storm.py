@@ -179,6 +179,10 @@ class SimStormCluster:
         self._tick_processed = 0
         self._tick_cpu = self.config.cpu_idle_percent
         self._tick_writes_emitted = 0
+        # Lifetime conservation counters (never reset; audited by the
+        # invariant checker against the stream and the storage table).
+        self.total_processed = 0
+        self.total_writes_emitted = 0
         # Flight-recorder hooks (off unless attach_bus() is called).
         self._bus = None
         self._bus_layer = "analytics"
@@ -213,6 +217,7 @@ class SimStormCluster:
         processed = min(self._pending_records, capacity)
         self._pending_records -= processed
         self._tick_processed = processed
+        self.total_processed += processed
 
         # CPU: affine in the capacity fraction in use (which reduces to
         # "affine in per-VM record rate" for the homogeneous model),
@@ -249,6 +254,7 @@ class SimStormCluster:
             self._window_records = 0
             self._window_elapsed = 0
         self._tick_writes_emitted = writes
+        self.total_writes_emitted += writes
         return writes
 
     def _capacity_this_tick(self, vms: int, now: int) -> int:
@@ -260,6 +266,8 @@ class SimStormCluster:
         running VM count) is in flight.
         """
         if self.topology is None:
+            if now < self._rebalancing_until:
+                return 0  # forced (injected) rebalance window
             return vms * self.config.records_per_vm_per_second
         if self._last_running_vms is None:
             self._last_running_vms = vms
@@ -279,9 +287,29 @@ class SimStormCluster:
         slots = vms * self.topology.executor_slots_per_vm
         return self.topology.capacity_with_slots(slots)
 
+    def force_rebalance(self, now: int, duration: int) -> int:
+        """Inject a failed/stuck rebalance: pause processing until
+        ``now + duration``.
+
+        Extends any rebalance already in flight rather than shortening
+        it. Works with or without an explicit topology (the paper's
+        homogeneous model also stops processing while Storm redeploys).
+        Returns the time the window ends.
+        """
+        if duration <= 0:
+            raise ConfigurationError(f"rebalance duration must be positive, got {duration}")
+        until = max(self._rebalancing_until, now + duration)
+        self._rebalancing_until = until
+        if self._bus is not None:
+            self._bus.publish(
+                now, self._bus_layer, "rebalance",
+                {"forced": True, "until": until},
+            )
+        return until
+
     def rebalancing(self, now: int) -> bool:
-        """Whether a topology rebalance is in flight at ``now``."""
-        return self.topology is not None and now < self._rebalancing_until
+        """Whether a (topology or forced) rebalance is in flight at ``now``."""
+        return now < self._rebalancing_until
 
     def next_capacity_event(self, now: int) -> int | None:
         """Earliest future time the cluster's own capacity will change.
@@ -291,7 +319,7 @@ class SimStormCluster:
         ``next_capacity_event``). ``None`` when no rebalance is in
         flight past ``now``.
         """
-        if self.topology is not None and now < self._rebalancing_until:
+        if now < self._rebalancing_until:
             return self._rebalancing_until
         return None
 

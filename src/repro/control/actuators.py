@@ -15,7 +15,8 @@ from repro.cloud.dynamodb import SimDynamoDBTable
 from repro.cloud.ec2 import SimEC2Fleet
 from repro.cloud.kinesis import SimKinesisStream
 from repro.control.base import Actuator
-from repro.core.errors import ControlError
+from repro.core.errors import ControlError, TransientAPIError
+from repro.observability.events import EventBus
 
 
 class CallbackActuator(Actuator):
@@ -53,6 +54,116 @@ class CallbackActuator(Actuator):
             self._publish_adjusted(now, target, clamped)
         self._setter(clamped, now)
         return clamped
+
+
+class RetryingActuator(Actuator):
+    """Bounded retry + circuit breaker around another actuator.
+
+    Simulated control-plane APIs can fail transiently (the chaos
+    harness's update-reject storms raise
+    :class:`~repro.core.errors.TransientAPIError`). This wrapper makes
+    a control loop survive them the way a production autoscaler would:
+
+    * each :meth:`apply` retries the inner call up to ``max_attempts``
+      times (SDK-style immediate retries within one control period),
+      publishing ``actuation.retry`` per failed attempt;
+    * after ``breaker_threshold`` consecutive exhausted calls the
+      circuit *opens*: applies are shed (the current capacity is
+      returned untouched) until a cooldown passes, and each reopening
+      doubles the cooldown up to ``max_cooldown_seconds`` — exponential
+      backoff in simulated time, surfaced as ``circuit.open`` /
+      ``circuit.close`` events;
+    * once open, the first call after the cooldown is a half-open
+      probe: success closes the circuit and resets the backoff, another
+      exhausted call reopens it immediately at the doubled cooldown.
+
+    Reads (:meth:`get`) always pass through. On the healthy path the
+    wrapper is a single extra frame — no state changes, no events — so
+    wrapping every actuator by default costs nothing.
+    """
+
+    def __init__(
+        self,
+        inner: Actuator,
+        *,
+        max_attempts: int = 3,
+        breaker_threshold: int = 2,
+        cooldown_seconds: int = 60,
+        max_cooldown_seconds: int = 960,
+    ) -> None:
+        if max_attempts < 1:
+            raise ControlError(f"max_attempts must be >= 1, got {max_attempts}")
+        if breaker_threshold < 1:
+            raise ControlError(f"breaker_threshold must be >= 1, got {breaker_threshold}")
+        if cooldown_seconds <= 0:
+            raise ControlError(f"cooldown_seconds must be positive, got {cooldown_seconds}")
+        if max_cooldown_seconds < cooldown_seconds:
+            raise ControlError("max_cooldown_seconds must be >= cooldown_seconds")
+        self.inner = inner
+        self.max_attempts = max_attempts
+        self.breaker_threshold = breaker_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.max_cooldown_seconds = max_cooldown_seconds
+        #: Failed attempts observed, across all apply calls (diagnostics).
+        self.failed_attempts = 0
+        self._consecutive_failures = 0
+        self._openings = 0
+        self._open_until = 0
+        self._half_open = False
+
+    @property
+    def circuit_open_until(self) -> int:
+        """Time the circuit stays open to; 0 when it never opened."""
+        return self._open_until
+
+    def instrument(self, bus: EventBus, layer: str) -> None:
+        super().instrument(bus, layer)
+        self.inner.instrument(bus, layer)
+
+    def get(self, now: int) -> float:
+        return self.inner.get(now)
+
+    def apply(self, target: float, now: int) -> float:
+        if now < self._open_until:
+            # Circuit open: shed the command, leave capacity untouched.
+            return self.inner.get(now)
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                applied = self.inner.apply(target, now)
+            except TransientAPIError as exc:
+                self.failed_attempts += 1
+                if self._bus is not None:
+                    self._bus.publish(
+                        now, self._bus_layer, "actuation.retry",
+                        {"attempt": attempt, "target": target, "error": str(exc)},
+                    )
+            else:
+                if self._half_open and self._bus is not None:
+                    self._bus.publish(
+                        now, self._bus_layer, "circuit.close",
+                        {"after_openings": self._openings},
+                    )
+                self._half_open = False
+                self._openings = 0
+                self._consecutive_failures = 0
+                return applied
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.breaker_threshold or self._half_open:
+            self._openings += 1
+            cooldown = min(
+                self.max_cooldown_seconds,
+                self.cooldown_seconds * 2 ** (self._openings - 1),
+            )
+            self._open_until = now + cooldown
+            self._half_open = True
+            self._consecutive_failures = 0
+            if self._bus is not None:
+                self._bus.publish(
+                    now, self._bus_layer, "circuit.open",
+                    {"until": self._open_until, "cooldown": cooldown,
+                     "openings": self._openings},
+                )
+        return self.inner.get(now)
 
 
 class KinesisShardActuator(Actuator):

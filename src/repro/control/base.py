@@ -24,10 +24,22 @@ from repro.observability.events import EventBus
 class Sensor(ABC):
     """Provides the controlled variable ``y_k`` (e.g. CPU utilisation)."""
 
+    #: Optional flight-recorder hooks; set via :meth:`instrument`. Class
+    #: attributes so uninstrumented sensors pay a single attribute
+    #: lookup and no per-instance state.
+    _bus: EventBus | None = None
+    _bus_layer: str = ""
+
     @abstractmethod
     def measure(self, now: int) -> float | None:
         """The aggregated measurement over the monitoring window ending
         at ``now``, or None if no data is available yet."""
+
+    def instrument(self, bus: EventBus, layer: str) -> None:
+        """Publish sensing anomalies (degraded reads, recoveries) to a
+        flight-recorder event bus under the given layer label."""
+        self._bus = bus
+        self._bus_layer = layer
 
 
 class Actuator(ABC):

@@ -3,6 +3,12 @@
 Flower's sensor module "periodically collects live data from multiple
 sources such as CloudWatch" (Sec. 3.3); here the source is the
 simulated CloudWatch, which every service pushes its measurements to.
+
+Sensors also carry the control plane's first line of fault tolerance:
+when the monitoring layer degrades (injected metric delay or dropout),
+a sensor can serve its last good value for a bounded staleness budget
+instead of blinding its control loop — surfacing the episode as
+``degraded.sensor`` / ``degraded.recovered`` events when instrumented.
 """
 
 from __future__ import annotations
@@ -21,6 +27,15 @@ class CloudWatchSensor(Sensor):
     than on the first control period. Co-located readers of the same
     (series, window, statistic) — other sensors, alarms, the collector —
     share one aggregation per control period via the store's read memo.
+
+    **Degraded-mode contract.** The store's injected monitoring faults
+    shift the queried window into the past (``sensor_delay_seconds``)
+    or blank it entirely (``sensor_dropout``). When a read comes back
+    empty and ``hold_last_for`` is positive, the sensor returns the
+    last good value for up to that many seconds — flagged via
+    :attr:`last_stale` — so the loop keeps acting on slightly-old data
+    instead of skipping. Past the budget it returns ``None`` and the
+    loop skips, which freezes capacity rather than guessing.
     """
 
     def __init__(
@@ -31,9 +46,12 @@ class CloudWatchSensor(Sensor):
         window: int = 60,
         statistic: str = "Average",
         dimensions: dict[str, str] | None = None,
+        hold_last_for: int = 0,
     ) -> None:
         if window <= 0:
             raise ControlError(f"monitoring window must be positive, got {window}")
+        if hold_last_for < 0:
+            raise ControlError(f"hold_last_for must be non-negative, got {hold_last_for}")
         validate_statistic(statistic)
         self._cloudwatch = cloudwatch
         self.namespace = namespace
@@ -41,15 +59,59 @@ class CloudWatchSensor(Sensor):
         self.window = window
         self.statistic = statistic
         self.dimensions = dimensions
+        self.hold_last_for = hold_last_for
+        #: Whether the last :meth:`measure` served a held (stale) value.
+        self.last_stale = False
+        self._last_value: float | None = None
+        self._last_at = 0
+        self._degraded = False
 
     def measure(self, now: int) -> float | None:
-        value = self._cloudwatch.get_metric_value(
-            self.namespace,
-            self.metric,
-            now=now,
-            window=self.window,
-            statistic=self.statistic,
-            dimensions=self.dimensions,
-            default=float("nan"),
-        )
-        return None if value != value else value  # NaN -> no data yet
+        cw = self._cloudwatch
+        if cw.sensor_dropout:
+            value = float("nan")
+        else:
+            at = now - cw.sensor_delay_seconds if cw.sensor_delay_seconds else now
+            value = cw.get_metric_value(
+                self.namespace,
+                self.metric,
+                now=max(0, at),
+                window=self.window,
+                statistic=self.statistic,
+                dimensions=self.dimensions,
+                default=float("nan"),
+            )
+        if value != value:  # NaN: no datapoints visible
+            return self._degrade(now)
+        if self._degraded:
+            self._degraded = False
+            if self._bus is not None:
+                self._bus.publish(
+                    now, self._bus_layer, "degraded.recovered", {"metric": self.metric}
+                )
+        self.last_stale = False
+        self._last_value = value
+        self._last_at = now
+        return value
+
+    def _degrade(self, now: int) -> float | None:
+        """Missing datapoints: serve the held value while in budget."""
+        if (
+            self._last_value is not None
+            and self.hold_last_for > 0
+            and now - self._last_at <= self.hold_last_for
+        ):
+            self.last_stale = True
+            if not self._degraded:
+                self._degraded = True
+                if self._bus is not None:
+                    self._bus.publish(
+                        now,
+                        self._bus_layer,
+                        "degraded.sensor",
+                        {"metric": self.metric, "held": self._last_value,
+                         "held_from": self._last_at},
+                    )
+            return self._last_value
+        self.last_stale = False
+        return None

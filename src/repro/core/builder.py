@@ -66,6 +66,8 @@ class FlowBuilder:
         self._dynamodb: DynamoDBConfig | None = None
         self._recorder: FlightRecorder | None = None
         self._span_execution = True
+        self._chaos = None
+        self._invariants = True
 
     # ------------------------------------------------------------------
     # Layers (the drag-and-drop step)
@@ -243,6 +245,25 @@ class FlowBuilder:
         self._recorder = recorder if recorder is not None else FlightRecorder(profile=profile)
         return self
 
+    def chaos(self, schedule) -> "FlowBuilder":
+        """Inject a :class:`~repro.chaos.ChaosSchedule` into the run.
+
+        The schedule's faults land deterministically (same schedule +
+        seed, same run) across all three layers and the monitoring
+        path; the run result then carries the applied
+        :class:`~repro.chaos.injector.ChaosEvent` timeline.
+        """
+        self._chaos = schedule
+        return self
+
+    def invariants(self, enabled: bool = True) -> "FlowBuilder":
+        """Enable or disable the always-on invariant checker (on by
+        default). It audits conservation, capacity bounds and cost
+        additivity at every tick or span boundary; the run result's
+        ``invariants`` report summarises what it saw."""
+        self._invariants = enabled
+        return self
+
     # ------------------------------------------------------------------
     # Build
     # ------------------------------------------------------------------
@@ -277,4 +298,6 @@ class FlowBuilder:
             dynamodb=self._dynamodb,
             recorder=self._recorder,
             span_execution=self._span_execution,
+            chaos=self._chaos,
+            invariants=self._invariants,
         )

@@ -28,6 +28,16 @@ class CapacityError(ServiceError):
     """A capacity change violated a service limit (e.g. below minimum)."""
 
 
+class TransientAPIError(ServiceError):
+    """A simulated control-plane API call failed transiently.
+
+    Raised by services under injected fault windows (e.g. a DynamoDB
+    ``UpdateTable`` storm). Retryable by design: actuators wrap these
+    calls with bounded retry and a circuit breaker rather than letting
+    them abort the simulation.
+    """
+
+
 class ThrottlingError(ServiceError):
     """An operation exceeded provisioned throughput.
 

@@ -13,6 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.chaos.injector import ChaosEvent, ChaosInjector
+from repro.chaos.invariants import InvariantChecker, InvariantReport
+from repro.chaos.schedule import ChaosSchedule
 from repro.cloud.cloudwatch import SimCloudWatch
 from repro.cloud.dynamodb import DynamoDBConfig, SimDynamoDBTable
 from repro.cloud.dynamodb import NAMESPACE as DDB_NS
@@ -26,6 +29,7 @@ from repro.control.actuators import (
     DynamoDBReadActuator,
     DynamoDBWriteActuator,
     KinesisShardActuator,
+    RetryingActuator,
     StormVMActuator,
 )
 from repro.control.base import ControlLoop
@@ -145,8 +149,9 @@ class _FlowPipeline:
         writes = self.cluster.pull_and_process(self.stream, batch.distinct_keys, clock)
 
         # 3. Storage absorbs the writes; throttled writes are retried,
-        #    paced the same way as producer retries.
-        write_capacity = self.table.write_capacity(now) * clock.tick_seconds
+        #    paced the same way as producer retries. Pacing follows the
+        #    *effective* capacity so a throttle storm slows retries too.
+        write_capacity = self.table.effective_write_capacity(now) * clock.tick_seconds
         retry_writes = min(self._write_backlog, 2 * write_capacity)
         write_result = self.table.write(writes + retry_writes, clock)
         backlog = self._write_backlog - retry_writes + write_result.throttled_units
@@ -263,10 +268,15 @@ class _FlowPipeline:
         poll_limit = int(analytics_cap * cluster.config.poll_factor)
         provisioned_vms = fleet.provisioned_count(first_tick)
         billable_vms = fleet.billable_count(first_tick)
+        # Provisioned units drive metrics, burst-bucket sizing and cost;
+        # the *effective* units (provisioned minus any injected throttle
+        # storm) drive what the table actually accepts per tick.
         write_units = table.write_capacity(first_tick)
+        eff_write_units = table.effective_write_capacity(first_tick)
         read_units_cap = table.read_capacity(first_tick)
-        write_cap = write_units * dt
-        read_cap = read_units_cap * dt
+        eff_read_units = table.effective_read_capacity(first_tick)
+        write_cap = eff_write_units * dt
+        read_cap = eff_read_units * dt
         write_bucket_cap = table.config.burst_seconds * write_units
         read_bucket_cap = table.config.burst_seconds * read_units_cap
 
@@ -506,6 +516,7 @@ class _FlowPipeline:
             d_read_util_append(100.0 * read_accepted / read_cap if read_cap else 0.0)
 
         # Write service state back.
+        span_accepted = sum(k_accepted)
         self._producer_backlog_records = backlog_records
         self._producer_backlog_bytes = backlog_bytes
         self.dropped_records = dropped_records
@@ -514,7 +525,12 @@ class _FlowPipeline:
         stream._buffer_records = buffer_records
         stream._buffer_bytes = buffer_bytes
         stream._smoothed_rate = smoothed_rate
+        stream.total_accepted_records += span_accepted
+        stream.total_read_records += sum(k_read)
         cluster._pending_records = pending
+        cluster.total_processed += sum(s_processed)
+        cluster.total_writes_emitted += sum(s_writes)
+        table.total_write_accepted += sum(d_consumed)
         cluster._window_keys = window_keys
         cluster._window_records = window_records
         cluster._window_elapsed = window_elapsed
@@ -547,7 +563,7 @@ class _FlowPipeline:
         span_seconds = count * dt
         meters = self.cost_meters
         meters["ingestion"].accrue(shards, span_seconds)
-        meters["ingestion"].record_usage(sum(k_accepted))
+        meters["ingestion"].record_usage(span_accepted)
         meters["analytics"].accrue(billable_vms, span_seconds)
         meters["storage"].accrue(write_units, span_seconds)
         meters["storage_reads"].accrue(read_units_cap, span_seconds)
@@ -569,6 +585,8 @@ class FlowRunResult:
     layer_dimensions: dict[LayerKind, dict[str, str]] = field(default_factory=dict)
     read_loop: ControlLoop | None = None
     recorder: FlightRecorder | None = None
+    chaos_events: list[ChaosEvent] = field(default_factory=list)
+    invariants: InvariantReport | None = None
 
     # ------------------------------------------------------------------
     # Traces
@@ -648,6 +666,8 @@ class FlowElasticityManager:
         dynamodb: DynamoDBConfig | None = None,
         recorder: FlightRecorder | None = None,
         span_execution: bool = True,
+        chaos: ChaosSchedule | None = None,
+        invariants: bool = True,
     ) -> None:
         self.flow = flow or clickstream_flow_spec()
         self.capacities = capacities or ServiceCapacities()
@@ -741,19 +761,23 @@ class FlowElasticityManager:
                 raise ConfigurationError(
                     "read_control requires a read_workload to control against"
                 )
-            read_actuator = DynamoDBReadActuator(self.table)
+            read_actuator = RetryingActuator(DynamoDBReadActuator(self.table))
             if self.recorder is not None:
                 read_actuator.instrument(self.recorder.bus, "storage")
+            read_sensor = CloudWatchSensor(
+                self.cloudwatch,
+                DDB_NS,
+                "ReadUtilization",
+                window=read_control.window,
+                statistic=read_control.statistic,
+                dimensions=self._dimensions_for(LayerKind.STORAGE),
+                hold_last_for=3 * read_control.window,
+            )
+            if self.recorder is not None:
+                read_sensor.instrument(self.recorder.bus, "storage")
             self.read_loop = ControlLoop(
                 name="storage-reads",
-                sensor=CloudWatchSensor(
-                    self.cloudwatch,
-                    DDB_NS,
-                    "ReadUtilization",
-                    window=read_control.window,
-                    statistic=read_control.statistic,
-                    dimensions=self._dimensions_for(LayerKind.STORAGE),
-                ),
+                sensor=read_sensor,
                 controller=read_control.controller,
                 actuator=read_actuator,
                 period=read_control.period,
@@ -772,6 +796,39 @@ class FlowElasticityManager:
 
         self.collector = self._build_collector()
         self.engine.every(snapshot_period, self.collector.collect, name="snapshots")
+
+        # Component order matters: pipeline → invariant checker → chaos
+        # injector. The checker audits each boundary's *pre-injection*
+        # state (so its cost integration sees the same capacities the
+        # pipeline accrued), and faults applied at tick T take effect
+        # from T+1 in both per-tick and span execution.
+        self.invariant_checker: InvariantChecker | None = None
+        if invariants:
+            self.invariant_checker = InvariantChecker(
+                pipeline=self._pipeline,
+                generator=self.generator,
+                stream=self.stream,
+                cluster=self.cluster,
+                fleet=self.fleet,
+                table=self.table,
+                cost_meters=self.cost_meters,
+                loops=self.loops,
+                check_controller_bounds=self.share_schedule is None,
+                bus=recorder.bus if recorder is not None else None,
+            )
+            self.engine.add_component(self.invariant_checker)
+        self.chaos_injector: ChaosInjector | None = None
+        if chaos:
+            self.chaos_injector = ChaosInjector(
+                schedule=chaos,
+                stream=self.stream,
+                cluster=self.cluster,
+                fleet=self.fleet,
+                table=self.table,
+                cloudwatch=self.cloudwatch,
+                bus=recorder.bus if recorder is not None else None,
+            )
+            self.engine.add_component(self.chaos_injector)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -792,14 +849,20 @@ class FlowElasticityManager:
                 window=config.window,
                 statistic=config.statistic,
                 dimensions=self._dimensions_for(kind),
+                # Degrade gracefully on missing datapoints: hold the
+                # last reading for up to three monitoring windows.
+                hold_last_for=3 * config.window,
             )
-            actuator = actuators[kind]()
+            # Retry sits innermost so transient API faults are absorbed
+            # before (and invisibly to) the share bound.
+            actuator = RetryingActuator(actuators[kind]())
             if kind in self.share_bounds:
                 # Sec. 2: controllers act freely *within* the layer's
                 # resource share from the share analyzer, never beyond.
                 actuator = BoundedActuator(actuator, cap=self.share_bounds[kind])
             if self.recorder is not None:
                 actuator.instrument(self.recorder.bus, kind.name.lower())
+                sensor.instrument(self.recorder.bus, kind.name.lower())
             loops[kind] = ControlLoop(
                 name=kind.name.lower(),
                 sensor=sensor,
@@ -893,4 +956,8 @@ class FlowElasticityManager:
             layer_dimensions={kind: self._dimensions_for(kind) for kind in LayerKind},
             read_loop=self.read_loop,
             recorder=self.recorder,
+            chaos_events=list(self.chaos_injector.events) if self.chaos_injector else [],
+            invariants=(
+                self.invariant_checker.report() if self.invariant_checker else None
+            ),
         )

@@ -36,6 +36,13 @@ KNOWN_KINDS = (
     "throttle",
     "throttle.end",
     "fault.inject",
+    "fault.clear",
+    "degraded.sensor",
+    "degraded.recovered",
+    "actuation.retry",
+    "circuit.open",
+    "circuit.close",
+    "invariant.violation",
     "slo.breach",
 )
 

@@ -132,6 +132,10 @@ class SimulationEngine:
     _tasks: list[PeriodicTask] = field(default_factory=list)
     _tick_hooks: list[Callable[[int], None]] = field(default_factory=list)
     _stopped: bool = False
+    #: Whether the most recent :meth:`run` used the span scheduler.
+    #: Lets tests assert that registering a component (e.g. a fault
+    #: injector) did not silently force the per-tick fallback.
+    last_run_used_spans: bool = field(default=False, init=False)
 
     def add_component(self, component: TickComponent) -> None:
         """Register a component; components run in registration order."""
@@ -194,13 +198,14 @@ class SimulationEngine:
             )
         self._stopped = False
         end = self.clock.now + duration_seconds
-        if (
+        self.last_run_used_spans = (
             self.span_execution
             and not self._tick_hooks
             and all(
                 hasattr(c, "run_span") and hasattr(c, "span_horizon") for c in self._components
             )
-        ):
+        )
+        if self.last_run_used_spans:
             return self._run_spans(end)
         if self.profiler is not None:
             return self._run_profiled(end)

@@ -5,6 +5,16 @@ load changes is half a system. These components kill analytics-layer
 VMs — on a schedule (deterministic tests) or stochastically (soak
 runs) — so the test suite can verify that Flower's controllers restore
 capacity after infrastructure loss, not just after workload shifts.
+
+Both injectors implement the span protocol (``span_horizon`` /
+``run_span``) so registering one no longer silently disables
+span-batched execution. A scheduled kill bounds the span at the first
+grid tick that observes it — the exact tick the per-tick loop would
+inject at — and the tick *after* a kill is forced to run as its own
+one-tick span, because a VM-count change can trigger a topology
+rebalance whose event must be published at the tick the change is
+first observed (the fleet's ``next_capacity_event`` does not report
+past terminations, so the pipeline's own clamp cannot see it).
 """
 
 from __future__ import annotations
@@ -45,21 +55,51 @@ class ScheduledVMFaults:
     def __post_init__(self) -> None:
         if any(t < 0 for t in self.kill_times):
             raise SimulationError("kill times must be non-negative")
-        self._remaining = sorted(self.kill_times)
+        self._schedule = sorted(self.kill_times)
+        self._cursor = 0
+        self._last_kill_tick: int | None = None
 
     def on_tick(self, clock: SimClock) -> None:
-        now = clock.now
-        while self._remaining and self._remaining[0] <= now:
-            self._remaining.pop(0)
+        self._fire_due(clock.now)
+
+    def span_horizon(self, now: int, limit: int, tick_seconds: int) -> int:
+        if self._last_kill_tick == now:
+            # The tick after a kill must run alone: the pipeline's
+            # capacity hoist would otherwise smear a rebalance (or the
+            # reduced VM count's first observation) across the span.
+            return now + tick_seconds
+        if self._cursor >= len(self._schedule):
+            return limit
+        t = self._schedule[self._cursor]
+        if t <= now:
+            due = now + tick_seconds
+        else:
+            due = now + tick_seconds * -(-(t - now) // tick_seconds)
+        return min(limit, due)
+
+    def run_span(self, clock: SimClock, span_end: int) -> None:
+        # span_horizon bounded the span at the first grid tick where a
+        # kill is due, so firing at span_end reproduces the per-tick
+        # loop's injection times exactly.
+        self._fire_due(span_end)
+
+    def _fire_due(self, now: int) -> None:
+        schedule = self._schedule
+        cursor = self._cursor
+        n = len(schedule)
+        while cursor < n and schedule[cursor] <= now:
+            cursor += 1
             victim = self._pick_victim(now)
             if victim is not None:
                 self.fleet.fail_instance(victim, now)
                 self.events.append(FaultEvent(time=now, instance_id=victim))
+                self._last_kill_tick = now
                 if self.bus is not None:
                     self.bus.publish(
                         now, "analytics", "fault.inject",
                         {"instance": victim, "mode": "scheduled"},
                     )
+        self._cursor = cursor
 
     def _pick_victim(self, now: int) -> str | None:
         running = self.fleet.instances(now, InstanceState.RUNNING)
@@ -77,6 +117,12 @@ class RandomVMFaults:
     ``tick_seconds / mtbf_seconds`` (the discrete hazard of an
     exponential lifetime). Seeded: identical runs inject identical
     faults. Register as an engine component.
+
+    The hazard draw depends on the instance set at every tick, which
+    controller actions change at boundaries — so spans cannot be
+    batched ahead of time. ``span_horizon`` therefore clamps every span
+    to one tick: span execution stays *enabled* (and bit-exact) for
+    flows that register this injector, it just gains no speedup.
     """
 
     fleet: SimEC2Fleet
@@ -91,8 +137,22 @@ class RandomVMFaults:
             raise SimulationError("mtbf_seconds must be positive")
 
     def on_tick(self, clock: SimClock) -> None:
-        now = clock.now
-        hazard = clock.tick_seconds / self.mtbf_seconds
+        self._tick(clock.now, clock.tick_seconds)
+
+    def span_horizon(self, now: int, limit: int, tick_seconds: int) -> int:
+        return now + tick_seconds
+
+    def run_span(self, clock: SimClock, span_end: int) -> None:
+        # Defensive: another component may still have produced a longer
+        # span; replay the per-tick hazard draws inside it.
+        dt = clock.tick_seconds
+        t = clock.now
+        while t < span_end:
+            t += dt
+            self._tick(t, dt)
+
+    def _tick(self, now: int, tick_seconds: int) -> None:
+        hazard = tick_seconds / self.mtbf_seconds
         for instance in self.fleet.instances(now, InstanceState.RUNNING):
             if self.rng.random() < hazard:
                 self.fleet.fail_instance(instance.instance_id, now)

@@ -136,3 +136,72 @@ class TestManagedFlowConservation:
         assert ingested + producer_backlog + result.dropped_records == generated
         assert processed + manager.stream.backlog_records + manager.cluster.pending_records \
             == ingested
+
+
+# ----------------------------------------------------------------------
+# Conservation under arbitrary fault interleavings (chaos harness)
+# ----------------------------------------------------------------------
+from repro import ChaosSchedule, FaultKind, FaultSpec, FlowBuilder as _FlowBuilder  # noqa: E402
+from repro.workload import SinusoidalRate as _SinusoidalRate  # noqa: E402
+
+
+@st.composite
+def _chaos_schedules(draw):
+    """Random but valid schedules: windows staggered so same-kind
+    overlap (rejected by the DSL) cannot be drawn."""
+    specs = []
+    cursor = draw(st.integers(min_value=30, max_value=120))
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        kind = draw(st.sampled_from(sorted(FaultKind)))
+        if kind is FaultKind.WORKER_CRASH:
+            specs.append(FaultSpec(
+                kind=kind, start=cursor, intensity=draw(st.integers(min_value=1, max_value=2))
+            ))
+            cursor += draw(st.integers(min_value=10, max_value=60))
+            continue
+        duration = draw(st.integers(min_value=30, max_value=240))
+        if kind in (FaultKind.SHARD_BROWNOUT, FaultKind.THROTTLE_STORM):
+            intensity = draw(st.floats(min_value=0.2, max_value=0.8))
+        elif kind is FaultKind.RESHARD_STALL:
+            intensity = float(draw(st.integers(min_value=2, max_value=5)))
+        elif kind is FaultKind.METRIC_DELAY:
+            intensity = float(draw(st.integers(min_value=30, max_value=180)))
+        else:
+            intensity = 0.0
+        spec = FaultSpec(kind=kind, start=cursor, duration=duration, intensity=intensity)
+        cursor = spec.end + draw(st.integers(min_value=5, max_value=60))
+        specs.append(spec)
+    return ChaosSchedule(
+        faults=tuple(specs), seed=draw(st.integers(min_value=0, max_value=999))
+    )
+
+
+class TestChaosInvariantProperties:
+    """No fault interleaving may create/destroy records, push a
+    capacity out of bounds, or desynchronize the cost meters — the
+    always-on checker audits all of it at every boundary."""
+
+    @given(schedule=_chaos_schedules(), spans=st.booleans())
+    @settings(max_examples=8, deadline=None)
+    def test_invariants_hold_under_fault_interleavings(self, schedule, spans):
+        manager = (
+            _FlowBuilder("chaos-prop", seed=7)
+            .ingestion(shards=2)
+            .analytics(vms=3)
+            .storage(write_units=250)
+            .workload(_SinusoidalRate(mean=1000, amplitude=500, period=400))
+            .control_all(style="adaptive", reference=60.0, period=60)
+            .tick(5)
+            .spans(spans)
+            .chaos(schedule)
+            .build()
+        )
+        result = manager.run(1200)
+        report = result.invariants
+        assert report.ok, report.describe()
+        assert report.checks > 0
+        # Capacity bounds hold at the end of the disturbed run too.
+        stream, table, fleet = manager.stream, manager.table, manager.fleet
+        assert stream.config.min_shards <= stream._shards <= stream.config.max_shards
+        assert table.config.min_write_units <= table._write_units <= table.config.max_write_units
+        assert fleet.provisioned_count(1200) <= fleet.config.max_instances

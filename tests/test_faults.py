@@ -130,3 +130,84 @@ class TestControllerRecovery:
         assert pending.values[-1] == 0.0
         cpu_tail = result.utilization_trace(LayerKind.ANALYTICS).slice(4200, 5400)
         assert cpu_tail.mean() < 85.0
+
+
+class TestScheduledFaultCursor:
+    def test_duplicate_and_same_tick_kill_times(self):
+        """Duplicate entries each claim a victim at the same tick."""
+        fleet = SimEC2Fleet(initial_instances=3)
+        faults = ScheduledVMFaults(fleet, kill_times=[5, 5, 6])
+        clock = SimClock()
+        for _ in range(8):
+            clock.advance()
+            faults.on_tick(clock)
+        assert [e.time for e in faults.events] == [5, 5, 6]
+        assert fleet.running_count(8) == 0
+
+    def test_unsorted_schedule_fires_in_time_order(self):
+        fleet = SimEC2Fleet(initial_instances=3)
+        faults = ScheduledVMFaults(fleet, kill_times=[9, 2, 6])
+        clock = SimClock()
+        for _ in range(10):
+            clock.advance()
+            faults.on_tick(clock)
+        assert [e.time for e in faults.events] == [2, 6, 9]
+
+    def test_cursor_never_rescans_consumed_entries(self):
+        """The due-time walk is an index cursor, not repeated pop(0)."""
+        fleet = SimEC2Fleet(config=EC2Config(max_instances=512), initial_instances=300)
+        faults = ScheduledVMFaults(fleet, kill_times=list(range(1, 251)))
+        clock = SimClock()
+        for _ in range(260):
+            clock.advance()
+            faults.on_tick(clock)
+        assert len(faults.events) == 250
+        assert faults._cursor == 250
+        assert faults._schedule == sorted(range(1, 251))  # untouched
+
+
+class TestFaultSpanEquivalence:
+    """Registering VM fault injectors must not disable span execution,
+    and span runs must stay bit-identical to per-tick runs."""
+
+    @staticmethod
+    def _managed(spans, make_faults):
+        manager = (
+            FlowBuilder("faults-span", seed=17)
+            .ingestion(shards=3)
+            .analytics(vms=4)
+            .storage(write_units=300)
+            .workload(ConstantRate(2200))
+            .control(LayerKind.ANALYTICS, style="adaptive", reference=60.0, period=30)
+            .spans(spans)
+            .build()
+        )
+        manager.engine.add_component(make_faults(manager.fleet))
+        result = manager.run(1800)
+        return manager, result
+
+    def test_scheduled_faults_span_equivalence(self):
+        from tests.test_span_equivalence import _costs, _raw_metrics, _snapshots
+
+        def make(fleet):
+            return ScheduledVMFaults(fleet, kill_times=[400, 401, 900])
+
+        m_tick, r_tick = self._managed(False, make)
+        m_span, r_span = self._managed(True, make)
+        assert m_tick.engine.last_run_used_spans is False
+        assert m_span.engine.last_run_used_spans is True
+        assert _raw_metrics(r_span) == _raw_metrics(r_tick)
+        assert _costs(r_span) == _costs(r_tick)
+        assert _snapshots(r_span) == _snapshots(r_tick)
+
+    def test_random_faults_span_equivalence(self):
+        from tests.test_span_equivalence import _costs, _raw_metrics
+
+        def make(fleet):
+            return RandomVMFaults(fleet, derive_rng(23, "faults"), mtbf_seconds=30_000.0)
+
+        m_tick, r_tick = self._managed(False, make)
+        m_span, r_span = self._managed(True, make)
+        assert m_span.engine.last_run_used_spans is True
+        assert _raw_metrics(r_span) == _raw_metrics(r_tick)
+        assert _costs(r_span) == _costs(r_tick)

@@ -147,3 +147,42 @@ class TestCloudWatchProperties:
         stats = cw.get_metric_statistics("NS", "M", 0, len(values), period, "Average")
         for _t, v in stats:
             assert min(values) - 1e-9 <= v <= max(values) + 1e-9
+
+
+class TestRetryActuatorProperties:
+    """The retry/circuit-breaker wrapper must stay truthful (returned
+    capacity is the real one) and quiet (no inner calls while the
+    circuit is open) for any failure pattern."""
+
+    @given(
+        failing=st.lists(st.booleans(), min_size=1, max_size=40),
+        max_attempts=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_breaker_state_machine_invariants(self, failing, max_attempts):
+        from tests.test_chaos import _ScriptedActuator
+        from repro.control.actuators import RetryingActuator
+
+        inner = _ScriptedActuator()
+        actuator = RetryingActuator(
+            inner,
+            max_attempts=max_attempts,
+            breaker_threshold=2,
+            cooldown_seconds=60,
+            max_cooldown_seconds=240,
+        )
+        now = 0
+        for fails in failing:
+            now += 30
+            open_before = now < actuator.circuit_open_until
+            attempts_before = inner.attempts
+            inner.script = [True] * max_attempts if fails else []
+            applied = actuator.apply(12.0, now)
+            # Truthful: the return value is the capacity actually in force.
+            assert applied == inner.capacity
+            # Quiet: an open circuit sheds without touching the inner API.
+            if open_before:
+                assert inner.attempts == attempts_before
+            # Backoff never exceeds its configured ceiling.
+            assert actuator.circuit_open_until - now <= 240
+        assert actuator.failed_attempts <= inner.attempts

@@ -19,6 +19,9 @@ flushes, and MAX_BACKLOG crossings.
 
 import random
 
+import pytest
+
+from repro.chaos import ChaosSchedule, FaultKind, FaultSpec
 from repro.cloud.storm import BoltSpec, TopologyConfig
 from repro.core.builder import FlowBuilder
 from repro.core.flow import LayerKind
@@ -214,3 +217,85 @@ class TestControlledFlowEquivalence:
 
         reference, spanned = run_pair(build, 1500)
         assert_equivalent(reference, spanned)
+
+
+#: One scenario per fault kind, sized so the fault actually bites.
+CHAOS_SCENARIOS = {
+    "reshard-stall": ChaosSchedule(faults=(
+        FaultSpec(kind=FaultKind.RESHARD_STALL, start=120, duration=400, intensity=4),
+    ), seed=1),
+    "shard-brownout": ChaosSchedule(faults=(
+        FaultSpec(kind=FaultKind.SHARD_BROWNOUT, start=200, duration=300, intensity=0.5),
+    ), seed=2),
+    "worker-crash": ChaosSchedule(faults=(
+        FaultSpec(kind=FaultKind.WORKER_CRASH, start=300, intensity=1),
+    ), seed=3),
+    "rebalance-fail": ChaosSchedule(faults=(
+        FaultSpec(kind=FaultKind.REBALANCE_FAIL, start=240, duration=90),
+    ), seed=4),
+    "throttle-storm": ChaosSchedule(faults=(
+        FaultSpec(kind=FaultKind.THROTTLE_STORM, start=180, duration=300, intensity=0.6),
+    ), seed=5),
+    "update-reject": ChaosSchedule(faults=(
+        FaultSpec(kind=FaultKind.UPDATE_REJECT, start=120, duration=300),
+    ), seed=6),
+    "metric-delay": ChaosSchedule(faults=(
+        FaultSpec(kind=FaultKind.METRIC_DELAY, start=180, duration=240, intensity=120),
+    ), seed=7),
+    "metric-dropout": ChaosSchedule(faults=(
+        FaultSpec(kind=FaultKind.METRIC_DROPOUT, start=180, duration=240),
+    ), seed=8),
+}
+
+
+class TestChaosEquivalence:
+    """Span-vs-tick bit-equivalence under every chaos fault kind.
+
+    The injector bounds spans at each transition's due tick and clamps
+    the tick after a worker crash, so fault effects must land at the
+    exact same ticks in both modes — including retry/backoff decisions,
+    degraded-sensor events, and the invariant checker's audit."""
+
+    @staticmethod
+    def _build(schedule):
+        def build():
+            return (
+                FlowBuilder("span-eq-chaos", seed=11)
+                .ingestion(shards=2)
+                .analytics(vms=2)
+                .storage(write_units=300)
+                .workload(SinusoidalRate(mean=1400, amplitude=800, period=600))
+                .control_all(style="adaptive", reference=60.0, period=30)
+                .chaos(schedule)
+            )
+
+        return build
+
+    @pytest.mark.parametrize("kind", sorted(CHAOS_SCENARIOS))
+    def test_single_fault_scenarios(self, kind):
+        schedule = CHAOS_SCENARIOS[kind]
+        reference, spanned = run_pair(self._build(schedule), 900, events=True)
+        assert_equivalent(reference, spanned, events=True)
+        # The fault actually fired, identically in both modes.
+        assert reference.chaos_events
+        assert spanned.chaos_events == reference.chaos_events
+        assert any(e.fault == kind for e in spanned.chaos_events)
+        # The always-on checker audited both runs cleanly.
+        assert reference.invariants.ok and spanned.invariants.ok
+
+    def test_combined_multi_layer_scenario(self):
+        schedule = ChaosSchedule(faults=(
+            FaultSpec(kind=FaultKind.SHARD_BROWNOUT, start=150, duration=300, intensity=0.5),
+            FaultSpec(kind=FaultKind.RESHARD_STALL, start=500, duration=200, intensity=3),
+            FaultSpec(kind=FaultKind.WORKER_CRASH, start=400, intensity=1),
+            FaultSpec(kind=FaultKind.REBALANCE_FAIL, start=700, duration=90),
+            FaultSpec(kind=FaultKind.THROTTLE_STORM, start=300, duration=240, intensity=0.6),
+            FaultSpec(kind=FaultKind.UPDATE_REJECT, start=600, duration=240),
+            FaultSpec(kind=FaultKind.METRIC_DELAY, start=100, duration=150, intensity=90),
+            FaultSpec(kind=FaultKind.METRIC_DROPOUT, start=850, duration=100),
+        ), seed=42)
+        reference, spanned = run_pair(self._build(schedule), 1200, events=True)
+        assert_equivalent(reference, spanned, events=True)
+        assert spanned.chaos_events == reference.chaos_events
+        injected = {e.fault for e in spanned.chaos_events if e.phase == "inject"}
+        assert injected == {k.value for k in FaultKind}
