@@ -21,6 +21,11 @@ from repro.analysis.runner import (
     run_scenarios,
     run_scenarios_dict,
 )
+from repro.analysis.scorecard import (
+    SMOKE_SCENARIOS,
+    RunScorecard,
+    run_smoke_scenario,
+)
 from repro.analysis.store import load_run_summary, load_run_traces, save_run
 from repro.analysis.summary import LayerSummary, RunSummary, summarize_run
 
@@ -46,4 +51,7 @@ __all__ = [
     "save_run",
     "load_run_traces",
     "load_run_summary",
+    "RunScorecard",
+    "SMOKE_SCENARIOS",
+    "run_smoke_scenario",
 ]

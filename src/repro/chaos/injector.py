@@ -37,6 +37,12 @@ class ChaosEvent:
     ``phase`` is ``inject`` when a fault window opens (or a point fault
     fires) and ``clear`` when it closes. Seed-determinism tests compare
     whole lists of these for equality.
+
+    ``trace`` is the fault's causal trace id
+    (``fault:<kind>@<start>``) — shared by the inject and clear
+    transitions and by every bus event the fault caused, so MTTR is
+    attributable per fault. It derives from the schedule (not the
+    apply tick), so span and per-tick runs produce identical events.
     """
 
     time: int
@@ -44,6 +50,7 @@ class ChaosEvent:
     layer: str
     phase: str
     detail: str = ""
+    trace: str | None = None
 
 
 @dataclass
@@ -111,6 +118,19 @@ class ChaosInjector:
     # Per-kind transitions
     # ------------------------------------------------------------------
     def _apply(self, phase: str, spec: FaultSpec, now: int) -> None:
+        """Apply one transition inside the fault's causal trace context,
+        so any event a service publishes while the fault lands (forced
+        rebalances, stalled reshards) joins the fault's chain."""
+        trace = f"fault:{spec.kind.value}@{spec.start}"
+        if self.bus is not None:
+            self.bus.begin_trace(trace)
+        try:
+            self._transition(phase, spec, now, trace)
+        finally:
+            if self.bus is not None:
+                self.bus.end_trace()
+
+    def _transition(self, phase: str, spec: FaultSpec, now: int, trace: str) -> None:
         kind = spec.kind
         detail = ""
         if kind is FaultKind.RESHARD_STALL:
@@ -131,6 +151,11 @@ class ChaosInjector:
         elif kind is FaultKind.WORKER_CRASH:
             victims = self._crash_workers(int(spec.intensity), now)
             detail = "instances=" + ",".join(victims)
+            if victims:
+                # The crash changes the running VM count without any
+                # controller involvement; the rebalance it triggers
+                # belongs to the fault's chain, not a decision's.
+                self.fleet.last_change_trace = trace
         elif kind is FaultKind.REBALANCE_FAIL:
             if phase == "inject":
                 until = self.cluster.force_rebalance(now, spec.duration)
@@ -157,7 +182,10 @@ class ChaosInjector:
         elif kind is FaultKind.METRIC_DROPOUT:
             self.cloudwatch.sensor_dropout = phase == "inject"
         self.events.append(
-            ChaosEvent(time=now, fault=kind.value, layer=spec.layer, phase=phase, detail=detail)
+            ChaosEvent(
+                time=now, fault=kind.value, layer=spec.layer, phase=phase,
+                detail=detail, trace=trace,
+            )
         )
         if self.bus is not None:
             payload: dict[str, object] = {"fault": kind.value}

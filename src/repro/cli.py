@@ -10,6 +10,7 @@ is the terminal version::
     python -m repro.cli pareto     # resource share analysis (Fig. 4)
     python -m repro.cli shootout   # controller comparison (Sec. 3.3)
     python -m repro.cli chaos      # fault injection + invariant audit + MTTR
+    python -m repro.cli scorecard  # run health digest + baseline regression gate
 
 Every command accepts ``--seed`` and prints deterministic output.
 """
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro import (
@@ -40,7 +42,7 @@ from repro.chaos import recovery_times
 from repro.core.config import CONTROLLER_FACTORIES
 from repro.dependency import fit_linear, pearson_r
 from repro.monitoring import stacked_panels
-from repro.observability import FlightRecorder
+from repro.observability import FlightRecorder, chain_for, to_chrome_trace
 from repro.optimization import ResourceShareAnalyzer, ShareConstraint
 from repro.workload import FlashCrowdRate, ConstantRate, SinusoidalRate
 
@@ -102,12 +104,51 @@ def cmd_demo(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     if args.out:
         _ensure_writable(args.out)
+    if args.chrome:
+        _ensure_writable(args.chrome)
     recorder = FlightRecorder(profile=args.profile)
-    _managed_run(args.duration, args.seed, args.style, args.reference, recorder=recorder)
-    print(recorder.summary())
+    result = _managed_run(
+        args.duration, args.seed, args.style, args.reference, recorder=recorder
+    )
+    filtering = (
+        args.layer or args.kind
+        or args.from_tick is not None or args.to_tick is not None
+    )
+    if args.causal:
+        chain = chain_for(result, args.causal)
+        if chain is None:
+            sample = ", ".join(recorder.bus.traces()[:6]) or "none recorded"
+            raise SystemExit(
+                f"unknown trace id {args.causal!r} (expected loop@time or "
+                f"fault:<kind>@<start>); recorded ids start with: {sample}"
+            )
+        print(chain.describe())
+    elif filtering:
+        events = recorder.bus.events
+        matched = [
+            e
+            for e in events
+            if (not args.layer or e.layer == args.layer)
+            and (not args.kind or e.kind == args.kind
+                 or e.kind.startswith(args.kind + "."))
+            and (args.from_tick is None or e.time >= args.from_tick)
+            and (args.to_tick is None or e.time <= args.to_tick)
+        ]
+        for event in matched:
+            suffix = f"  <{event.trace}#{event.span}>" if event.trace else ""
+            print(event.describe() + suffix)
+        print(f"{len(matched)} / {len(events)} events matched")
+    else:
+        print(recorder.summary())
     if args.out:
         lines = recorder.to_jsonl(args.out)
         print(f"\ntrace: {lines} lines -> {args.out}")
+    if args.chrome:
+        document = to_chrome_trace(recorder, args.chrome)
+        print(
+            f"chrome trace: {len(document['traceEvents'])} trace events -> "
+            f"{args.chrome} (open in Perfetto / chrome://tracing)"
+        )
     return 0
 
 
@@ -283,6 +324,48 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.invariants.ok else 1
 
 
+def cmd_scorecard(args: argparse.Namespace) -> int:
+    from repro.analysis.scorecard import (
+        SMOKE_SCENARIOS,
+        RunScorecard,
+        run_smoke_scenario,
+    )
+
+    names = args.scenario or list(SMOKE_SCENARIOS)
+    failures: list[str] = []
+    for name in names:
+        card = run_smoke_scenario(name, seed=args.seed, duration=args.duration)
+        print(card.summary())
+        if args.out:
+            out_path = Path(args.out) / f"SCORECARD_{name}_smoke.json"
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(card.to_json())
+            print(f"  written         {out_path}")
+        if args.check:
+            baseline_path = Path(args.baseline_dir) / f"SCORECARD_{name}_smoke.json"
+            if not baseline_path.exists():
+                failures.append(f"{name}: no committed baseline at {baseline_path}")
+                print(f"  gate            MISSING BASELINE ({baseline_path})")
+            else:
+                drifts = card.compare(RunScorecard.from_json_file(baseline_path))
+                if drifts:
+                    failures.append(f"{name}: {len(drifts)} drifted fields")
+                    print(f"  gate            DRIFT vs {baseline_path}:")
+                    for drift in drifts:
+                        print(f"    {drift}")
+                else:
+                    print(f"  gate            ok (matches {baseline_path})")
+        print()
+    if failures:
+        print("scorecard gate FAILED: " + "; ".join(failures))
+        print(
+            "if the change is intentional, regenerate baselines with: "
+            f"python -m repro.cli scorecard --out {args.baseline_dir}"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -309,8 +392,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--reference", type=float, default=60.0)
     trace.add_argument("--out", default=None, metavar="PATH",
                        help="also export the trace as JSONL")
+    trace.add_argument("--chrome", default=None, metavar="PATH",
+                       help="also export a Chrome trace-event JSON file "
+                            "(opens in Perfetto / chrome://tracing)")
     trace.add_argument("--profile", action="store_true",
                        help="time each component and task per tick")
+    trace.add_argument("--layer", default=None,
+                       help="print only events from this layer/loop")
+    trace.add_argument("--kind", default=None,
+                       help="print only events of this kind (prefix match on dots)")
+    trace.add_argument("--from-tick", type=int, default=None, metavar="T",
+                       help="print only events at simulated second >= T")
+    trace.add_argument("--to-tick", type=int, default=None, metavar="T",
+                       help="print only events at simulated second <= T")
+    trace.add_argument("--causal", default=None, metavar="TRACE_ID",
+                       help="print one reconstructed causal chain "
+                            "(loop@time or fault:<kind>@<start>)")
     trace.set_defaults(func=cmd_trace)
 
     fig2 = sub.add_parser("fig2", help="workload dependency analysis on a static run")
@@ -349,6 +446,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="load a ChaosSchedule JSON file (overrides --fault); "
                             "default scenario: one fault per layer")
     chaos.set_defaults(func=cmd_chaos)
+
+    scorecard = sub.add_parser(
+        "scorecard",
+        help="run the smoke scenarios, print their scorecards, and "
+             "optionally gate against committed baselines",
+    )
+    scorecard.add_argument("--scenario", action="append",
+                           choices=["steady", "chaos"],
+                           help="run only this scenario (repeatable; default: all)")
+    scorecard.add_argument("--seed", type=int, default=7)
+    scorecard.add_argument("--duration", type=int, default=2 * 3600,
+                           help="simulated seconds per scenario")
+    scorecard.add_argument("--out", default=None, metavar="DIR",
+                           help="write SCORECARD_<scenario>_smoke.json files here")
+    scorecard.add_argument("--check", action="store_true",
+                           help="fail (exit 1) if any deterministic field drifts "
+                                "from the committed baseline")
+    scorecard.add_argument("--baseline-dir", default="results", metavar="DIR",
+                           help="where committed baselines live (default: results)")
+    scorecard.set_defaults(func=cmd_scorecard)
 
     return parser
 

@@ -89,6 +89,10 @@ class SimDynamoDBTable:
         self._read_units = int(read_units)
         self._pending_write_target: int | None = None
         self._pending_ready_at = 0
+        # Causal traces of the decisions that commanded the in-flight
+        # updates; pinned onto the eventual capacity.applied events.
+        self._pending_write_trace: str | None = None
+        self._pending_read_trace: str | None = None
         self._last_decrease_at: int | None = None
         self._pending_read_target: int | None = None
         self._pending_read_ready_at = 0
@@ -161,7 +165,9 @@ class SimDynamoDBTable:
                 self._bus.publish(
                     now, self._bus_layer, "capacity.applied",
                     {"dimension": "write", "units": self._write_units},
+                    trace=self._pending_write_trace,
                 )
+            self._pending_write_trace = None
         return self._write_units
 
     def read_capacity(self, now: int) -> int:
@@ -173,7 +179,9 @@ class SimDynamoDBTable:
                 self._bus.publish(
                     now, self._bus_layer, "capacity.applied",
                     {"dimension": "read", "units": self._read_units},
+                    trace=self._pending_read_trace,
                 )
+            self._pending_read_trace = None
         return self._read_units
 
     def effective_write_capacity(self, now: int) -> int:
@@ -242,6 +250,7 @@ class SimDynamoDBTable:
         self._pending_read_target = target
         self._pending_read_ready_at = now + self.config.update_delay_seconds
         if self._bus is not None:
+            self._pending_read_trace = self._bus.active_trace
             self._bus.publish(
                 now, self._bus_layer, "capacity.update",
                 {"dimension": "read", "from": current, "to": target,
@@ -282,6 +291,7 @@ class SimDynamoDBTable:
         self._pending_write_target = target
         self._pending_ready_at = now + self.config.update_delay_seconds
         if self._bus is not None:
+            self._pending_write_trace = self._bus.active_trace
             self._bus.publish(
                 now, self._bus_layer, "capacity.update",
                 {"dimension": "write", "from": current, "to": target,

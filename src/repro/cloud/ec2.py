@@ -78,6 +78,12 @@ class SimEC2Fleet:
 
     config: EC2Config = field(default_factory=EC2Config)
     initial_instances: int = 1
+    #: Causal trace of whatever last changed the fleet (a controller's
+    #: actuation or an injected crash). The fleet has no event bus of
+    #: its own; the Storm cluster reads this when the running VM count
+    #: shift surfaces as a rebalance, pinning the rebalance event onto
+    #: the decision (or fault) that caused it.
+    last_change_trace: str | None = field(default=None, init=False)
     _instances: list[Instance] = field(default_factory=list, init=False)
     _ids: "itertools.count[int]" = field(default_factory=itertools.count, init=False)
 

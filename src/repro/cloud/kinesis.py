@@ -107,6 +107,9 @@ class SimKinesisStream:
         self._shards = int(shards)
         self._reshard_target: int | None = None
         self._reshard_ready_at: int = 0
+        # Causal trace of the decision that commanded the in-flight
+        # reshard; pinned onto the eventual reshard.complete event.
+        self._reshard_trace: str | None = None
         # Consumer-facing buffer of accepted-but-unread records.
         self._buffer_records = 0
         self._buffer_bytes = 0
@@ -194,8 +197,10 @@ class SimKinesisStream:
             self._reshard_target = None
             if self._bus is not None:
                 self._bus.publish(
-                    now, self._bus_layer, "reshard.complete", {"shards": self._shards}
+                    now, self._bus_layer, "reshard.complete",
+                    {"shards": self._shards}, trace=self._reshard_trace,
                 )
+            self._reshard_trace = None
         return self._shards
 
     def resharding(self, now: int) -> bool:
@@ -223,6 +228,11 @@ class SimKinesisStream:
         self._reshard_target = target
         self._reshard_ready_at = now + duration
         if self._bus is not None:
+            # The decision's trace context is active right now (the
+            # actuator applied inside the control loop's step); capture
+            # it so the completion event, published ticks later from
+            # the data path, still joins the commanding chain.
+            self._reshard_trace = self._bus.active_trace
             self._bus.publish(
                 now,
                 self._bus_layer,

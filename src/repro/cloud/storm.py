@@ -276,11 +276,15 @@ class SimStormCluster:
             self._last_running_vms = vms
             self._rebalancing_until = now + self.topology.rebalance_seconds
             if self._bus is not None:
+                # The VM-count change may surface ticks after the
+                # actuation that caused it (boot latency); the fleet
+                # carries that decision's trace forward.
                 self._bus.publish(
                     now,
                     self._bus_layer,
                     "rebalance",
                     {"from_vms": previous, "to_vms": vms, "until": self._rebalancing_until},
+                    trace=getattr(self.fleet, "last_change_trace", None),
                 )
         if now < self._rebalancing_until:
             return 0

@@ -106,6 +106,9 @@ class RetryingActuator(Actuator):
         self.max_cooldown_seconds = max_cooldown_seconds
         #: Failed attempts observed, across all apply calls (diagnostics).
         self.failed_attempts = 0
+        #: Lifetime count of circuit openings (``_openings`` resets to 0
+        #: whenever the circuit closes; scorecards need the cumulative).
+        self.total_openings = 0
         self._consecutive_failures = 0
         self._openings = 0
         self._open_until = 0
@@ -150,6 +153,7 @@ class RetryingActuator(Actuator):
         self._consecutive_failures += 1
         if self._consecutive_failures >= self.breaker_threshold or self._half_open:
             self._openings += 1
+            self.total_openings += 1
             cooldown = min(
                 self.max_cooldown_seconds,
                 self.cooldown_seconds * 2 ** (self._openings - 1),
@@ -198,7 +202,13 @@ class StormVMActuator(Actuator):
 
     def apply(self, target: float, now: int) -> float:
         want = int(round(target))
+        before = self._fleet.provisioned_count(now)
         got = self._fleet.set_desired(want, now)
+        if got != before and self._bus is not None:
+            # Launches surface as a running-VM change (and a rebalance)
+            # only after boot latency; leave this decision's trace on
+            # the fleet so the eventual rebalance event joins its chain.
+            self._fleet.last_change_trace = self._bus.active_trace
         if got != want:
             self._publish_adjusted(now, want, got)
         return float(got)

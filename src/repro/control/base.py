@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.core.errors import ControlError
 from repro.observability.decisions import ControlDecision, DecisionLog
 from repro.observability.events import EventBus
+from repro.observability.telemetry import Telemetry
 
 
 class Sensor(ABC):
@@ -143,6 +144,9 @@ class ControlLoop:
     #: events whenever the applied capacity changes.
     decision_log: DecisionLog | None = None
     event_bus: EventBus | None = None
+    #: Always-on telemetry registry (counters sampled once per control
+    #: boundary; ``None`` disables the sampling entirely).
+    telemetry: Telemetry | None = None
     _integrator: float | None = field(default=None, init=False)
 
     def __post_init__(self) -> None:
@@ -150,9 +154,29 @@ class ControlLoop:
             raise ControlError(f"loop {self.name!r}: period must be positive")
 
     def step(self, now: int) -> ControlRecord | None:
-        """Run one control period; returns the record, or None if skipped."""
+        """Run one control period; returns the record, or None if skipped.
+
+        With an event bus attached, the whole invocation runs inside a
+        causal trace context (``loop@time``): sensing anomalies,
+        retries, clamps, scale events and any capacity transition the
+        actuation starts all share the invocation's trace id — the
+        MAPE-loop chain the flight recorder reconstructs.
+        """
+        bus = self.event_bus
+        if bus is not None:
+            bus.begin_trace(f"{self.name}@{now}")
+        try:
+            record = self._step(now)
+        finally:
+            if bus is not None:
+                bus.end_trace()
+        return record
+
+    def _step(self, now: int) -> ControlRecord | None:
         measurement = self.sensor.measure(now)
         if measurement is None:
+            if self.telemetry is not None:
+                self.telemetry.inc(f"control.{self.name}.skipped")
             return None
         current = self.actuator.get(now)
         if self._integrator is None or abs(self._integrator - current) > 1.0:
@@ -169,9 +193,28 @@ class ControlLoop:
             capacity_applied=applied,
         )
         self.records.append(record)
+        if self.telemetry is not None:
+            self._record_telemetry(record)
         if self.decision_log is not None or self.event_bus is not None:
             self._record_decision(now, measurement, state_before, current, requested, applied)
         return record
+
+    def _record_telemetry(self, record: ControlRecord) -> None:
+        """Per-boundary counters: one dict increment each, no hot-path
+        cost (control boundaries are tens of simulated seconds apart)."""
+        telemetry = self.telemetry
+        name = self.name
+        telemetry.inc(f"control.{name}.decisions")
+        if record.acted:
+            telemetry.inc(f"control.{name}.actions")
+            telemetry.observe(
+                f"control.{name}.step_size",
+                abs(record.capacity_applied - record.capacity_before),
+            )
+        if record.capacity_applied != record.capacity_requested:
+            telemetry.inc(f"control.{name}.clamps")
+        if getattr(self.sensor, "last_stale", False):
+            telemetry.inc(f"control.{name}.stale_reads")
 
     def _record_decision(
         self,
@@ -204,6 +247,7 @@ class ControlLoop:
                     gain=float(gain) if gain is not None else None,
                     memory_recalled=bool(info.get("memory_recalled", False)),
                     memory_gain=float(memory_gain) if memory_gain is not None else None,
+                    trace=self.event_bus.active_trace if self.event_bus else None,
                 )
             )
         if self.event_bus is not None and applied != current:

@@ -12,6 +12,7 @@ integrate spend per resource.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.chaos.injector import ChaosEvent, ChaosInjector
 from repro.chaos.invariants import InvariantChecker, InvariantReport
@@ -41,6 +42,7 @@ from repro.core.flow import FlowSpec, LayerKind, clickstream_flow_spec
 from repro.monitoring.collector import MetricCollector
 from repro.monitoring.dashboard import Dashboard
 from repro.observability.recorder import FlightRecorder
+from repro.observability.telemetry import Telemetry
 from repro.simulation.clock import SimClock
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import derive_rng
@@ -587,6 +589,10 @@ class FlowRunResult:
     recorder: FlightRecorder | None = None
     chaos_events: list[ChaosEvent] = field(default_factory=list)
     invariants: InvariantReport | None = None
+    #: Always-on counters/gauges/histograms (None only when disabled).
+    telemetry: Telemetry | None = None
+    #: Wall-clock seconds the engine run took (real time, not simulated).
+    wall_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Traces
@@ -637,7 +643,10 @@ class FlowRunResult:
     def dashboard(self) -> str:
         """Render the all-in-one-place view of the finished run."""
         return Dashboard(
-            self.collector, title=f"Flower — {self.flow.name}", recorder=self.recorder
+            self.collector,
+            title=f"Flower — {self.flow.name}",
+            recorder=self.recorder,
+            telemetry=self.telemetry,
         ).render()
 
 
@@ -668,6 +677,7 @@ class FlowElasticityManager:
         span_execution: bool = True,
         chaos: ChaosSchedule | None = None,
         invariants: bool = True,
+        telemetry: bool = True,
     ) -> None:
         self.flow = flow or clickstream_flow_spec()
         self.capacities = capacities or ServiceCapacities()
@@ -690,6 +700,9 @@ class FlowElasticityManager:
         self.price_book = price_book or PriceBook()
         self.seed = seed
         self.snapshot_period = snapshot_period
+        # Always-on telemetry (unlike the opt-in recorder): written only
+        # at control boundaries, so it stays inside the <2% budget.
+        self.telemetry: Telemetry | None = Telemetry() if telemetry else None
 
         self.cloudwatch = SimCloudWatch()
         self.stream = SimKinesisStream(shards=self.capacities.shards, config=kinesis)
@@ -783,6 +796,7 @@ class FlowElasticityManager:
                 period=read_control.period,
                 decision_log=self.recorder.decisions if self.recorder else None,
                 event_bus=self.recorder.bus if self.recorder else None,
+                telemetry=self.telemetry,
             )
             self.engine.every(self.read_loop.period, self.read_loop.step, name="control.reads")
 
@@ -795,7 +809,9 @@ class FlowElasticityManager:
             )
 
         self.collector = self._build_collector()
-        self.engine.every(snapshot_period, self.collector.collect, name="snapshots")
+        # Keep the task name the tests and profiler reports know; the
+        # wrapper adds the telemetry gauge sample at the same boundary.
+        self.engine.every(snapshot_period, self._snapshot, name="snapshots")
 
         # Component order matters: pipeline → invariant checker → chaos
         # injector. The checker audits each boundary's *pre-injection*
@@ -871,6 +887,7 @@ class FlowElasticityManager:
                 period=config.period,
                 decision_log=self.recorder.decisions if self.recorder else None,
                 event_bus=self.recorder.bus if self.recorder else None,
+                telemetry=self.telemetry,
             )
         return loops
 
@@ -883,6 +900,54 @@ class FlowElasticityManager:
             actuator = loop.actuator
             if isinstance(actuator, BoundedActuator) and kind in bounds:
                 actuator.cap = float(bounds[kind])
+
+    def _snapshot(self, now: int) -> None:
+        """Snapshot-boundary work: collect metrics, sample telemetry."""
+        self.collector.collect(now)
+        if self.telemetry is not None:
+            self._sample_telemetry(now)
+
+    def _sample_telemetry(self, now: int) -> None:
+        """Refresh the telemetry gauges from live state.
+
+        Strictly read-only: every source here is a plain attribute or a
+        pure query, so sampling can never perturb the simulation — the
+        bit-exactness contract is untouched and span/per-tick runs stay
+        identical with telemetry on or off.
+        """
+        telemetry = self.telemetry
+        pipeline = self._pipeline
+        telemetry.set_gauge("pipeline.producer_backlog", pipeline._producer_backlog_records)
+        telemetry.set_gauge("pipeline.write_backlog", pipeline._write_backlog)
+        telemetry.set_gauge("pipeline.dropped_records", pipeline.dropped_records)
+        telemetry.set_gauge("pipeline.dropped_writes", pipeline.dropped_writes)
+        for name, meter in self.cost_meters.items():
+            telemetry.set_gauge(f"cost.{name}", meter.total_cost)
+        loops = list(self.loops.values())
+        if self.read_loop is not None:
+            loops.append(self.read_loop)
+        for loop in loops:
+            actuator = loop.actuator
+            if isinstance(actuator, BoundedActuator):
+                telemetry.set_gauge(
+                    f"actuator.{loop.name}.share_clamps", actuator.clamped_requests
+                )
+                actuator = actuator.inner
+            if isinstance(actuator, RetryingActuator):
+                telemetry.set_gauge(
+                    f"actuator.{loop.name}.failed_attempts", actuator.failed_attempts
+                )
+                telemetry.set_gauge(
+                    f"actuator.{loop.name}.breaker_openings", actuator.total_openings
+                )
+                telemetry.set_gauge(
+                    f"actuator.{loop.name}.circuit_open",
+                    1.0 if now < actuator.circuit_open_until else 0.0,
+                )
+            telemetry.set_gauge(
+                f"sensor.{loop.name}.stale",
+                1.0 if getattr(loop.sensor, "last_stale", False) else 0.0,
+            )
 
     def _dimensions_for(self, kind: LayerKind) -> dict[str, str]:
         return self._layer_dims[kind]
@@ -942,7 +1007,9 @@ class FlowElasticityManager:
     # ------------------------------------------------------------------
     def run(self, duration_seconds: int) -> FlowRunResult:
         """Advance the simulation and return the analysed result."""
+        started = perf_counter()
         self.engine.run(duration_seconds)
+        wall_seconds = perf_counter() - started
         return FlowRunResult(
             duration_seconds=self.engine.clock.now,
             flow=self.flow,
@@ -960,4 +1027,6 @@ class FlowElasticityManager:
             invariants=(
                 self.invariant_checker.report() if self.invariant_checker else None
             ),
+            telemetry=self.telemetry,
+            wall_seconds=wall_seconds,
         )

@@ -87,10 +87,12 @@ class Dashboard:
         collector: MetricCollector,
         title: str = "Flower — all-in-one-place",
         recorder=None,
+        telemetry=None,
     ) -> None:
         self._collector = collector
         self.title = title
         self._recorder = recorder
+        self._telemetry = telemetry
 
     def render(self, spark_width: int = 32, history: int = 60) -> str:
         """One panel per measure: sparkline, last, mean, min, max.
@@ -130,5 +132,14 @@ class Dashboard:
                         ["loop", "invocations", "acted", "clamped", "last gain"],
                         decision_rows,
                     )
+                )
+        if self._telemetry is not None:
+            telemetry_rows = self._telemetry.rows()
+            if telemetry_rows:
+                sections.append(
+                    "telemetry (actuations, retries, breaker state, "
+                    "staleness)\n"
+                    "----------------------------------------------------------\n"
+                    + render_table(["metric", "value", "kind"], telemetry_rows)
                 )
         return "\n\n".join(sections)

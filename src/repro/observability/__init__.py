@@ -12,11 +12,23 @@ Everything is off by default and injected explicitly — an unobserved
 flow runs the exact unmodified hot loop.
 """
 
+from repro.observability.causal import (
+    CausalChain,
+    chain_for,
+    decision_chains,
+    fault_chains,
+)
 from repro.observability.decisions import ControlDecision, DecisionLog
 from repro.observability.events import KNOWN_KINDS, Event, EventBus
-from repro.observability.export import read_jsonl, recorder_to_jsonl, write_jsonl
+from repro.observability.export import (
+    read_jsonl,
+    recorder_to_jsonl,
+    to_chrome_trace,
+    write_jsonl,
+)
 from repro.observability.profiler import HISTOGRAM_BOUNDS, TickProfiler
 from repro.observability.recorder import FlightRecorder
+from repro.observability.telemetry import Histogram, Telemetry
 
 __all__ = [
     "Event",
@@ -27,7 +39,14 @@ __all__ = [
     "TickProfiler",
     "HISTOGRAM_BOUNDS",
     "FlightRecorder",
+    "Telemetry",
+    "Histogram",
+    "CausalChain",
+    "decision_chains",
+    "fault_chains",
+    "chain_for",
     "write_jsonl",
     "read_jsonl",
     "recorder_to_jsonl",
+    "to_chrome_trace",
 ]

@@ -1,0 +1,332 @@
+"""Causal-chain reconstruction over the flight recorder.
+
+Trace propagation (see :mod:`repro.observability.events`) stamps every
+bus event with the MAPE-loop pass or injected fault that caused it.
+This module folds those stamps back into *chains*: for each controller
+decision, the full sense → decide → actuate → capacity-transition
+story; for each chaos fault, the inject → alarm → response decision →
+actuation → recovery story, with the recovery time attributed to the
+fault (per-fault MTTR).
+
+Chains are plain data — the CLI's ``repro trace --causal`` view, the
+run scorecard and the tests all consume the same reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.decisions import ControlDecision
+from repro.observability.events import Event
+
+#: Observable symptoms per layer: the first of these at or after a
+#: fault's injection is the chain's *alarm* stage.
+ALARM_KINDS: dict[str, tuple[str, ...]] = {
+    "ingestion": ("throttle", "slo.breach", "degraded.sensor"),
+    "analytics": ("rebalance", "slo.breach", "degraded.sensor"),
+    "storage": ("throttle", "actuation.retry", "slo.breach", "degraded.sensor"),
+    "monitoring": ("degraded.sensor",),
+}
+
+#: Event kinds that represent a controller command reaching a service.
+ACTUATION_KINDS = (
+    "scale.up",
+    "scale.down",
+    "reshard",
+    "capacity.update",
+    "actuation.retry",
+    "actuation.adjusted",
+    "share.clamp",
+)
+
+#: Deferred capacity transitions: a start kind that must eventually be
+#: matched by its completion kind for the chain to close.
+DEFERRED_COMPLETIONS: dict[str, str] = {
+    "reshard": "reshard.complete",
+    "capacity.update": "capacity.applied",
+}
+
+#: Control loops that actuate each flow layer.
+LAYER_LOOPS: dict[str, tuple[str, ...]] = {
+    "ingestion": ("ingestion",),
+    "analytics": ("analytics",),
+    "storage": ("storage", "storage-reads"),
+}
+
+
+@dataclass(frozen=True)
+class CausalChain:
+    """One reconstructed cause → effect story.
+
+    ``root_kind`` is ``"decision"`` for a control-loop pass (trace id
+    ``loop@time``) or ``"fault"`` for an injected fault (trace id
+    ``fault:<kind>@<start>``). Stage fields are ``None`` when the stage
+    never happened — :meth:`closed` says whether the chain completed.
+    """
+
+    trace: str
+    root_kind: str
+    root_time: int
+    layer: str
+    #: Every bus event stamped with this trace, in span order.
+    events: tuple[Event, ...] = ()
+    #: The controller decision that opened (or responded to) the chain.
+    decision: ControlDecision | None = None
+    #: Fault chains: the first observable symptom after injection.
+    alarm: Event | None = None
+    #: The first actuation event of the (response) decision's trace.
+    actuation: Event | None = None
+    #: Fault chains: seconds from injection to the layer settling (or
+    #: to ``degraded.recovered`` for monitoring faults); ``None`` when
+    #: it never recovered inside the run.
+    recovery_seconds: int | None = None
+    #: Latest simulated second any stage of the chain touched.
+    completed_at: int | None = None
+    #: Deferred transitions started but never completed (open chains).
+    pending: tuple[str, ...] = field(default=())
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_seconds is not None
+
+    def _pending_past_horizon(self, horizon: int | None) -> bool:
+        """Whether every pending transition was cut off by the run end.
+
+        A deferred start whose expected completion time (``ready_at``
+        or ``until`` in its payload) lies beyond ``horizon`` never had
+        a chance to complete inside the run — the chain is in flight
+        at shutdown, not broken.
+        """
+        if horizon is None or not self.pending:
+            return False
+        for start in self.pending:
+            event = next((e for e in self.events if e.kind == start), None)
+            if event is None:
+                return False
+            ready = event.payload.get("ready_at", event.payload.get("until"))
+            if not isinstance(ready, (int, float)) or ready <= horizon:
+                return False
+        return True
+
+    def closed(self, horizon: int | None = None) -> bool:
+        """Whether the chain ran to completion.
+
+        A decision chain closes when the loop did not act, or when its
+        actuation landed and every deferred capacity transition it
+        started has completed. A fault chain closes when the fault
+        produced an alarm, a responding decision actuated, and the
+        layer recovered — for monitoring faults, when the degraded
+        sensor alarmed and recovered (there is no capacity to move).
+        With ``horizon`` (the run's last simulated second), a pending
+        transition whose completion was scheduled past the horizon
+        counts as closed: the run ended, the chain did not break.
+        """
+        if self.root_kind == "decision":
+            if self.pending and not self._pending_past_horizon(horizon):
+                return False
+            if self.decision is None:
+                return False
+            return (not self.decision.acted) or self.actuation is not None
+        if self.layer == "monitoring":
+            return self.alarm is not None and self.recovered
+        return (
+            self.alarm is not None
+            and self.decision is not None
+            and self.actuation is not None
+            and self.recovered
+        )
+
+    def describe(self) -> str:
+        """Multi-line human rendering (the CLI's ``--causal`` view)."""
+        lines = [
+            f"trace {self.trace}  ({self.root_kind}, layer={self.layer}, "
+            f"t={self.root_time}s)"
+        ]
+        if self.decision is not None:
+            d = self.decision
+            lines.append(
+                f"  decision  {d.loop}@{d.time}: sensed={d.sensed:.2f} "
+                f"{d.capacity_before:g} -> {d.applied_command:g}"
+                + (" (clamped)" if d.clamped else "")
+            )
+        if self.alarm is not None:
+            lines.append(f"  alarm     {self.alarm.describe()}")
+        if self.actuation is not None:
+            lines.append(f"  actuation {self.actuation.describe()}")
+        for event in self.events:
+            lines.append(f"    span {event.span:<3} {event.describe()}")
+        if self.recovery_seconds is not None:
+            lines.append(f"  recovery  {self.recovery_seconds}s after injection")
+        elif self.root_kind == "fault":
+            lines.append("  recovery  never (within this run)")
+        if self.pending:
+            lines.append("  pending   " + ", ".join(self.pending))
+        lines.append(f"  closed    {'yes' if self.closed() else 'NO'}")
+        return "\n".join(lines)
+
+
+def _decision_chain(recorder, decision: ControlDecision) -> CausalChain:
+    events = tuple(recorder.bus.for_trace(decision.trace))
+    actuation = next((e for e in events if e.kind in ACTUATION_KINDS), None)
+    pending = tuple(
+        start
+        for start, done in DEFERRED_COMPLETIONS.items()
+        if any(e.kind == start for e in events)
+        and not any(e.kind == done for e in events)
+    )
+    completed = max([decision.time] + [e.time for e in events])
+    return CausalChain(
+        trace=decision.trace,
+        root_kind="decision",
+        root_time=decision.time,
+        layer=decision.loop,
+        events=events,
+        decision=decision,
+        actuation=actuation,
+        completed_at=completed,
+        pending=pending,
+    )
+
+
+def decision_chains(recorder) -> list[CausalChain]:
+    """One chain per traced decision in the recorder's audit log."""
+    return [
+        _decision_chain(recorder, decision)
+        for decision in recorder.decisions
+        if decision.trace is not None
+    ]
+
+
+def fault_chains(result) -> list[CausalChain]:
+    """One chain per injected fault in a finished run.
+
+    Requires the run to have been recorded (``result.recorder``); the
+    chaos timeline alone has no events to reconstruct from. Recovery
+    for layer faults comes from the MTTR settling analysis; monitoring
+    faults recover when their degraded sensor reports back healthy.
+    """
+    recorder = result.recorder
+    if recorder is None:
+        return []
+    from repro.chaos.mttr import recovery_times
+
+    samples = {
+        (s.fault, s.injected_at): s.recovery_seconds
+        for s in recovery_times(result)
+    }
+    all_events = recorder.bus.events
+    chains: list[CausalChain] = []
+    for chaos_event in result.chaos_events:
+        if chaos_event.phase != "inject":
+            continue
+        layer = chaos_event.layer
+        injected_at = chaos_event.time
+        trace_events = (
+            tuple(recorder.bus.for_trace(chaos_event.trace))
+            if chaos_event.trace
+            else ()
+        )
+        # Alarms are symptoms in the data path (throttles, rebalances,
+        # degraded sensors) — published outside the fault's own trace
+        # context, so they are searched by layer and time instead.
+        alarm_kinds = ALARM_KINDS.get(layer, ())
+        if layer == "monitoring":
+            # A blinded sensor can belong to any loop; take the first
+            # degradation anywhere in the flow.
+            alarm = next(
+                (
+                    e
+                    for e in all_events
+                    if e.time >= injected_at and e.kind in alarm_kinds
+                ),
+                None,
+            )
+        else:
+            alarm = next(
+                (
+                    e
+                    for e in all_events
+                    if e.time >= injected_at
+                    and e.layer == layer
+                    and e.kind in alarm_kinds
+                ),
+                None,
+            )
+        decision = None
+        actuation = None
+        if layer == "monitoring":
+            recovery_event = next(
+                (
+                    e
+                    for e in all_events
+                    if e.time >= injected_at and e.kind == "degraded.recovered"
+                ),
+                None,
+            )
+            recovery = (
+                recovery_event.time - injected_at
+                if recovery_event is not None
+                else None
+            )
+            if alarm is not None and alarm.trace is not None:
+                decision = recorder.decisions.for_trace(alarm.trace)
+        else:
+            loops = LAYER_LOOPS.get(layer, ())
+            since = alarm.time if alarm is not None else injected_at
+            decision = next(
+                (
+                    d
+                    for d in recorder.decisions
+                    if d.time >= since and d.loop in loops and d.acted
+                ),
+                None,
+            )
+            if decision is not None and decision.trace is not None:
+                actuation = next(
+                    (
+                        e
+                        for e in recorder.bus.for_trace(decision.trace)
+                        if e.kind in ACTUATION_KINDS
+                    ),
+                    None,
+                )
+            recovery = samples.get((chaos_event.fault, injected_at))
+        stage_times = [injected_at]
+        stage_times += [e.time for e in trace_events]
+        if alarm is not None:
+            stage_times.append(alarm.time)
+        if decision is not None:
+            stage_times.append(decision.time)
+        if recovery is not None:
+            stage_times.append(injected_at + recovery)
+        chains.append(
+            CausalChain(
+                trace=chaos_event.trace or f"fault:{chaos_event.fault}@{injected_at}",
+                root_kind="fault",
+                root_time=injected_at,
+                layer=layer,
+                events=trace_events,
+                decision=decision,
+                alarm=alarm,
+                actuation=actuation,
+                recovery_seconds=recovery,
+                completed_at=max(stage_times),
+            )
+        )
+    return chains
+
+
+def chain_for(result, trace_id: str) -> CausalChain | None:
+    """The chain for one trace id — a decision's (``loop@time``) or a
+    fault's (``fault:<kind>@<start>``) — or ``None`` if unknown."""
+    if result.recorder is None:
+        return None
+    if trace_id.startswith("fault:"):
+        for chain in fault_chains(result):
+            if chain.trace == trace_id:
+                return chain
+        return None
+    decision = result.recorder.decisions.for_trace(trace_id)
+    if decision is None:
+        return None
+    return _decision_chain(result.recorder, decision)

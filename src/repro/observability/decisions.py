@@ -50,6 +50,11 @@ class ControlDecision:
     memory_recalled / memory_gain:
         Whether the gain memory warm-started this invocation, and from
         which remembered gain.
+    trace:
+        Causal trace id of this invocation (``loop@time``), shared with
+        every bus event the invocation produced — sensing anomalies,
+        retries, clamps, capacity transitions — so the full chain is
+        reconstructable; ``None`` when the loop ran without a bus.
     """
 
     time: int
@@ -64,6 +69,7 @@ class ControlDecision:
     gain: float | None = None
     memory_recalled: bool = False
     memory_gain: float | None = None
+    trace: str | None = None
 
     @property
     def clamped(self) -> bool:
@@ -114,6 +120,13 @@ class DecisionLog:
 
     def for_loop(self, loop: str) -> list[ControlDecision]:
         return [d for d in self._decisions if d.loop == loop]
+
+    def for_trace(self, trace_id: str) -> ControlDecision | None:
+        """The decision that opened causal trace ``trace_id``, if any."""
+        for decision in self._decisions:
+            if decision.trace == trace_id:
+                return decision
+        return None
 
     def clamps(self) -> list[ControlDecision]:
         """Invocations where bounds overrode the controller."""

@@ -16,6 +16,7 @@ interleaving of same-tick publishers reconstructable after the fact.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping
 
@@ -65,6 +66,16 @@ class Event:
     seq:
         Bus-assigned sequence number; totally orders events, including
         several published within the same simulated second.
+    trace:
+        Causal trace the event belongs to (one MAPE-loop pass or one
+        injected fault), or ``None`` for events published outside any
+        control boundary. Assigned by the bus from its active trace
+        context, or pinned explicitly by publishers completing a
+        deferred transition (a reshard finishing ticks after the
+        decision that commanded it).
+    span:
+        Position of the event within its trace (0-based); 0 for
+        untraced events.
     """
 
     time: int
@@ -72,6 +83,8 @@ class Event:
     kind: str
     payload: Mapping[str, object] = field(default_factory=dict)
     seq: int = 0
+    trace: str | None = None
+    span: int = 0
 
     def describe(self) -> str:
         """One-line human rendering, used by dashboards and the CLI."""
@@ -92,6 +105,42 @@ class EventBus:
         self._events: list[Event] = []
         self._subscribers: list[Callable[[Event], None]] = []
         self._seq = 0
+        # Causal trace context: a stack of open trace ids (control-loop
+        # invocations, chaos fault applications) plus a per-trace span
+        # counter so deferred completions keep numbering their trace.
+        self._trace_stack: list[str] = []
+        self._trace_spans: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Trace context (causal MAPE-loop propagation)
+    # ------------------------------------------------------------------
+    @property
+    def active_trace(self) -> str | None:
+        """The innermost open trace id, or ``None`` outside any trace."""
+        return self._trace_stack[-1] if self._trace_stack else None
+
+    def begin_trace(self, trace_id: str) -> str:
+        """Open a trace context: every publish until :meth:`end_trace`
+        is stamped with ``trace_id`` (unless pinned explicitly)."""
+        if not trace_id:
+            raise MonitoringError("trace id must be non-empty")
+        self._trace_stack.append(trace_id)
+        self._trace_spans.setdefault(trace_id, 0)
+        return trace_id
+
+    def end_trace(self) -> None:
+        if not self._trace_stack:
+            raise MonitoringError("end_trace without a matching begin_trace")
+        self._trace_stack.pop()
+
+    @contextmanager
+    def trace(self, trace_id: str):
+        """Context manager over :meth:`begin_trace` / :meth:`end_trace`."""
+        self.begin_trace(trace_id)
+        try:
+            yield trace_id
+        finally:
+            self.end_trace()
 
     def publish(
         self,
@@ -99,13 +148,30 @@ class EventBus:
         layer: str,
         kind: str,
         payload: Mapping[str, object] | None = None,
+        *,
+        trace: str | None = None,
     ) -> Event:
-        """Record one event; returns the stored (sequence-stamped) record."""
+        """Record one event; returns the stored (sequence-stamped) record.
+
+        ``trace`` pins the event to a specific causal trace — used by
+        services completing a transition whose commanding decision's
+        trace closed ticks ago. Without it, the bus's active trace
+        context (if any) is stamped on.
+        """
         if time < 0:
             raise MonitoringError(f"event time must be non-negative, got {time}")
         if not kind:
             raise MonitoringError("event kind must be non-empty")
-        event = Event(time=time, layer=layer, kind=kind, payload=dict(payload or {}), seq=self._seq)
+        if trace is None and self._trace_stack:
+            trace = self._trace_stack[-1]
+        span = 0
+        if trace is not None:
+            span = self._trace_spans.get(trace, 0)
+            self._trace_spans[trace] = span + 1
+        event = Event(
+            time=time, layer=layer, kind=kind, payload=dict(payload or {}),
+            seq=self._seq, trace=trace, span=span,
+        )
         self._seq += 1
         self._events.append(event)
         for subscriber in self._subscribers:
@@ -133,6 +199,20 @@ class EventBus:
 
     def for_layer(self, layer: str) -> list[Event]:
         return [e for e in self._events if e.layer == layer]
+
+    def for_trace(self, trace_id: str) -> list[Event]:
+        """Events belonging to one causal trace, in span order."""
+        return sorted(
+            (e for e in self._events if e.trace == trace_id), key=lambda e: e.span
+        )
+
+    def traces(self) -> list[str]:
+        """Trace ids present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for event in self._events:
+            if event.trace is not None:
+                seen.setdefault(event.trace, None)
+        return list(seen)
 
     def counts(self) -> dict[str, int]:
         """Number of events per kind, for summaries and dashboards."""

@@ -35,11 +35,12 @@ _DECISION_FIELDS = (
     "gain",
     "memory_recalled",
     "memory_gain",
+    "trace",
 )
 
 
 def event_to_row(event: Event) -> dict[str, object]:
-    return {
+    row: dict[str, object] = {
         "type": "event",
         "time": event.time,
         "seq": event.seq,
@@ -47,6 +48,10 @@ def event_to_row(event: Event) -> dict[str, object]:
         "kind": event.kind,
         "payload": dict(event.payload),
     }
+    if event.trace is not None:
+        row["trace"] = event.trace
+        row["span"] = event.span
+    return row
 
 
 def decision_to_row(decision: ControlDecision) -> dict[str, object]:
@@ -86,6 +91,83 @@ def recorder_to_jsonl(recorder, path: str | Path) -> int:
     )
 
 
+def to_chrome_trace(recorder, path: str | Path | None = None) -> dict[str, object]:
+    """Export a recorder as a Chrome trace-event file (Perfetto-ready).
+
+    One metadata thread per flow layer; every bus event becomes an
+    instant event (``ph: "i"``) at its simulated second (microsecond
+    timebase, 1 simulated second = 1 ms on the viewer's default
+    millisecond display), and every causal trace becomes a duration
+    event (``ph: "X"``) spanning first to last stamped event — so a
+    MAPE-loop pass or a fault's whole chain reads as one bar with its
+    constituent events dotted along it. With ``path`` set, the dict is
+    also written there as JSON.
+    """
+    events = recorder.bus.events
+    layers: dict[str, int] = {}
+    for event in events:
+        layers.setdefault(event.layer, len(layers) + 1)
+    rows: list[dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "flower-flow"},
+        }
+    ]
+    for layer, tid in layers.items():
+        rows.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": layer},
+            }
+        )
+    for trace_id in recorder.bus.traces():
+        stamped = recorder.bus.for_trace(trace_id)
+        start = min(e.time for e in stamped)
+        end = max(e.time for e in stamped)
+        rows.append(
+            {
+                "name": trace_id,
+                "cat": "trace",
+                "ph": "X",
+                "ts": start * 1_000_000,
+                # Zero-duration bars are invisible; give single-event
+                # traces one simulated second of width.
+                "dur": max(1, end - start) * 1_000_000,
+                "pid": 1,
+                "tid": layers[stamped[0].layer],
+                "args": {"events": len(stamped)},
+            }
+        )
+    for event in events:
+        args: dict[str, object] = {str(k): v for k, v in event.payload.items()}
+        if event.trace is not None:
+            args["trace"] = event.trace
+            args["span"] = event.span
+        rows.append(
+            {
+                "name": event.kind,
+                "cat": event.layer,
+                "ph": "i",
+                "ts": event.time * 1_000_000,
+                "pid": 1,
+                "tid": layers[event.layer],
+                "s": "t",
+                "args": args,
+            }
+        )
+    document = {"traceEvents": rows, "displayTimeUnit": "ms"}
+    if path is not None:
+        with open(path, "w") as f:
+            json.dump(document, f)
+    return document
+
+
 def read_jsonl(path: str | Path) -> dict[str, object]:
     """Parse a trace file back into typed records.
 
@@ -113,6 +195,8 @@ def read_jsonl(path: str | Path) -> dict[str, object]:
                         kind=str(row["kind"]),
                         payload=dict(row.get("payload", {})),
                         seq=int(row.get("seq", 0)),
+                        trace=row.get("trace"),
+                        span=int(row.get("span", 0)),
                     )
                 )
             elif kind == "decision":

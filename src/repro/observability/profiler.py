@@ -18,6 +18,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Mapping
 
+from repro.core.errors import MonitoringError
+
 #: Upper bounds (seconds) of the tick-duration histogram buckets; the
 #: final bucket is the overflow (> last bound).
 HISTOGRAM_BOUNDS: tuple[float, ...] = (
@@ -42,6 +44,10 @@ class TickProfiler:
         self.task_seconds: dict[str, float] = {}
         self.task_calls: dict[str, int] = {}
         self.tick_count = 0
+        #: Batched spans executed (0 on a pure per-tick run) — the
+        #: marker that distinguishes span-batched from per-tick
+        #: profiles in archived exports.
+        self.span_count = 0
         self.tick_seconds_total = 0.0
         self.tick_seconds_max = 0.0
         self.histogram = [0] * (len(HISTOGRAM_BOUNDS) + 1)
@@ -76,6 +82,7 @@ class TickProfiler:
         """
         if ticks <= 0:
             return
+        self.span_count += 1
         self.tick_count += ticks
         self.tick_seconds_total += elapsed
         mean = elapsed / ticks
@@ -103,6 +110,7 @@ class TickProfiler:
         """JSON-ready snapshot, used by the JSONL exporter."""
         return {
             "ticks": self.tick_count,
+            "spans": self.span_count,
             "tick_seconds_total": self.tick_seconds_total,
             "tick_seconds_max": self.tick_seconds_max,
             "components": {
@@ -155,6 +163,7 @@ class TickProfiler:
         """Rebuild a profiler snapshot from :meth:`as_dict` output."""
         profiler = cls()
         profiler.tick_count = int(data.get("ticks", 0))
+        profiler.span_count = int(data.get("spans", 0))
         profiler.tick_seconds_total = float(data.get("tick_seconds_total", 0.0))
         profiler.tick_seconds_max = float(data.get("tick_seconds_max", 0.0))
         for name, entry in dict(data.get("components", {})).items():
@@ -164,6 +173,15 @@ class TickProfiler:
             profiler.task_seconds[name] = float(entry["seconds"])
             profiler.task_calls[name] = int(entry["calls"])
         histogram = list(data.get("histogram", []))
-        if len(histogram) == len(profiler.histogram):
+        if histogram:
+            # A snapshot from a different bucket layout cannot be
+            # loaded into this one — dropping it silently would report
+            # an all-zero histogram against a non-zero tick count.
+            if len(histogram) != len(profiler.histogram):
+                raise MonitoringError(
+                    f"profile histogram has {len(histogram)} buckets, "
+                    f"expected {len(profiler.histogram)} "
+                    f"(mismatched HISTOGRAM_BOUNDS?)"
+                )
             profiler.histogram = [int(c) for c in histogram]
         return profiler

@@ -56,6 +56,64 @@ class TestCommands:
         assert "tick profile:" in out
         assert read_jsonl(path)["profile"]["ticks"] == 1800
 
+    def test_trace_filters_events(self, capsys):
+        assert main(["trace", "--duration", "1200", "--seed", "1",
+                     "--layer", "storage", "--kind", "capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "events matched" in out
+        # kind filtering is prefix-aware: capacity matches
+        # capacity.update and capacity.applied, nothing else.
+        assert "capacity.update" in out
+        assert "throttle" not in out
+
+    def test_trace_causal_prints_chain(self, capsys):
+        assert main(["trace", "--duration", "1200", "--seed", "1",
+                     "--causal", "ingestion@60"]) == 0
+        out = capsys.readouterr().out
+        assert "ingestion@60" in out
+
+    def test_trace_causal_unknown_id_exits(self, capsys):
+        with pytest.raises(SystemExit, match="unknown trace id"):
+            main(["trace", "--duration", "1200", "--seed", "1",
+                  "--causal", "no-such@999"])
+
+    def test_trace_chrome_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "chrome.json"
+        assert main(["trace", "--duration", "1200", "--seed", "1",
+                     "--chrome", str(path)]) == 0
+        assert "open in Perfetto" in capsys.readouterr().out
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_scorecard_writes_cards(self, capsys, tmp_path):
+        assert main(["scorecard", "--scenario", "steady",
+                     "--duration", "900", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scorecard steady" in out
+        assert (tmp_path / "SCORECARD_steady_smoke.json").exists()
+
+    def test_scorecard_check_fails_without_baseline(self, capsys, tmp_path):
+        assert main(["scorecard", "--scenario", "steady",
+                     "--duration", "900", "--check",
+                     "--baseline-dir", str(tmp_path / "empty")]) == 1
+        out = capsys.readouterr().out
+        assert "MISSING BASELINE" in out
+        assert "scorecard gate FAILED" in out
+
+    def test_scorecard_check_reports_drift(self, capsys, tmp_path):
+        # Baseline from a different seed: every deterministic field
+        # drifts, the gate fails and names the fields.
+        assert main(["scorecard", "--scenario", "steady", "--duration", "900",
+                     "--seed", "3", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["scorecard", "--scenario", "steady", "--duration", "900",
+                     "--seed", "4", "--check",
+                     "--baseline-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+        assert "regenerate baselines" in out
+
     def test_fig2_prints_panels_and_model(self, capsys):
         assert main(["fig2", "--duration", "3600", "--seed", "3"]) == 0
         out = capsys.readouterr().out

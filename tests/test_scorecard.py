@@ -1,0 +1,146 @@
+"""Run scorecards: field extraction, serialisation round-trips, and the
+regression-gate comparison semantics (tight, bidirectional, wall-clock
+exempt)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.scorecard import (
+    SMOKE_SCENARIOS,
+    WALL_CLOCK_FIELDS,
+    RunScorecard,
+    run_smoke_scenario,
+)
+from repro.core.errors import ConfigurationError
+
+#: Short horizon for the in-test smoke runs; the committed baselines in
+#: ``results/`` use the full SMOKE_DURATION and gate the real numbers.
+DURATION = 1800
+
+
+@pytest.fixture(scope="module")
+def steady():
+    return run_smoke_scenario("steady", duration=DURATION)
+
+
+@pytest.fixture(scope="module")
+def chaos():
+    return run_smoke_scenario("chaos", duration=DURATION)
+
+
+# ----------------------------------------------------------------------
+# from_result / run_smoke_scenario field extraction
+# ----------------------------------------------------------------------
+class TestSmokeScenarios:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scorecard scenario"):
+            run_smoke_scenario("nope")
+
+    def test_steady_fields_populated(self, steady):
+        assert steady.name == "steady"
+        assert steady.duration_seconds == DURATION
+        assert set(steady.slo_violation_pct) == {"ingestion", "analytics", "storage"}
+        assert set(steady.cost_by_layer) >= {"ingestion", "analytics", "storage"}
+        assert steady.total_cost == pytest.approx(
+            sum(steady.cost_by_layer.values()), rel=1e-6
+        )
+        assert steady.total_cost > 0
+        # Every layer loop decides every control period.
+        assert set(steady.decisions) == {"ingestion", "analytics", "storage"}
+        assert all(n == DURATION // 60 for n in steady.decisions.values())
+        assert all(
+            steady.actuations[k] <= steady.decisions[k] for k in steady.actuations
+        )
+        assert steady.mttr_by_fault == {}
+        assert steady.invariants_ok
+
+    def test_steady_chains_all_close(self, steady):
+        assert steady.causal_chains > 0
+        assert steady.causal_chains_closed == steady.causal_chains
+
+    def test_chaos_scores_every_fault(self, chaos):
+        # One MTTR entry per injected fault, keyed kind@start.
+        assert len(chaos.mttr_by_fault) == 3
+        assert all("@" in key for key in chaos.mttr_by_fault)
+        assert chaos.causal_chains > steady_chains_lower_bound(chaos)
+
+    def test_scenario_registry_matches_baselines(self):
+        assert SMOKE_SCENARIOS == ("steady", "chaos")
+
+
+def steady_chains_lower_bound(chaos: RunScorecard) -> int:
+    # At minimum one chain per decision that acted, plus the faults.
+    return sum(chaos.actuations.values())
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+class TestSerialisation:
+    def test_json_round_trip_is_lossless(self, steady):
+        clone = RunScorecard.from_dict(json.loads(steady.to_json()))
+        assert clone == steady
+
+    def test_from_json_file(self, steady, tmp_path):
+        path = tmp_path / "card.json"
+        path.write_text(steady.to_json())
+        assert RunScorecard.from_json_file(path) == steady
+
+    def test_to_dict_covers_every_field(self, steady):
+        d = steady.to_dict()
+        assert set(d) == {f.name for f in dataclasses.fields(RunScorecard)}
+
+    def test_summary_renders_key_numbers(self, chaos):
+        text = chaos.summary()
+        assert f"{chaos.total_cost:.4f}" in text
+        assert "causal chains" in text
+        assert "mttr per fault" in text
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+class TestCompare:
+    def test_identical_scorecards_pass(self, steady):
+        assert steady.compare(steady) == []
+
+    def test_scalar_drift_is_named(self, steady):
+        drifted = dataclasses.replace(steady, total_cost=steady.total_cost * 1.01)
+        messages = steady.compare(drifted)
+        assert any(m.startswith("total_cost:") for m in messages)
+
+    def test_improvement_fails_too(self, steady):
+        """A cheaper run without a regenerated baseline is drift."""
+        drifted = dataclasses.replace(steady, total_cost=steady.total_cost * 0.5)
+        assert steady.compare(drifted)
+
+    def test_dict_drift_names_the_key(self, steady):
+        costs = dict(steady.cost_by_layer)
+        costs["storage"] = costs["storage"] + 1.0
+        drifted = dataclasses.replace(steady, cost_by_layer=costs)
+        messages = steady.compare(drifted)
+        assert any(m.startswith("cost_by_layer.storage:") for m in messages)
+
+    def test_missing_dict_key_is_drift(self, steady):
+        costs = dict(steady.cost_by_layer)
+        costs.pop("storage")
+        drifted = dataclasses.replace(steady, cost_by_layer=costs)
+        assert any(
+            "cost_by_layer.storage" in m for m in drifted.compare(steady)
+        )
+
+    def test_wall_clock_fields_exempt(self, steady):
+        drifted = dataclasses.replace(
+            steady, wall_seconds=steady.wall_seconds + 100.0, ticks_per_second=1.0
+        )
+        assert steady.compare(drifted) == []
+        assert WALL_CLOCK_FIELDS == {"wall_seconds", "ticks_per_second"}
+
+    def test_mttr_none_vs_number_is_drift(self, chaos):
+        mttr = dict(chaos.mttr_by_fault)
+        key = next(iter(mttr))
+        mttr[key] = None
+        drifted = dataclasses.replace(chaos, mttr_by_fault=mttr)
+        assert any(key in m for m in chaos.compare(drifted))

@@ -1,0 +1,290 @@
+"""Causal MAPE-loop tracing: trace propagation, chain closure for every
+fault kind, Chrome-trace export, and the bit-exactness contract.
+
+The closure tests build one purpose-built scenario per fault kind —
+each fault must produce an observable symptom (throttle episode,
+rebalance, degraded sensor) for its chain to reconstruct, so the
+scenarios put the fault where the flow is actually loaded.
+"""
+
+import hashlib
+import json
+
+from repro import ChaosSchedule, FaultKind, FaultSpec, FlowBuilder
+from repro.cloud.dynamodb import DynamoDBConfig
+from repro.cloud.storm import BoltSpec, StormConfig, TopologyConfig
+from repro.core.flow import LayerKind
+from repro.observability import (
+    chain_for,
+    decision_chains,
+    fault_chains,
+    to_chrome_trace,
+)
+from repro.workload import SinusoidalRate
+
+DURATION = 3600
+SEED = 11
+
+
+def _managed_builder(seed=SEED, topology=None, storm=None, observe=True):
+    """The closure-test flow: load-bound everywhere, peak mid-run."""
+    workload = SinusoidalRate(
+        mean=1500.0, amplitude=1200.0, period=DURATION, phase=DURATION // 4
+    )
+    builder = (
+        FlowBuilder("tracing", seed=seed)
+        .ingestion(shards=2)
+        .analytics(
+            vms=2,
+            storm=storm or StormConfig(records_per_vm_per_second=1000),
+            topology=topology,
+        )
+        .storage(write_units=300, config=DynamoDBConfig(burst_seconds=10))
+        .workload(workload)
+        .control_all(style="adaptive", reference=60.0, period=60)
+    )
+    if observe:
+        builder.observe()
+    return builder
+
+
+def _run_fault(spec: FaultSpec, **builder_kwargs):
+    builder = _managed_builder(**builder_kwargs)
+    builder.chaos(ChaosSchedule(faults=(spec,), seed=SEED, name="one-fault"))
+    return builder.build().run(DURATION)
+
+
+# ----------------------------------------------------------------------
+# Per-fault-kind chain closure
+# ----------------------------------------------------------------------
+class TestFaultChainClosure:
+    """Every PR-5 fault kind reconstructs to a closed causal chain."""
+
+    def _assert_closed(self, result, spec):
+        chains = fault_chains(result)
+        assert len(chains) == 1
+        chain = chains[0]
+        assert chain.trace == f"fault:{spec.kind.value}@{spec.start}"
+        assert chain.closed(horizon=DURATION), chain.describe()
+        return chain
+
+    def test_shard_brownout(self):
+        spec = FaultSpec(FaultKind.SHARD_BROWNOUT, start=1350, duration=300,
+                         intensity=0.7)
+        chain = self._assert_closed(_run_fault(spec), spec)
+        assert chain.alarm.kind == "throttle"
+        assert chain.layer == "ingestion"
+
+    def test_reshard_stall(self):
+        # Stall the up-ramp reshards by 10x while load climbs toward
+        # the peak: the delayed capacity forces a throttle episode.
+        spec = FaultSpec(FaultKind.RESHARD_STALL, start=600, duration=900,
+                         intensity=10)
+        chain = self._assert_closed(_run_fault(spec), spec)
+        assert chain.alarm.kind in ("throttle", "slo.breach")
+
+    def test_worker_crash(self):
+        # Crash closure needs a fixed-parallelism topology: only
+        # topology runs publish a rebalance when the VM count changes.
+        # Bottleneck 4400 records/s at full parallelism: ~61% CPU at
+        # the 2700 records/s peak with both VMs up, so the controller
+        # holds steady — and losing one VM halves the slots, pinning
+        # CPU at 100% until it scales back up.
+        topology = TopologyConfig(
+            bolts=(
+                BoltSpec("enrich", records_per_executor_per_second=1100,
+                         executors=4),
+                BoltSpec("aggregate", records_per_executor_per_second=1200,
+                         executors=4),
+            ),
+            executor_slots_per_vm=4,
+            rebalance_seconds=10,
+        )
+        spec = FaultSpec(FaultKind.WORKER_CRASH, start=1800, intensity=1)
+        result = _run_fault(spec, topology=topology, storm=StormConfig())
+        chain = self._assert_closed(result, spec)
+        assert chain.alarm.kind == "rebalance"
+        # The crash's rebalance carries the fault's trace (the fleet
+        # forwards `last_change_trace` to the delayed publish).
+        assert chain.alarm.trace == chain.trace
+
+    def test_rebalance_fail(self):
+        spec = FaultSpec(FaultKind.REBALANCE_FAIL, start=1800, duration=150)
+        chain = self._assert_closed(_run_fault(spec), spec)
+        assert chain.alarm.kind == "rebalance"
+        assert chain.alarm.payload.get("forced") is True
+
+    def test_throttle_storm(self):
+        spec = FaultSpec(FaultKind.THROTTLE_STORM, start=2400, duration=300,
+                         intensity=0.9)
+        chain = self._assert_closed(_run_fault(spec), spec)
+        assert chain.alarm.kind == "throttle"
+        assert chain.layer == "storage"
+
+    def test_update_reject(self):
+        # Rejected capacity updates surface as actuation.retry events
+        # from the hardened actuator — the storage layer's alarm here.
+        spec = FaultSpec(FaultKind.UPDATE_REJECT, start=1200, duration=300)
+        chain = self._assert_closed(_run_fault(spec), spec)
+        assert chain.alarm.kind in ("actuation.retry", "throttle")
+
+    def test_metric_delay(self):
+        # A delay far beyond the run start means the sensor sees no
+        # datapoints at all and serves held values: degraded.sensor.
+        spec = FaultSpec(FaultKind.METRIC_DELAY, start=1200, duration=600,
+                         intensity=100_000)
+        chain = self._assert_closed(_run_fault(spec), spec)
+        assert chain.layer == "monitoring"
+        assert chain.alarm.kind == "degraded.sensor"
+        assert chain.recovered
+
+    def test_metric_dropout(self):
+        spec = FaultSpec(FaultKind.METRIC_DROPOUT, start=1200, duration=600)
+        chain = self._assert_closed(_run_fault(spec), spec)
+        assert chain.layer == "monitoring"
+        assert chain.alarm.kind == "degraded.sensor"
+        assert chain.recovered
+
+
+# ----------------------------------------------------------------------
+# Decision chains and trace propagation
+# ----------------------------------------------------------------------
+class TestDecisionChains:
+    def test_all_decision_chains_close(self):
+        result = _managed_builder().build().run(DURATION)
+        chains = decision_chains(result.recorder)
+        assert chains, "no traced decisions recorded"
+        open_chains = [c for c in chains if not c.closed(horizon=DURATION)]
+        assert not open_chains, "\n".join(c.describe() for c in open_chains)
+
+    def test_deferred_completion_carries_decision_trace(self):
+        """capacity.applied / reshard.complete events are pinned to the
+        decision that commanded them, ticks after the trace closed."""
+        result = _managed_builder().build().run(DURATION)
+        events = result.recorder.bus.events
+        applied = [e for e in events if e.kind == "capacity.applied"]
+        completes = [e for e in events if e.kind == "reshard.complete"]
+        assert applied and completes
+        for event in applied + completes:
+            assert event.trace is not None
+            # The pinned trace is a decision trace: "loop@time" with
+            # the command strictly before the completion.
+            loop, _, at = event.trace.partition("@")
+            assert int(at) <= event.time
+            start = next(
+                e for e in events
+                if e.trace == event.trace
+                and e.kind in ("capacity.update", "reshard")
+            )
+            assert start.time <= event.time
+
+    def test_chain_for_round_trips_both_root_kinds(self):
+        spec = FaultSpec(FaultKind.REBALANCE_FAIL, start=1800, duration=150)
+        result = _run_fault(spec)
+        fault_chain = chain_for(result, f"fault:rebalance-fail@{spec.start}")
+        assert fault_chain is not None and fault_chain.root_kind == "fault"
+        decision = next(d for d in result.recorder.decisions if d.acted)
+        decision_chain = chain_for(result, decision.trace)
+        assert decision_chain is not None
+        assert decision_chain.root_kind == "decision"
+        assert decision_chain.decision is decision
+        assert chain_for(result, "no-such@999") is None
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+class TestChromeTrace:
+    def test_export_structure_and_json(self, tmp_path):
+        spec = FaultSpec(FaultKind.REBALANCE_FAIL, start=1800, duration=150)
+        result = _run_fault(spec)
+        path = tmp_path / "trace.json"
+        doc = to_chrome_trace(result.recorder, path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == doc
+        rows = doc["traceEvents"]
+        phases = {row["ph"] for row in rows}
+        assert phases == {"M", "X", "i"}
+        # One process-name row, one thread-name row per layer.
+        names = [r for r in rows if r["ph"] == "M" and r["name"] == "process_name"]
+        assert len(names) == 1
+        tids = {r["tid"] for r in rows if r["ph"] == "M" and r["name"] == "thread_name"}
+        layers = {e.layer for e in result.recorder.bus.events}
+        assert len(tids) == len(layers)
+        # Every causal trace renders one duration bar; stamped events'
+        # instants carry the trace id in args for Perfetto queries
+        # (alarms are data-path symptoms and legitimately untraced).
+        bars = [r for r in rows if r["ph"] == "X"]
+        assert len(bars) == len(list(result.recorder.bus.traces()))
+        instants = [r for r in rows if r["ph"] == "i"]
+        traced_events = [e for e in result.recorder.bus.events if e.trace is not None]
+        assert len(instants) == len(result.recorder.bus.events)
+        assert sum(1 for r in instants if "trace" in r["args"]) == len(traced_events)
+        assert traced_events, "no traced events in the run"
+
+
+# ----------------------------------------------------------------------
+# Bit-exactness: tracing must not move a single bit of the simulation
+# ----------------------------------------------------------------------
+def _fingerprint(observe: bool, spans: bool) -> str:
+    """Reduced fig6-style fingerprint (same hashing approach as
+    benchmarks/_fig6_fingerprint.py, shorter horizon)."""
+    duration = 1800
+    manager = (
+        FlowBuilder("fp", seed=7)
+        .ingestion(shards=2)
+        .analytics(vms=2)
+        .storage(write_units=300)
+        .workload(SinusoidalRate(mean=1500.0, amplitude=900.0, period=duration))
+        .control_all(style="adaptive", reference=60.0, period=60)
+        .spans(spans)
+    )
+    if observe:
+        manager.observe()
+    run = manager.build().run(duration)
+    lines = []
+    for kind in LayerKind:
+        for label, trace in (
+            ("util", run.utilization_trace(kind)),
+            ("cap", run.capacity_trace(kind, period=300)),
+            ("throttle", run.throttle_trace(kind)),
+        ):
+            lines.append(
+                f"{kind.name}.{label} times={list(trace.times)!r} "
+                f"values={[repr(v) for v in trace.values]!r}"
+            )
+    for snap in run.collector.snapshots:
+        lines.append(
+            f"snap t={snap.time} "
+            f"{sorted((k, repr(v)) for k, v in snap.values.items())!r}"
+        )
+    lines.append(f"cost={[(k, repr(v)) for k, v in sorted(run.cost_by_layer.items())]!r}")
+    lines.append(f"dropped={run.dropped_records},{run.dropped_writes}")
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+class TestTracingBitExactness:
+    def test_fingerprint_identical_with_and_without_tracing(self):
+        baseline = _fingerprint(observe=False, spans=True)
+        assert _fingerprint(observe=True, spans=True) == baseline
+        assert _fingerprint(observe=False, spans=False) == baseline
+        assert _fingerprint(observe=True, spans=False) == baseline
+
+    def test_chaos_trace_ids_identical_across_execution_modes(self):
+        spec = FaultSpec(FaultKind.THROTTLE_STORM, start=2400, duration=300,
+                         intensity=0.9)
+        results = {}
+        for spans in (True, False):
+            builder = _managed_builder()
+            builder.chaos(ChaosSchedule(faults=(spec,), seed=SEED, name="x"))
+            builder.spans(spans)
+            results[spans] = builder.build().run(DURATION)
+        spans_events = [
+            (e.time, e.fault, e.phase, e.trace)
+            for e in results[True].chaos_events
+        ]
+        tick_events = [
+            (e.time, e.fault, e.phase, e.trace)
+            for e in results[False].chaos_events
+        ]
+        assert spans_events == tick_events
