@@ -222,17 +222,21 @@ class RunScorecard:
         tolerance, and drift in *either* direction fails — a run that
         got cheaper or faster-settling without the baseline being
         regenerated is just as suspicious as one that regressed.
-        Wall-clock fields (:data:`WALL_CLOCK_FIELDS`) are skipped.
+        The union of both cards' keys is walked, so a field present on
+        only one side (schema additions, hand-edited baselines) is
+        drift, not silence. Wall-clock fields
+        (:data:`WALL_CLOCK_FIELDS`) are skipped.
         """
         drifts: list[str] = []
         mine, theirs = self.to_dict(), baseline.to_dict()
-        for key in theirs:
+        for key in sorted(set(theirs) | set(mine)):
             if key in WALL_CLOCK_FIELDS:
                 continue
-            expected = theirs[key]
+            expected = theirs.get(key)
             actual = mine.get(key)
-            if isinstance(expected, dict):
-                actual = actual or {}
+            if isinstance(expected, dict) or isinstance(actual, dict):
+                expected = expected if isinstance(expected, dict) else {}
+                actual = actual if isinstance(actual, dict) else {}
                 for sub in sorted(set(expected) | set(actual)):
                     want, got = expected.get(sub), actual.get(sub)
                     if not _close(want, got, rel_tol):

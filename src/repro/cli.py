@@ -122,7 +122,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 f"unknown trace id {args.causal!r} (expected loop@time or "
                 f"fault:<kind>@<start>); recorded ids start with: {sample}"
             )
-        print(chain.describe())
+        print(chain.describe(horizon=result.duration_seconds))
     elif filtering:
         events = recorder.bus.events
         matched = [
@@ -331,16 +331,26 @@ def cmd_scorecard(args: argparse.Namespace) -> int:
         run_smoke_scenario,
     )
 
+    if (
+        args.check
+        and args.out
+        and Path(args.out).resolve() == Path(args.baseline_dir).resolve()
+    ):
+        raise SystemExit(
+            f"--out and --baseline-dir both resolve to {Path(args.out).resolve()}; "
+            "the gate would overwrite the committed baselines with the very "
+            "cards it is checking and compare each card against itself. "
+            "Write artifacts elsewhere (e.g. --out artifacts), or regenerate "
+            "baselines deliberately with --out and no --check."
+        )
+
     names = args.scenario or list(SMOKE_SCENARIOS)
     failures: list[str] = []
     for name in names:
         card = run_smoke_scenario(name, seed=args.seed, duration=args.duration)
         print(card.summary())
-        if args.out:
-            out_path = Path(args.out) / f"SCORECARD_{name}_smoke.json"
-            out_path.parent.mkdir(parents=True, exist_ok=True)
-            out_path.write_text(card.to_json())
-            print(f"  written         {out_path}")
+        # Gate before writing: the baseline is read before --out touches
+        # the filesystem, so a card can never be compared against itself.
         if args.check:
             baseline_path = Path(args.baseline_dir) / f"SCORECARD_{name}_smoke.json"
             if not baseline_path.exists():
@@ -355,6 +365,11 @@ def cmd_scorecard(args: argparse.Namespace) -> int:
                         print(f"    {drift}")
                 else:
                     print(f"  gate            ok (matches {baseline_path})")
+        if args.out:
+            out_path = Path(args.out) / f"SCORECARD_{name}_smoke.json"
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(card.to_json())
+            print(f"  written         {out_path}")
         print()
     if failures:
         print("scorecard gate FAILED: " + "; ".join(failures))

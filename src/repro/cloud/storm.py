@@ -278,14 +278,19 @@ class SimStormCluster:
             if self._bus is not None:
                 # The VM-count change may surface ticks after the
                 # actuation that caused it (boot latency); the fleet
-                # carries that decision's trace forward.
+                # carries that decision's trace forward. The rebalance
+                # consumes it — cleared so a later count change that
+                # sets no trace of its own cannot inherit a stale one.
+                trace = getattr(self.fleet, "last_change_trace", None)
                 self._bus.publish(
                     now,
                     self._bus_layer,
                     "rebalance",
                     {"from_vms": previous, "to_vms": vms, "until": self._rebalancing_until},
-                    trace=getattr(self.fleet, "last_change_trace", None),
+                    trace=trace,
                 )
+                if trace is not None:
+                    self.fleet.last_change_trace = None
         if now < self._rebalancing_until:
             return 0
         slots = vms * self.topology.executor_slots_per_vm

@@ -136,8 +136,14 @@ class CausalChain:
             and self.recovered
         )
 
-    def describe(self) -> str:
-        """Multi-line human rendering (the CLI's ``--causal`` view)."""
+    def describe(self, horizon: int | None = None) -> str:
+        """Multi-line human rendering (the CLI's ``--causal`` view).
+
+        Pass the run's last simulated second as ``horizon`` so the
+        ``closed`` verdict printed here agrees with the scorecard's
+        closure count (see :meth:`closed`): an in-flight-at-shutdown
+        chain reads ``closed yes`` in both places.
+        """
         lines = [
             f"trace {self.trace}  ({self.root_kind}, layer={self.layer}, "
             f"t={self.root_time}s)"
@@ -161,7 +167,7 @@ class CausalChain:
             lines.append("  recovery  never (within this run)")
         if self.pending:
             lines.append("  pending   " + ", ".join(self.pending))
-        lines.append(f"  closed    {'yes' if self.closed() else 'NO'}")
+        lines.append(f"  closed    {'yes' if self.closed(horizon) else 'NO'}")
         return "\n".join(lines)
 
 

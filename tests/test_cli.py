@@ -93,6 +93,32 @@ class TestCommands:
         assert "scorecard steady" in out
         assert (tmp_path / "SCORECARD_steady_smoke.json").exists()
 
+    def test_scorecard_check_refuses_out_into_baseline_dir(self, tmp_path):
+        # Writing fresh cards into the baseline dir while gating would
+        # overwrite the baselines and compare each card against itself
+        # — the gate would always pass. Refused up front.
+        with pytest.raises(SystemExit, match="baseline"):
+            main(["scorecard", "--scenario", "steady", "--duration", "900",
+                  "--check", "--out", str(tmp_path),
+                  "--baseline-dir", str(tmp_path)])
+
+    def test_scorecard_check_does_not_touch_baselines(self, capsys, tmp_path):
+        # The gate reads the committed baseline before --out writes; a
+        # drifting run must leave the baseline file byte-identical.
+        baselines = tmp_path / "baselines"
+        fresh = tmp_path / "artifacts"
+        assert main(["scorecard", "--scenario", "steady", "--duration", "900",
+                     "--seed", "3", "--out", str(baselines)]) == 0
+        capsys.readouterr()
+        baseline_file = baselines / "SCORECARD_steady_smoke.json"
+        committed = baseline_file.read_text()
+        assert main(["scorecard", "--scenario", "steady", "--duration", "900",
+                     "--seed", "4", "--check", "--out", str(fresh),
+                     "--baseline-dir", str(baselines)]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+        assert baseline_file.read_text() == committed
+        assert (fresh / "SCORECARD_steady_smoke.json").exists()
+
     def test_scorecard_check_fails_without_baseline(self, capsys, tmp_path):
         assert main(["scorecard", "--scenario", "steady",
                      "--duration", "900", "--check",

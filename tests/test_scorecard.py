@@ -131,6 +131,25 @@ class TestCompare:
             "cost_by_layer.storage" in m for m in drifted.compare(steady)
         )
 
+    def test_field_absent_from_baseline_is_drift(self, steady):
+        """A field the current card has but the baseline lacks (future
+        schema additions, hand-edited baselines) must surface as drift,
+        not be silently skipped."""
+
+        class LegacyCard(RunScorecard):
+            def to_dict(self):
+                trimmed = super().to_dict()
+                del trimmed["breaker_openings"]
+                del trimmed["clamps"]
+                return trimmed
+
+        fields = {f.name: getattr(steady, f.name) for f in dataclasses.fields(steady)}
+        legacy = LegacyCard(**fields)
+        messages = steady.compare(legacy)
+        assert any(m.startswith("breaker_openings:") for m in messages)
+        # Dict-valued fields drift per sub-key.
+        assert any(m.startswith("clamps.") for m in messages)
+
     def test_wall_clock_fields_exempt(self, steady):
         drifted = dataclasses.replace(
             steady, wall_seconds=steady.wall_seconds + 100.0, ticks_per_second=1.0

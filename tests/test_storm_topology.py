@@ -104,6 +104,37 @@ class TestRebalance:
         # Paused topology: everything waits in the stream or pending.
         assert stream.backlog_records + cluster.pending_records >= backlog_before + 1500
 
+    def test_rebalance_consumes_fleet_change_trace(self):
+        """The delayed rebalance publish carries the fleet's
+        ``last_change_trace`` exactly once: a later VM-count change
+        that sets no trace of its own must not inherit a stale one."""
+        from repro.observability import EventBus
+
+        cluster = cluster_with(two_bolt_topology(rebalance=5), vms=1)
+        bus = EventBus()
+        cluster.attach_bus(bus)
+        stream = SimKinesisStream(shards=4)
+        clock = SimClock()
+        clock.advance()
+        cluster.pull_and_process(stream, 0, clock)  # settle the VM count
+        cluster.fleet.last_change_trace = "analytics@60"
+        cluster.fleet.set_desired(2, now=clock.now)
+        clock.advance()
+        cluster.pull_and_process(stream, 0, clock)
+        first = [e for e in bus.events if e.kind == "rebalance"]
+        assert len(first) == 1 and first[0].trace == "analytics@60"
+        assert cluster.fleet.last_change_trace is None
+        # Ride out the window, then change the count with no trace set.
+        for _ in range(10):
+            clock.advance()
+            cluster.pull_and_process(stream, 0, clock)
+        cluster.fleet.set_desired(1, now=clock.now)
+        clock.advance()
+        cluster.pull_and_process(stream, 0, clock)
+        rebalances = [e for e in bus.events if e.kind == "rebalance"]
+        assert len(rebalances) == 2
+        assert rebalances[1].trace is None
+
     def test_no_topology_means_no_rebalance(self):
         fleet = SimEC2Fleet(config=EC2Config(boot_seconds=0), initial_instances=1)
         cluster = SimStormCluster(fleet, StormConfig(cpu_noise_std=0.0),

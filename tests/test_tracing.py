@@ -157,6 +157,15 @@ class TestDecisionChains:
         open_chains = [c for c in chains if not c.closed(horizon=DURATION)]
         assert not open_chains, "\n".join(c.describe() for c in open_chains)
 
+    def test_describe_verdict_matches_closed_at_horizon(self):
+        """The CLI --causal view and the scorecard must agree: with the
+        run horizon threaded through, describe() prints the same closed
+        verdict closed(horizon=...) counts."""
+        result = _managed_builder().build().run(DURATION)
+        for chain in decision_chains(result.recorder):
+            verdict = "yes" if chain.closed(horizon=DURATION) else "NO"
+            assert f"closed    {verdict}" in chain.describe(horizon=DURATION)
+
     def test_deferred_completion_carries_decision_trace(self):
         """capacity.applied / reshard.complete events are pinned to the
         decision that commanded them, ticks after the trace closed."""
