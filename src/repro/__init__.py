@@ -27,6 +27,8 @@ Quickstart::
 
 from repro.core import (
     DEFAULT_REFERENCE,
+    FleetFlowSpec,
+    FleetRunResult,
     FlowBuilder,
     FlowElasticityManager,
     FlowRunResult,
@@ -35,6 +37,7 @@ from repro.core import (
     LayerControlConfig,
     LayerKind,
     LayerSpec,
+    RegionFleetManager,
     ServiceCapacities,
     clickstream_flow_spec,
     make_controller,
@@ -53,6 +56,9 @@ __all__ = [
     "FlowElasticityManager",
     "FlowRunResult",
     "ServiceCapacities",
+    "FleetFlowSpec",
+    "RegionFleetManager",
+    "FleetRunResult",
     "LayerControlConfig",
     "make_controller",
     "DEFAULT_REFERENCE",

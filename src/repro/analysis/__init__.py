@@ -23,6 +23,7 @@ from repro.analysis.runner import (
 )
 from repro.analysis.scorecard import (
     SMOKE_SCENARIOS,
+    FleetScorecard,
     RunScorecard,
     run_smoke_scenario,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "load_run_traces",
     "load_run_summary",
     "RunScorecard",
+    "FleetScorecard",
     "SMOKE_SCENARIOS",
     "run_smoke_scenario",
 ]

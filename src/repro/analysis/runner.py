@@ -83,7 +83,13 @@ def run_scenarios(scenarios: Sequence[Scenario], jobs: int = 1) -> list[Any]:
         return [_call(scenario) for scenario in scenarios]
     with ProcessPoolExecutor(max_workers=min(jobs, len(scenarios))) as pool:
         futures = [pool.submit(_call, scenario) for scenario in scenarios]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            # Fail fast: without cancel_futures the context manager's
+            # shutdown(wait=True) would still run every queued scenario.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
 
 def run_scenarios_dict(scenarios: Sequence[Scenario], jobs: int = 1) -> dict[str, Any]:

@@ -301,6 +301,158 @@ def _close(expected, actual, rel_tol: float) -> bool:
     return expected == actual
 
 
+@dataclass(frozen=True)
+class FleetScorecard:
+    """A multi-flow region run's gateable digest.
+
+    One :class:`RunScorecard` per flow plus the fleet-level numbers a
+    single flow cannot see: region admission denials, coordinator
+    activity, and the summed cost. Duck-types the single-run card's
+    gate surface (``summary`` / ``compare`` / ``to_json`` /
+    ``from_json_file``) so the CLI gate treats both uniformly.
+    """
+
+    name: str
+    seed: int
+    duration_seconds: int
+    flows: dict[str, RunScorecard] = field(default_factory=dict)
+    total_cost: float = 0.0
+    #: ``{flow_id: {resource: denied_requests}}`` from the region.
+    denials: dict[str, dict[str, int]] = field(default_factory=dict)
+    coordinator_passes: int = 0
+    cap_retargets: int = 0
+    #: Wall-clock — informational, excluded from the gate.
+    wall_seconds: float = 0.0
+
+    @classmethod
+    def from_fleet_result(cls, name: str, result, *, seed: int = 0) -> "FleetScorecard":
+        """Condense a :class:`~repro.core.fleet.FleetRunResult`."""
+        coordinator = result.coordinator
+        return cls(
+            name=name,
+            seed=seed,
+            duration_seconds=result.duration_seconds,
+            flows={
+                flow_id: RunScorecard.from_result(flow_id, flow_result, seed=seed)
+                for flow_id, flow_result in result.flows.items()
+            },
+            total_cost=round(result.total_cost, 9),
+            denials=result.denials_by_flow(),
+            coordinator_passes=len(coordinator.records) if coordinator else 0,
+            cap_retargets=coordinator.retargets if coordinator else 0,
+            wall_seconds=round(float(result.wall_seconds), 4),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": "fleet",
+            "name": self.name,
+            "seed": self.seed,
+            "duration_seconds": self.duration_seconds,
+            "total_cost": self.total_cost,
+            "denials": {
+                flow_id: dict(sorted(counts.items()))
+                for flow_id, counts in sorted(self.denials.items())
+            },
+            "coordinator_passes": self.coordinator_passes,
+            "cap_retargets": self.cap_retargets,
+            "flows": {
+                flow_id: card.to_dict() for flow_id, card in sorted(self.flows.items())
+            },
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetScorecard":
+        return cls(
+            name=str(data["name"]),
+            seed=int(data.get("seed", 0)),
+            duration_seconds=int(data["duration_seconds"]),
+            flows={
+                str(flow_id): RunScorecard.from_dict(card)
+                for flow_id, card in data.get("flows", {}).items()
+            },
+            total_cost=float(data.get("total_cost", 0.0)),
+            denials={
+                str(flow_id): {str(k): int(v) for k, v in counts.items()}
+                for flow_id, counts in data.get("denials", {}).items()
+            },
+            coordinator_passes=int(data.get("coordinator_passes", 0)),
+            cap_retargets=int(data.get("cap_retargets", 0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: str | Path) -> "FleetScorecard":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    # ------------------------------------------------------------------
+    # The regression gate
+    # ------------------------------------------------------------------
+    def compare(self, baseline: "FleetScorecard", rel_tol: float = 1e-9) -> list[str]:
+        """Drift messages vs a committed baseline; empty means green.
+
+        Fleet-level fields first, then each flow's card through the
+        single-run comparison with the flow id prefixed. A flow present
+        on only one side is drift, not silence.
+        """
+        drifts: list[str] = []
+        for key in ("duration_seconds", "total_cost", "coordinator_passes", "cap_retargets"):
+            want, got = getattr(baseline, key), getattr(self, key)
+            if not _close(want, got, rel_tol):
+                drifts.append(f"{key}: baseline {want!r}, got {got!r}")
+        flow_ids = sorted(set(baseline.denials) | set(self.denials))
+        for flow_id in flow_ids:
+            want_d, got_d = baseline.denials.get(flow_id, {}), self.denials.get(flow_id, {})
+            for resource in sorted(set(want_d) | set(got_d)):
+                want, got = want_d.get(resource), got_d.get(resource)
+                if want != got:
+                    drifts.append(
+                        f"denials.{flow_id}.{resource}: baseline {want!r}, got {got!r}"
+                    )
+        for flow_id in sorted(set(baseline.flows) | set(self.flows)):
+            mine = self.flows.get(flow_id)
+            theirs = baseline.flows.get(flow_id)
+            if mine is None or theirs is None:
+                drifts.append(
+                    f"flows.{flow_id}: baseline "
+                    f"{'present' if theirs else 'absent'}, got "
+                    f"{'present' if mine else 'absent'}"
+                )
+                continue
+            drifts.extend(f"{flow_id}.{d}" for d in mine.compare(theirs, rel_tol))
+        return drifts
+
+    def summary(self) -> str:
+        """One-screen text rendering (the CLI's default output)."""
+        denied = sum(sum(counts.values()) for counts in self.denials.values())
+        lines = [
+            f"fleet scorecard {self.name} (seed {self.seed}, "
+            f"{len(self.flows)} flows, {self.duration_seconds}s simulated)",
+            f"  total cost      ${self.total_cost:.4f}",
+            f"  region          denials={denied} "
+            f"coordinator_passes={self.coordinator_passes} "
+            f"cap_retargets={self.cap_retargets}",
+        ]
+        for flow_id, card in sorted(self.flows.items()):
+            lines.append(
+                f"  {flow_id}: ${card.total_cost:.4f} "
+                f"acted={sum(card.actuations.values())} "
+                f"clamps={sum(card.clamps.values())} "
+                f"retries={card.retry_attempts} "
+                f"breakers={card.breaker_openings} "
+                f"invariants={'ok' if card.invariants_ok else 'VIOLATED'}"
+            )
+        return "\n".join(lines)
+
+
 # ----------------------------------------------------------------------
 # Smoke scenarios (the CI gate's workloads)
 # ----------------------------------------------------------------------
@@ -310,7 +462,7 @@ SMOKE_DURATION = 2 * 3600
 SMOKE_SEED = 7
 
 #: Scenario names -> builder; see :func:`run_smoke_scenario`.
-SMOKE_SCENARIOS = ("steady", "chaos")
+SMOKE_SCENARIOS = ("steady", "chaos", "fleet")
 
 
 def _smoke_chaos(duration: int, seed: int) -> ChaosSchedule:
@@ -336,14 +488,77 @@ def _smoke_chaos(duration: int, seed: int) -> ChaosSchedule:
     )
 
 
+def run_fleet_smoke(
+    *, seed: int = SMOKE_SEED, duration: int = SMOKE_DURATION
+) -> FleetScorecard:
+    """The fleet smoke scenario: 3 flows squeezed into one region.
+
+    Three sinusoidal flows (staggered means) share an account sized so
+    the pool is genuinely contended at peak: the flows start with
+    overcommitted share bounds (each believes it may claim most of the
+    account), so region admission denials surface early, and the
+    coordinator then arbitrates the bounds down to a feasible split —
+    the scorecard gates both mechanisms plus every flow's own health.
+    """
+    from repro.cloud.region import RegionLimits
+    from repro.cloud.storm import StormConfig
+    from repro.core.config import LayerControlConfig, default_adaptive_controller
+    from repro.core.fleet import FleetFlowSpec, RegionFleetManager
+    from repro.core.flow import LayerKind
+    from repro.workload.generators import SinusoidalRate
+
+    def controls() -> dict[LayerKind, LayerControlConfig]:
+        return {
+            kind: LayerControlConfig(
+                controller=default_adaptive_controller(kind), period=60
+            )
+            for kind in LayerKind
+        }
+
+    flows = [
+        FleetFlowSpec(
+            name=f"flow{i}",
+            workload=SinusoidalRate(
+                mean=1800.0 + 400.0 * i,
+                amplitude=1400.0,
+                period=duration,
+                phase=duration // 4,
+            ),
+            controls=controls(),
+            # Overcommitted intent: each flow starts believing it may
+            # take most of the account; admission denials surface until
+            # the coordinator's first pass reins the bounds in.
+            share_bounds={
+                LayerKind.INGESTION: 8,
+                LayerKind.ANALYTICS: 8,
+                LayerKind.STORAGE: 1200,
+            },
+            storm=StormConfig(records_per_vm_per_second=800),
+        )
+        for i in range(3)
+    ]
+    limits = RegionLimits(
+        max_instances=10,
+        max_total_shards=12,
+        max_total_write_units=2400,
+        contention_threshold=0.7,
+        contention_slope=0.3,
+    )
+    fleet = RegionFleetManager(flows, limits=limits, seed=seed, coordinate_period=300)
+    result = fleet.run(duration)
+    return FleetScorecard.from_fleet_result("fleet", result, seed=seed)
+
+
 def run_smoke_scenario(
     name: str, *, seed: int = SMOKE_SEED, duration: int = SMOKE_DURATION
-) -> RunScorecard:
+) -> "RunScorecard | FleetScorecard":
     """Run one named smoke scenario and score it.
 
     ``steady`` is a sinusoidal day on the fully-controlled flow;
-    ``chaos`` is the same flow under one fault per layer. Both run with
-    the flight recorder attached so chain closure is part of the gate.
+    ``chaos`` is the same flow under one fault per layer (both run with
+    the flight recorder attached so chain closure is part of the gate);
+    ``fleet`` is a 3-flow region run under shared account limits, and
+    returns a :class:`FleetScorecard`.
     """
     # Imported here, not at module top: repro.core.builder imports the
     # manager, which imports analysis consumers — a cycle at import
@@ -357,6 +572,8 @@ def run_smoke_scenario(
         raise ConfigurationError(
             f"unknown scorecard scenario {name!r}; one of: {', '.join(SMOKE_SCENARIOS)}"
         )
+    if name == "fleet":
+        return run_fleet_smoke(seed=seed, duration=duration)
     # ``phase=duration // 4`` puts the sinusoid's trough at t=0 and its
     # peak mid-run (t=duration/2), so the flow ramps up gently and the
     # chaos faults land on the loaded system, not an idle one.

@@ -38,6 +38,7 @@ from repro.analysis import (
     settling_time,
     slo_violation_rate,
 )
+from repro.analysis.scorecard import SMOKE_SCENARIOS as _SMOKE_SCENARIOS
 from repro.chaos import recovery_times
 from repro.core.config import CONTROLLER_FACTORIES
 from repro.dependency import fit_linear, pearson_r
@@ -324,12 +325,80 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.invariants.ok else 1
 
 
-def cmd_scorecard(args: argparse.Namespace) -> int:
-    from repro.analysis.scorecard import (
-        SMOKE_SCENARIOS,
-        RunScorecard,
-        run_smoke_scenario,
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run N flows against one region and show the arbitration story."""
+    from repro.cloud.region import RegionLimits
+    from repro.cloud.storm import StormConfig
+    from repro.core.config import LayerControlConfig, default_adaptive_controller
+    from repro.core.fleet import FleetFlowSpec, RegionFleetManager
+
+    def controls():
+        return {
+            kind: LayerControlConfig(
+                controller=default_adaptive_controller(kind, reference=args.reference),
+                period=60,
+            )
+            for kind in LayerKind
+        }
+
+    flows = [
+        FleetFlowSpec(
+            name=f"flow{i}",
+            workload=SinusoidalRate(
+                mean=1500.0 + 400.0 * i,
+                amplitude=1200.0,
+                period=args.duration,
+                phase=args.duration // 4,
+            ),
+            controls=controls(),
+            storm=StormConfig(records_per_vm_per_second=800),
+        )
+        for i in range(args.flows)
+    ]
+    limits = RegionLimits(
+        max_instances=args.max_instances,
+        max_total_shards=args.max_shards,
+        max_total_write_units=args.max_write_units,
+        contention_threshold=0.7,
+        contention_slope=0.3,
     )
+    fleet = RegionFleetManager(
+        flows,
+        limits=limits,
+        seed=args.seed,
+        coordinate_period=None if args.no_coordinator else args.coordinate_period,
+    )
+    result = fleet.run(args.duration)
+    print(result.summary())
+    if result.coordinator is not None and result.coordinator.records:
+        print("\nanalytics cap trajectory (coordinator grants per flow):")
+        for spec_name in sorted(result.flows):
+            trajectory = result.coordinator.bound_trajectory(
+                spec_name, LayerKind.ANALYTICS
+            )
+            if trajectory:
+                caps = " ".join(str(cap) for _t, cap in trajectory[:16])
+                more = " ..." if len(trajectory) > 16 else ""
+                print(f"  {spec_name}: {caps}{more}")
+    denials = result.denials_by_flow()
+    if denials:
+        print("\nregion admission denials (absorbed by each flow's retry stack):")
+        for flow_id, counts in sorted(denials.items()):
+            detail = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            print(f"  {flow_id}: {detail}")
+    bad = [
+        flow_id
+        for flow_id, flow_result in result.flows.items()
+        if flow_result.invariants is not None and not flow_result.invariants.ok
+    ]
+    if bad:
+        print(f"\nINVARIANT VIOLATIONS in: {', '.join(sorted(bad))}")
+        return 1
+    return 0
+
+
+def cmd_scorecard(args: argparse.Namespace) -> int:
+    from repro.analysis.scorecard import SMOKE_SCENARIOS, run_smoke_scenario
 
     if (
         args.check
@@ -357,7 +426,10 @@ def cmd_scorecard(args: argparse.Namespace) -> int:
                 failures.append(f"{name}: no committed baseline at {baseline_path}")
                 print(f"  gate            MISSING BASELINE ({baseline_path})")
             else:
-                drifts = card.compare(RunScorecard.from_json_file(baseline_path))
+                # Class dispatch: a fleet scenario's card must be
+                # compared against a fleet baseline, not coerced into a
+                # single-run one.
+                drifts = card.compare(card.__class__.from_json_file(baseline_path))
                 if drifts:
                     failures.append(f"{name}: {len(drifts)} drifted fields")
                     print(f"  gate            DRIFT vs {baseline_path}:")
@@ -462,13 +534,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "default scenario: one fault per layer")
     chaos.set_defaults(func=cmd_chaos)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run several flows against one region's shared account limits",
+    )
+    fleet.add_argument("--flows", type=int, default=3, help="number of flows")
+    fleet.add_argument("--duration", type=int, default=2 * 3600, help="simulated seconds")
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--reference", type=float, default=60.0)
+    fleet.add_argument("--max-instances", type=int, default=10,
+                       help="account-wide EC2 instance limit")
+    fleet.add_argument("--max-shards", type=int, default=12,
+                       help="account-wide Kinesis shard limit")
+    fleet.add_argument("--max-write-units", type=int, default=2400,
+                       help="account-wide DynamoDB write-unit limit")
+    fleet.add_argument("--coordinate-period", type=int, default=300,
+                       help="seconds between coordinator arbitration passes")
+    fleet.add_argument("--no-coordinator", action="store_true",
+                       help="disable arbitration; region admission alone "
+                            "polices the limits")
+    fleet.set_defaults(func=cmd_fleet)
+
     scorecard = sub.add_parser(
         "scorecard",
         help="run the smoke scenarios, print their scorecards, and "
              "optionally gate against committed baselines",
     )
     scorecard.add_argument("--scenario", action="append",
-                           choices=["steady", "chaos"],
+                           choices=list(_SMOKE_SCENARIOS),
                            help="run only this scenario (repeatable; default: all)")
     scorecard.add_argument("--seed", type=int, default=7)
     scorecard.add_argument("--duration", type=int, default=2 * 3600,

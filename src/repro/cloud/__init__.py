@@ -18,6 +18,7 @@ from repro.cloud.dynamodb import DynamoDBConfig, SimDynamoDBTable
 from repro.cloud.ec2 import EC2Config, SimEC2Fleet
 from repro.cloud.kinesis import KinesisConfig, SimKinesisStream
 from repro.cloud.pricing import PriceBook, ResourcePrice
+from repro.cloud.region import RegionContext, RegionLimits
 from repro.cloud.storm import BoltSpec, SimStormCluster, StormConfig, TopologyConfig
 
 __all__ = [
@@ -37,4 +38,6 @@ __all__ = [
     "DynamoDBConfig",
     "PriceBook",
     "ResourcePrice",
+    "RegionContext",
+    "RegionLimits",
 ]

@@ -21,6 +21,7 @@ within one control period aggregate once.
 from __future__ import annotations
 
 import math
+import re
 from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -36,27 +37,33 @@ from repro.core.errors import MonitoringError
 #: check an arbitrary statistic string.
 SUPPORTED_STATISTICS = ("Average", "Sum", "Maximum", "Minimum", "SampleCount")
 
+#: Strict percentile shape: ``p`` then plain decimal digits with an
+#: optional fractional part. ``float()`` is too permissive here — it
+#: accepts whitespace, underscores, signs, exponents and ``nan``, so
+#: ``"p 50"`` and ``"p1_0"`` would silently parse as p50/p10.
+_PERCENTILE_RE = re.compile(r"p(\d{1,3})(?:\.(\d+))?\Z")
+
 
 def validate_statistic(statistic: str) -> str:
     """Validate a statistic name; returns it unchanged if supported.
 
     Accepts the named statistics in :data:`SUPPORTED_STATISTICS` plus
-    CloudWatch-style percentiles ``pXX`` with ``XX`` in [0, 100] (e.g.
-    ``p99``). Raises :class:`MonitoringError` otherwise — at
-    construction time for sensors and alarms, so a typo fails fast
-    instead of on the first control period.
+    CloudWatch-style percentiles ``pXX[.X]`` with the value in [0, 100]
+    (e.g. ``p99``, ``p99.9``). The percentile digits must be literal —
+    no whitespace, signs, underscores or exponents. Raises
+    :class:`MonitoringError` otherwise — at construction time for
+    sensors and alarms, so a typo fails fast instead of on the first
+    control period.
     """
     if statistic in SUPPORTED_STATISTICS:
         return statistic
     if statistic.startswith("p"):
-        try:
-            q = float(statistic[1:])
-        except ValueError:
-            q = math.nan
-        if 0.0 <= q <= 100.0:
+        match = _PERCENTILE_RE.match(statistic)
+        if match is not None and float(statistic[1:]) <= 100.0:
             return statistic
         raise MonitoringError(
-            f"bad percentile statistic {statistic!r}: want pXX with XX in [0, 100]"
+            f"bad percentile statistic {statistic!r}: want pXX[.X] with "
+            f"the value in [0, 100]"
         )
     raise MonitoringError(
         f"unsupported statistic {statistic!r}; supported: "

@@ -120,12 +120,49 @@ class SimDynamoDBTable:
         self._bus_layer = "storage"
         self._throttle_since: dict[str, int | None] = {"write": None, "read": None}
         self._throttle_units: dict[str, int] = {"write": 0, "read": 0}
+        # Region-level accounting (multi-flow runs; see cloud/region.py).
+        self._region = None
+        self._region_flow_id: str | None = None
 
     def attach_bus(self, bus, layer: str = "storage") -> None:
         """Publish capacity-update and throttle-episode events to a
         flight recorder; without a bus the table records nothing."""
         self._bus = bus
         self._bus_layer = layer
+
+    def attach_region(self, region, flow_id: str) -> None:
+        """Draw this table's provisioned throughput from a shared
+        account limit.
+
+        Capacity *increases* then require account headroom:
+        :meth:`update_write_capacity` / :meth:`update_read_capacity`
+        raise :class:`~repro.core.errors.RegionCapacityError` when the
+        target would exceed the region's total for that dimension.
+        Decreases are never gated.
+        """
+        region.register_table(flow_id, self)
+        self._region = region
+        self._region_flow_id = flow_id
+
+    def committed_write_units(self) -> int:
+        """Write units the account has committed to this table.
+
+        The pending update target when one exists (a ripe-but-unapplied
+        target becomes the provision on the next capacity query), else
+        the current provision. Pure — never applies pending state or
+        publishes events — so the region can sum it across tables from
+        any flow's admission check.
+        """
+        if self._pending_write_target is not None:
+            return self._pending_write_target
+        return self._write_units
+
+    def committed_read_units(self) -> int:
+        """Read units the account has committed to this table (see
+        :meth:`committed_write_units`)."""
+        if self._pending_read_target is not None:
+            return self._pending_read_target
+        return self._read_units
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -247,6 +284,10 @@ class SimDynamoDBTable:
             ):
                 return current
             self._last_read_decrease_at = now
+        elif self._region is not None:
+            # All-or-nothing admission: raises RegionCapacityError (and
+            # schedules nothing) without account headroom.
+            self._region.admit_read_units(self._region_flow_id, self, target, now)
         self._pending_read_target = target
         self._pending_read_ready_at = now + self.config.update_delay_seconds
         if self._bus is not None:
@@ -288,6 +329,10 @@ class SimDynamoDBTable:
             ):
                 return current
             self._last_decrease_at = now
+        elif self._region is not None:
+            # All-or-nothing admission: raises RegionCapacityError (and
+            # schedules nothing) without account headroom.
+            self._region.admit_write_units(self._region_flow_id, self, target, now)
         self._pending_write_target = target
         self._pending_ready_at = now + self.config.update_delay_seconds
         if self._bus is not None:

@@ -40,6 +40,8 @@ class Instance:
 
     def billable(self, now: int) -> bool:
         """Billing starts at launch and stops at termination."""
+        if now < self.launched_at:
+            return False
         return self.terminated_at is None or now < self.terminated_at
 
 
@@ -86,6 +88,9 @@ class SimEC2Fleet:
     last_change_trace: str | None = field(default=None, init=False)
     _instances: list[Instance] = field(default_factory=list, init=False)
     _ids: "itertools.count[int]" = field(default_factory=itertools.count, init=False)
+    # Region-level accounting (multi-flow runs only; see cloud/region.py).
+    _region: object | None = field(default=None, init=False)
+    _region_flow_id: str | None = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         if not self.config.min_instances <= self.initial_instances <= self.config.max_instances:
@@ -100,6 +105,18 @@ class SimEC2Fleet:
 
     def _new_instance(self, launched_at: int, ready_at: int) -> Instance:
         return Instance(f"i-{next(self._ids):06d}", launched_at, ready_at)
+
+    def attach_region(self, region, flow_id: str) -> None:
+        """Draw this fleet's instances from a shared region pool.
+
+        Scale-ups then require account headroom: :meth:`set_desired`
+        raises :class:`~repro.core.errors.RegionCapacityError` when the
+        launch would exceed the region's instance limit. Scale-downs
+        are never gated.
+        """
+        region.register_fleet(flow_id, self)
+        self._region = region
+        self._region_flow_id = flow_id
 
     # ------------------------------------------------------------------
     # Queries
@@ -170,6 +187,10 @@ class SimEC2Fleet:
         desired = max(self.config.min_instances, min(self.config.max_instances, int(desired)))
         current = self.provisioned_count(now)
         if desired > current:
+            if self._region is not None:
+                # All-or-nothing admission: raises RegionCapacityError
+                # (and launches nothing) without account headroom.
+                self._region.admit_instances(self._region_flow_id, self, desired, now)
             for _ in range(desired - current):
                 self._instances.append(
                     self._new_instance(launched_at=now, ready_at=now + self.config.boot_seconds)

@@ -135,6 +135,22 @@ class SimKinesisStream:
         self._bus_layer = "ingestion"
         self._throttle_since: int | None = None
         self._throttle_records = 0
+        # Region-level accounting (multi-flow runs; see cloud/region.py).
+        self._region = None
+        self._region_flow_id: str | None = None
+
+    def attach_region(self, region, flow_id: str) -> None:
+        """Draw this stream's shards from a shared account limit.
+
+        Upward reshards then require account headroom:
+        :meth:`update_shard_count` raises
+        :class:`~repro.core.errors.RegionCapacityError` when the target
+        would exceed the region's total shard limit. Merges (downward
+        reshards) are never gated.
+        """
+        region.register_stream(flow_id, self)
+        self._region = region
+        self._region_flow_id = flow_id
 
     # ------------------------------------------------------------------
     # Observability
@@ -207,6 +223,17 @@ class SimKinesisStream:
         """Whether a reshard operation is still in flight at ``now``."""
         return self._reshard_target is not None and now < self._reshard_ready_at
 
+    def committed_shards(self) -> int:
+        """Shards the account has committed to this stream.
+
+        The in-flight reshard target when one exists (a ripe-but-
+        unapplied target becomes the shard count on the next capacity
+        query, so it counts too), else the current count. Pure — never
+        applies pending state or publishes events — so the region can
+        sum it across streams from any flow's admission check.
+        """
+        return self._shards if self._reshard_target is None else self._reshard_target
+
     def update_shard_count(self, target: int, now: int) -> int:
         """Start resharding toward ``target`` shards.
 
@@ -221,6 +248,10 @@ class SimKinesisStream:
             return self._reshard_target  # type: ignore[return-value]
         if target == current:
             return current
+        if target > current and self._region is not None:
+            # All-or-nothing admission: raises RegionCapacityError (and
+            # schedules nothing) without account headroom.
+            self._region.admit_shards(self._region_flow_id, self, target, now)
         delta = abs(target - current)
         duration = self.config.base_reshard_seconds + delta * self.config.reshard_seconds_per_shard
         if self._reshard_stall_factor != 1.0:

@@ -1,0 +1,251 @@
+"""Region-level shared resources: one account, many flows.
+
+A single flow's services enforce only their *own* limits (a stream's
+``max_shards``, a fleet's ``max_instances``). Real accounts add a layer
+above that: every flow in a region draws shards, instances and
+provisioned throughput from one shared pool, and AWS rejects the
+launch / reshard / ``UpdateTable`` that would exceed the account limit
+no matter how reasonable it looks to the flow that asked.
+
+:class:`RegionContext` models exactly that layer. Services attach to a
+region with a flow id; their capacity-*increase* paths then ask the
+region for headroom first and raise
+:class:`~repro.core.errors.RegionCapacityError` when the account is
+full. The error is truthful on both axes — it *is* a capacity error,
+and it *is* transient (another flow scaling down frees the headroom) —
+so each flow's existing retry + circuit-breaker actuator stack absorbs
+region denials with no special cases.
+
+Accounting rules (the region-resource contract, see DESIGN.md):
+
+* usage is **committed** capacity: what the account has promised, not
+  what is serving yet. A booting instance, an in-flight reshard target
+  and a pending ``UpdateTable`` target all count in full from the
+  moment they are accepted — otherwise two flows could both be granted
+  the last headroom during the actuation latency window;
+* accounting is **pure**: every query sums the registered services'
+  committed capacity at call time. The region keeps no usage counters
+  that could drift from service state, so a chaos-killed instance or
+  an expired reshard frees headroom the instant the service reflects
+  it;
+* decreases always succeed — the region only gates increases;
+* admission is all-or-nothing: a denied request changes nothing (no
+  partial grants), and the denial is counted per flow and resource.
+
+The region also models **noisy-neighbor contention** on the shared EC2
+pool: when the flows' combined provisioned instances push pool
+utilization past ``contention_threshold``, every cluster's per-VM
+throughput degrades linearly (up to ``contention_slope`` at a full
+pool). The factor is a pure function of committed instance counts,
+which change only at control/chaos boundaries — never inside a span —
+so span-batched execution stays bit-identical to the per-tick loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError, RegionCapacityError
+
+
+@dataclass(frozen=True)
+class RegionLimits:
+    """Account-level limits shared by every flow in the region.
+
+    Attributes
+    ----------
+    max_instances:
+        Size of the shared EC2 capacity pool (account instance limit).
+    max_total_shards:
+        Account-wide Kinesis shard limit, summed over all streams.
+    max_total_write_units / max_total_read_units:
+        Account-wide DynamoDB provisioned throughput, summed over all
+        tables, per dimension.
+    contention_threshold:
+        Pool-utilization fraction above which noisy-neighbor contention
+        sets in (1.0 disables contention entirely).
+    contention_slope:
+        Fraction of per-VM throughput lost at a 100% full pool; the
+        loss ramps linearly from the threshold to the full pool.
+    """
+
+    max_instances: int = 256
+    max_total_shards: int = 1024
+    max_total_write_units: int = 80_000
+    max_total_read_units: int = 80_000
+    contention_threshold: float = 0.8
+    contention_slope: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.max_instances < 1 or self.max_total_shards < 1:
+            raise ConfigurationError("region instance/shard limits must be >= 1")
+        if self.max_total_write_units < 1 or self.max_total_read_units < 1:
+            raise ConfigurationError("region throughput limits must be >= 1")
+        if not 0.0 < self.contention_threshold <= 1.0:
+            raise ConfigurationError(
+                f"contention_threshold must be in (0, 1], got {self.contention_threshold}"
+            )
+        if not 0.0 <= self.contention_slope < 1.0:
+            raise ConfigurationError(
+                f"contention_slope must be in [0, 1), got {self.contention_slope}"
+            )
+
+
+class RegionContext:
+    """Shared capacity pool and account limits for a set of flows.
+
+    Services self-register through their ``attach_region`` methods;
+    flows never talk to the region directly. All accounting queries are
+    pure reads over the registered services (see the module docstring
+    for the contract).
+    """
+
+    def __init__(self, limits: RegionLimits | None = None, name: str = "sim-region-1") -> None:
+        self.name = name
+        self.limits = limits or RegionLimits()
+        self._fleets: dict[str, object] = {}
+        self._streams: dict[str, object] = {}
+        self._tables: dict[str, object] = {}
+        #: Denials per (flow_id, resource): resource is one of
+        #: "instances", "shards", "write_units", "read_units".
+        self.denial_counts: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (called by the services' attach_region methods)
+    # ------------------------------------------------------------------
+    def register_fleet(self, flow_id: str, fleet) -> None:
+        if flow_id in self._fleets:
+            raise ConfigurationError(f"flow {flow_id!r} already registered an EC2 fleet")
+        self._fleets[flow_id] = fleet
+
+    def register_stream(self, flow_id: str, stream) -> None:
+        if flow_id in self._streams:
+            raise ConfigurationError(f"flow {flow_id!r} already registered a stream")
+        self._streams[flow_id] = stream
+
+    def register_table(self, flow_id: str, table) -> None:
+        if flow_id in self._tables:
+            raise ConfigurationError(f"flow {flow_id!r} already registered a table")
+        self._tables[flow_id] = table
+
+    @property
+    def flow_ids(self) -> list[str]:
+        """Every flow id that registered at least one service."""
+        ids = set(self._fleets) | set(self._streams) | set(self._tables)
+        return sorted(ids)
+
+    # ------------------------------------------------------------------
+    # Pure accounting queries
+    # ------------------------------------------------------------------
+    def instances_in_use(self, now: int) -> int:
+        """Committed instances across all fleets (booting ones count)."""
+        return sum(fleet.provisioned_count(now) for fleet in self._fleets.values())
+
+    def shards_in_use(self, now: int) -> int:
+        """Committed shards across all streams (in-flight targets count)."""
+        return sum(stream.committed_shards() for stream in self._streams.values())
+
+    def write_units_in_use(self, now: int) -> int:
+        """Committed write units across all tables (pending targets count)."""
+        return sum(table.committed_write_units() for table in self._tables.values())
+
+    def read_units_in_use(self, now: int) -> int:
+        """Committed read units across all tables (pending targets count)."""
+        return sum(table.committed_read_units() for table in self._tables.values())
+
+    def headroom(self, now: int) -> dict[str, int]:
+        """Remaining account headroom per resource at ``now``."""
+        return {
+            "instances": self.limits.max_instances - self.instances_in_use(now),
+            "shards": self.limits.max_total_shards - self.shards_in_use(now),
+            "write_units": self.limits.max_total_write_units - self.write_units_in_use(now),
+            "read_units": self.limits.max_total_read_units - self.read_units_in_use(now),
+        }
+
+    def pool_utilization(self, now: int) -> float:
+        """Committed fraction of the shared EC2 pool in [0, ∞)."""
+        return self.instances_in_use(now) / self.limits.max_instances
+
+    def contention_factor(self, now: int) -> float:
+        """Per-VM throughput multiplier under the current pool load.
+
+        1.0 at or below ``contention_threshold`` utilization, ramping
+        linearly down to ``1 - contention_slope`` at a 100% committed
+        pool. Pure: safe to call from the data path, and constant
+        between control/chaos boundaries (committed instance counts
+        only change there), so spans see a single value.
+        """
+        threshold = self.limits.contention_threshold
+        slope = self.limits.contention_slope
+        if slope == 0.0 or threshold >= 1.0:
+            return 1.0
+        utilization = self.pool_utilization(now)
+        if utilization <= threshold:
+            return 1.0
+        over = min(1.0, (utilization - threshold) / (1.0 - threshold))
+        return 1.0 - slope * over
+
+    # ------------------------------------------------------------------
+    # Admission (called by the services' capacity-increase paths)
+    # ------------------------------------------------------------------
+    def admit_instances(self, flow_id: str, fleet, desired: int, now: int) -> None:
+        """Gate a fleet scale-up to ``desired`` committed instances."""
+        others = self.instances_in_use(now) - fleet.provisioned_count(now)
+        if others + desired > self.limits.max_instances:
+            self._deny(
+                flow_id, "instances", desired - fleet.provisioned_count(now),
+                self.limits.max_instances - others,
+            )
+
+    def admit_shards(self, flow_id: str, stream, target: int, now: int) -> None:
+        """Gate a reshard up to ``target`` committed shards."""
+        others = self.shards_in_use(now) - stream.committed_shards()
+        if others + target > self.limits.max_total_shards:
+            self._deny(
+                flow_id, "shards", target - stream.committed_shards(),
+                self.limits.max_total_shards - others,
+            )
+
+    def admit_write_units(self, flow_id: str, table, target: int, now: int) -> None:
+        """Gate a provisioned-write increase to ``target`` units."""
+        others = self.write_units_in_use(now) - table.committed_write_units()
+        if others + target > self.limits.max_total_write_units:
+            self._deny(
+                flow_id, "write_units", target - table.committed_write_units(),
+                self.limits.max_total_write_units - others,
+            )
+
+    def admit_read_units(self, flow_id: str, table, target: int, now: int) -> None:
+        """Gate a provisioned-read increase to ``target`` units."""
+        others = self.read_units_in_use(now) - table.committed_read_units()
+        if others + target > self.limits.max_total_read_units:
+            self._deny(
+                flow_id, "read_units", target - table.committed_read_units(),
+                self.limits.max_total_read_units - others,
+            )
+
+    def _deny(self, flow_id: str, resource: str, asked: int, available: int) -> None:
+        key = (flow_id, resource)
+        self.denial_counts[key] = self.denial_counts.get(key, 0) + 1
+        raise RegionCapacityError(
+            f"region {self.name!r}: flow {flow_id!r} asked for {asked} more "
+            f"{resource} but only {max(0, available)} remain in the account"
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def total_denials(self, flow_id: str | None = None) -> int:
+        """Denials across resources, optionally for one flow."""
+        return sum(
+            count
+            for (fid, _resource), count in self.denial_counts.items()
+            if flow_id is None or fid == flow_id
+        )
+
+    def denials_by_flow(self) -> dict[str, dict[str, int]]:
+        """``{flow_id: {resource: denials}}``, sorted for stable output."""
+        out: dict[str, dict[str, int]] = {}
+        for (flow_id, resource), count in sorted(self.denial_counts.items()):
+            out.setdefault(flow_id, {})[resource] = count
+        return out

@@ -186,11 +186,25 @@ class SimStormCluster:
         # Flight-recorder hooks (off unless attach_bus() is called).
         self._bus = None
         self._bus_layer = "analytics"
+        # Noisy-neighbor contention source (multi-flow runs only).
+        self._region = None
 
     def attach_bus(self, bus, layer: str = "analytics") -> None:
         """Publish topology rebalance events to a flight recorder."""
         self._bus = bus
         self._bus_layer = layer
+
+    def attach_region(self, region) -> None:
+        """Subject this cluster to the region's shared-pool contention.
+
+        Processing capacity is scaled by the region's
+        ``contention_factor`` — a pure function of the flows' combined
+        committed instance counts, constant between control/chaos
+        boundaries, so span execution stays bit-identical. The fleet
+        registers itself with the region separately; the cluster only
+        *reads* the contention signal.
+        """
+        self._region = region
 
     # ------------------------------------------------------------------
     # Data path
@@ -268,7 +282,7 @@ class SimStormCluster:
         if self.topology is None:
             if now < self._rebalancing_until:
                 return 0  # forced (injected) rebalance window
-            return vms * self.config.records_per_vm_per_second
+            return self._contended(vms * self.config.records_per_vm_per_second, now)
         if self._last_running_vms is None:
             self._last_running_vms = vms
         elif vms != self._last_running_vms:
@@ -294,7 +308,16 @@ class SimStormCluster:
         if now < self._rebalancing_until:
             return 0
         slots = vms * self.topology.executor_slots_per_vm
-        return self.topology.capacity_with_slots(slots)
+        return self._contended(self.topology.capacity_with_slots(slots), now)
+
+    def _contended(self, capacity: int, now: int) -> int:
+        """Scale capacity by the region's noisy-neighbor factor."""
+        if self._region is None:
+            return capacity
+        factor = self._region.contention_factor(now)
+        if factor == 1.0:
+            return capacity
+        return int(capacity * factor)
 
     def force_rebalance(self, now: int, duration: int) -> int:
         """Inject a failed/stuck rebalance: pause processing until

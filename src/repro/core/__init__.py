@@ -13,10 +13,18 @@ from repro.core.errors import (
     FlowerError,
     MonitoringError,
     OptimizationError,
+    RegionCapacityError,
     RegressionError,
     ServiceError,
     SimulationError,
     ThrottlingError,
+)
+from repro.core.fleet import (
+    CoordinationRecord,
+    FleetCoordinator,
+    FleetFlowSpec,
+    FleetRunResult,
+    RegionFleetManager,
 )
 from repro.core.flow import FlowSpec, LayerKind, LayerSpec, clickstream_flow_spec
 from repro.core.manager import (
@@ -42,7 +50,13 @@ __all__ = [
     "SimulationError",
     "ServiceError",
     "CapacityError",
+    "RegionCapacityError",
     "ThrottlingError",
+    "FleetFlowSpec",
+    "FleetCoordinator",
+    "CoordinationRecord",
+    "RegionFleetManager",
+    "FleetRunResult",
     "OptimizationError",
     "RegressionError",
     "ControlError",

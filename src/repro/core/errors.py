@@ -38,6 +38,18 @@ class TransientAPIError(ServiceError):
     """
 
 
+class RegionCapacityError(CapacityError, TransientAPIError):
+    """A capacity change exceeded the *region's* remaining headroom.
+
+    Truthful on both axes: it is a :class:`CapacityError` (the account
+    genuinely has no room left for the requested shards / instances /
+    provisioned units) and a :class:`TransientAPIError` (another flow
+    scaling down, or the coordinator revoking a grant, can free the
+    headroom), so the existing retry + circuit-breaker actuator stack
+    absorbs region denials without special-casing them.
+    """
+
+
 class ThrottlingError(ServiceError):
     """An operation exceeded provisioned throughput.
 

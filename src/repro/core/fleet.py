@@ -1,0 +1,427 @@
+"""Multi-flow region fleets: shared limits, one engine, a coordinator.
+
+One :class:`~repro.core.manager.FlowElasticityManager` runs one flow.
+This module runs *N* of them against a single
+:class:`~repro.cloud.region.RegionContext` — a shared EC2 pool and
+account-level shard/throughput limits — on one shared simulation
+engine, with a :class:`FleetCoordinator` arbitrating how much of the
+account each flow's controllers may claim.
+
+The arbitration model follows the paper's share architecture one level
+up: the share analyzer grants each *layer* an upper bound inside one
+flow's budget (Sec. 2); the coordinator grants each *flow* an upper
+bound inside the region's account limits. The enforcement point is the
+same :class:`~repro.control.bounded.BoundedActuator` — the coordinator
+retargets each flow's per-layer caps at a slower cadence than the
+per-flow control loops, so flows keep reacting at control speed while
+the cross-flow contract moves slowly and predictably.
+
+Determinism: the whole fleet shares one engine, so span-batched and
+per-tick execution stay bit-identical per flow (every flow's capacity
+events bound the shared spans); per-flow seeds are derived from the
+fleet seed and the flow *name*, so adding or reordering flows does not
+reshuffle the others' randomness; and a fleet run is a plain function
+of its arguments, so ``analysis/runner.py`` parallelizes whole fleet
+scenarios across processes with byte-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.analysis.runner import derive_scenario_seed
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.schedule import ChaosSchedule
+from repro.cloud.dynamodb import DynamoDBConfig
+from repro.cloud.ec2 import EC2Config
+from repro.cloud.kinesis import KinesisConfig
+from repro.cloud.pricing import PriceBook
+from repro.cloud.region import RegionContext, RegionLimits
+from repro.cloud.storm import StormConfig
+from repro.control.bounded import BoundedActuator
+from repro.core.config import LayerControlConfig
+from repro.core.errors import ConfigurationError
+from repro.core.flow import LayerKind
+from repro.core.manager import (
+    FlowElasticityManager,
+    FlowRunResult,
+    ServiceCapacities,
+    _FlowPipeline,
+)
+from repro.simulation.clock import SimClock
+from repro.simulation.engine import SimulationEngine
+from repro.workload.generators import RatePattern
+
+#: Arbitrated layers, in decision order.
+COORDINATED_LAYERS = (LayerKind.INGESTION, LayerKind.ANALYTICS, LayerKind.STORAGE)
+
+#: Component phases for the shared engine's grouped ordering: every
+#: flow's data pipeline must run before any flow's auditor, and every
+#: auditor before any fault injector, so a fault injected at tick T
+#: reaches all flows' data paths at T+1 in both execution modes.
+_COMPONENT_PHASE = {_FlowPipeline: 0, InvariantChecker: 1, ChaosInjector: 2}
+
+
+@dataclass(frozen=True)
+class FleetFlowSpec:
+    """One flow's definition inside a region fleet."""
+
+    name: str
+    workload: RatePattern
+    capacities: ServiceCapacities | None = None
+    controls: dict[LayerKind, LayerControlConfig] | None = None
+    #: Initial per-layer caps (the coordinator retargets them at run
+    #: time). Defaults to an equal split of the account limits.
+    share_bounds: dict[LayerKind, int] | None = None
+    chaos: ChaosSchedule | None = None
+    kinesis: KinesisConfig | None = None
+    storm: StormConfig | None = None
+    ec2: EC2Config | None = None
+    dynamodb: DynamoDBConfig | None = None
+    #: Extra keyword arguments forwarded to FlowElasticityManager.
+    manager_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("fleet flow name must be non-empty")
+
+
+@dataclass(frozen=True)
+class CoordinationRecord:
+    """One coordinator decision: the caps granted at ``time``."""
+
+    time: int
+    #: ``{flow_id: {layer: cap}}`` — the bounds in force after this pass.
+    grants: dict[str, dict[LayerKind, int]]
+    #: ``{flow_id: {layer: weight}}`` — the demand weights used.
+    weights: dict[str, dict[LayerKind, float]]
+
+
+class FleetCoordinator:
+    """Arbitrates account headroom across flows at a slow cadence.
+
+    Every ``period`` seconds the coordinator, for each arbitrated
+    layer, splits the region's account limit across the flows in
+    proportion to *demand weight* — the flow's committed usage plus the
+    pressure its controllers showed since the last pass (share-bound
+    clamps and failed actuation attempts, which is where region
+    denials surface) — and retargets each flow's
+    :class:`BoundedActuator` cap to its grant. Flows under pressure
+    grow their grant; idle flows shrink toward their floor, returning
+    headroom to the pool. Grants never drop below the layer's service
+    minimum.
+
+    The arithmetic is pure integer/float bookkeeping over committed
+    state, so coordination is deterministic and identical between span
+    and per-tick execution (it runs as an engine task, always at a
+    span boundary).
+    """
+
+    def __init__(
+        self,
+        managers: dict[str, FlowElasticityManager],
+        region: RegionContext,
+        period: int = 300,
+        pressure_gain: float = 2.0,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"coordinator period must be positive, got {period}")
+        if pressure_gain < 0:
+            raise ConfigurationError("pressure_gain must be non-negative")
+        self.managers = managers
+        self.region = region
+        self.period = period
+        self.pressure_gain = pressure_gain
+        self.records: list[CoordinationRecord] = []
+        #: Lifetime count of cap retargets that changed a bound.
+        self.retargets = 0
+        # Pressure counters are cumulative on the actuators; remember
+        # the last reading to difference them per pass.
+        self._last_pressure: dict[tuple[str, LayerKind], float] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def _bounded_actuator(self, manager: FlowElasticityManager, kind: LayerKind):
+        loop = manager.loops.get(kind)
+        if loop is None:
+            return None
+        actuator = loop.actuator
+        return actuator if isinstance(actuator, BoundedActuator) else None
+
+    def _usage(self, manager: FlowElasticityManager, kind: LayerKind, now: int) -> int:
+        if kind is LayerKind.INGESTION:
+            return manager.stream.committed_shards()
+        if kind is LayerKind.ANALYTICS:
+            return manager.fleet.provisioned_count(now)
+        return manager.table.committed_write_units()
+
+    def _floor(self, manager: FlowElasticityManager, kind: LayerKind) -> int:
+        if kind is LayerKind.INGESTION:
+            return manager.stream.config.min_shards
+        if kind is LayerKind.ANALYTICS:
+            return manager.fleet.config.min_instances
+        return manager.table.config.min_write_units
+
+    def _limit(self, kind: LayerKind) -> int:
+        limits = self.region.limits
+        if kind is LayerKind.INGESTION:
+            return limits.max_total_shards
+        if kind is LayerKind.ANALYTICS:
+            return limits.max_instances
+        return limits.max_total_write_units
+
+    def _pressure(self, flow_id: str, manager: FlowElasticityManager, kind: LayerKind) -> float:
+        """Pressure shown since the last pass: clamps + failed attempts."""
+        actuator = self._bounded_actuator(manager, kind)
+        if actuator is None:
+            return 0.0
+        cumulative = float(actuator.clamped_requests)
+        inner = actuator.inner
+        failed = getattr(inner, "failed_attempts", None)
+        if failed is not None:
+            cumulative += float(failed)
+        key = (flow_id, kind)
+        previous = self._last_pressure.get(key, 0.0)
+        self._last_pressure[key] = cumulative
+        return cumulative - previous
+
+    # ------------------------------------------------------------------
+    # The coordination pass (registered as a periodic engine task)
+    # ------------------------------------------------------------------
+    def coordinate(self, now: int) -> None:
+        grants: dict[str, dict[LayerKind, int]] = {}
+        weights: dict[str, dict[LayerKind, float]] = {}
+        for kind in COORDINATED_LAYERS:
+            flows = [
+                (flow_id, manager, self._bounded_actuator(manager, kind))
+                for flow_id, manager in self.managers.items()
+            ]
+            flows = [(fid, m, a) for fid, m, a in flows if a is not None]
+            if not flows:
+                continue
+            limit = self._limit(kind)
+            demand: list[float] = []
+            floors: list[int] = []
+            for flow_id, manager, _actuator in flows:
+                usage = self._usage(manager, kind, now)
+                pressure = self._pressure(flow_id, manager, kind)
+                weight = float(usage) + self.pressure_gain * pressure + 1.0
+                demand.append(weight)
+                floors.append(self._floor(manager, kind))
+                weights.setdefault(flow_id, {})[kind] = weight
+            total = sum(demand)
+            for (flow_id, manager, actuator), weight, floor in zip(flows, demand, floors):
+                cap = max(floor, int(limit * weight / total))
+                grants.setdefault(flow_id, {})[kind] = cap
+                new_cap = float(cap)
+                if actuator.cap != new_cap:
+                    actuator.cap = new_cap
+                    self.retargets += 1
+                telemetry = manager.telemetry
+                if telemetry is not None:
+                    telemetry.set_gauge(f"fleet.bound.{kind.name.lower()}", new_cap)
+        for manager in self.managers.values():
+            if manager.telemetry is not None:
+                manager.telemetry.inc("fleet.coordinations")
+        self.records.append(CoordinationRecord(time=now, grants=grants, weights=weights))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def bound_trajectory(self, flow_id: str, kind: LayerKind) -> list[tuple[int, int]]:
+        """``(time, cap)`` per pass for one flow and layer."""
+        return [
+            (record.time, record.grants[flow_id][kind])
+            for record in self.records
+            if flow_id in record.grants and kind in record.grants[flow_id]
+        ]
+
+
+@dataclass
+class FleetRunResult:
+    """Everything a finished region fleet run exposes."""
+
+    duration_seconds: int
+    flows: dict[str, FlowRunResult]
+    region: RegionContext
+    coordinator: FleetCoordinator | None
+    wall_seconds: float = 0.0
+
+    @property
+    def total_cost(self) -> float:
+        return sum(result.total_cost for result in self.flows.values())
+
+    @property
+    def cost_by_flow(self) -> dict[str, float]:
+        return {flow_id: result.total_cost for flow_id, result in self.flows.items()}
+
+    def denials_by_flow(self) -> dict[str, dict[str, int]]:
+        """Region admission denials per flow and resource."""
+        return self.region.denials_by_flow()
+
+    def scorecards(self) -> dict[str, "object"]:
+        """Per-flow :class:`~repro.analysis.scorecard.RunScorecard`s."""
+        from repro.analysis.scorecard import RunScorecard
+
+        return {
+            flow_id: RunScorecard.from_result(flow_id, result)
+            for flow_id, result in self.flows.items()
+        }
+
+    def summary(self) -> str:
+        """A compact per-flow digest of the fleet run."""
+        lines = [
+            f"region fleet: {len(self.flows)} flows, "
+            f"{self.duration_seconds}s simulated, "
+            f"${self.total_cost:.2f} total"
+        ]
+        denials = self.denials_by_flow()
+        for flow_id, result in self.flows.items():
+            violations = (
+                result.invariants.total_violations if result.invariants is not None else 0
+            )
+            flow_denials = sum(denials.get(flow_id, {}).values())
+            lines.append(
+                f"  {flow_id}: ${result.total_cost:.2f}, "
+                f"drops={result.dropped_records + result.dropped_writes}, "
+                f"denials={flow_denials}, violations={violations}"
+            )
+        if self.coordinator is not None:
+            lines.append(
+                f"  coordinator: {len(self.coordinator.records)} passes, "
+                f"{self.coordinator.retargets} cap retargets"
+            )
+        return "\n".join(lines)
+
+
+class RegionFleetManager:
+    """Builds and runs N managed flows against one shared region."""
+
+    def __init__(
+        self,
+        flows: list[FleetFlowSpec],
+        limits: RegionLimits | None = None,
+        seed: int = 0,
+        tick_seconds: int = 1,
+        snapshot_period: int = 60,
+        span_execution: bool = True,
+        coordinate_period: int | None = 300,
+        pressure_gain: float = 2.0,
+        price_book: PriceBook | None = None,
+        telemetry: bool = True,
+        invariants: bool = True,
+    ) -> None:
+        if not flows:
+            raise ConfigurationError("a region fleet needs at least one flow")
+        names = [spec.name for spec in flows]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"fleet flow names must be unique, got {names}")
+        # Controllers are stateful (adaptive gain memory, cooldowns); a
+        # controller instance shared between two flows would couple them
+        # silently. Require per-flow instances.
+        seen_controllers: dict[int, str] = {}
+        for spec in flows:
+            for kind, config in (spec.controls or {}).items():
+                owner = seen_controllers.setdefault(id(config.controller), spec.name)
+                if owner != spec.name:
+                    raise ConfigurationError(
+                        f"flows {owner!r} and {spec.name!r} share a controller "
+                        f"instance for {kind.name}; controllers are stateful — "
+                        "build one per flow"
+                    )
+        self.seed = seed
+        self.region = RegionContext(limits=limits)
+        self.engine = SimulationEngine(
+            clock=SimClock(tick_seconds=tick_seconds), span_execution=span_execution
+        )
+        self.managers: dict[str, FlowElasticityManager] = {}
+        for spec in flows:
+            # Name-derived seeds: adding/removing/reordering flows never
+            # reshuffles the randomness of the others (the same contract
+            # the scenario runner gives sweeps).
+            flow_seed = derive_scenario_seed(seed, spec.name)
+            share_bounds = (
+                dict(spec.share_bounds)
+                if spec.share_bounds is not None
+                else self._default_share_bounds(spec, len(flows))
+            )
+            self.managers[spec.name] = FlowElasticityManager(
+                workload=spec.workload,
+                capacities=spec.capacities,
+                controls=spec.controls,
+                price_book=price_book,
+                seed=flow_seed,
+                snapshot_period=snapshot_period,
+                share_bounds=share_bounds,
+                chaos=spec.chaos,
+                kinesis=spec.kinesis,
+                storm=spec.storm,
+                ec2=spec.ec2,
+                dynamodb=spec.dynamodb,
+                telemetry=telemetry,
+                invariants=invariants,
+                engine=self.engine,
+                region=self.region,
+                flow_id=spec.name,
+                coordinated=coordinate_period is not None,
+                **spec.manager_kwargs,
+            )
+        # Group components by phase (pipelines, auditors, injectors) so
+        # cross-flow fault visibility is identical in span and per-tick
+        # execution; the stable sort keeps each flow's internal order.
+        self.engine.sort_components(
+            lambda component: _COMPONENT_PHASE.get(type(component), 3)
+        )
+        self.coordinator: FleetCoordinator | None = None
+        if coordinate_period is not None:
+            self.coordinator = FleetCoordinator(
+                self.managers,
+                self.region,
+                period=coordinate_period,
+                pressure_gain=pressure_gain,
+            )
+            # Registered last: at coincident boundaries the coordinator
+            # observes the flows' post-actuation state.
+            self.engine.every(
+                coordinate_period, self.coordinator.coordinate, name="fleet.coordinator"
+            )
+
+    def _default_share_bounds(
+        self, spec: FleetFlowSpec, n_flows: int
+    ) -> dict[LayerKind, int]:
+        """Equal split of the account limits, floored at the flow's
+        initial capacities (the starting state must be inside its own
+        grant)."""
+        limits = self.region.limits
+        capacities = spec.capacities or ServiceCapacities()
+        return {
+            LayerKind.INGESTION: max(
+                capacities.shards, limits.max_total_shards // n_flows
+            ),
+            LayerKind.ANALYTICS: max(capacities.vms, limits.max_instances // n_flows),
+            LayerKind.STORAGE: max(
+                capacities.write_units, limits.max_total_write_units // n_flows
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration_seconds: int) -> FleetRunResult:
+        """Advance the shared engine; collect every flow's result."""
+        started = perf_counter()
+        self.engine.run(duration_seconds)
+        wall_seconds = perf_counter() - started
+        return FleetRunResult(
+            duration_seconds=self.engine.clock.now,
+            flows={
+                flow_id: manager._build_result()
+                for flow_id, manager in self.managers.items()
+            },
+            region=self.region,
+            coordinator=self.coordinator,
+            wall_seconds=wall_seconds,
+        )

@@ -678,8 +678,17 @@ class FlowElasticityManager:
         chaos: ChaosSchedule | None = None,
         invariants: bool = True,
         telemetry: bool = True,
+        engine: SimulationEngine | None = None,
+        region=None,
+        flow_id: str | None = None,
+        coordinated: bool = False,
     ) -> None:
         self.flow = flow or clickstream_flow_spec()
+        #: Identifies this flow inside a multi-flow region run; None for
+        #: standalone flows. Scopes service names (and through them the
+        #: metric dimensions) and engine task names.
+        self.flow_id = flow_id
+        self.region = region
         self.capacities = capacities or ServiceCapacities()
         self.controls = dict(controls or {})
         self.share_bounds = dict(share_bounds or {})
@@ -705,12 +714,18 @@ class FlowElasticityManager:
         self.telemetry: Telemetry | None = Telemetry() if telemetry else None
 
         self.cloudwatch = SimCloudWatch()
-        self.stream = SimKinesisStream(shards=self.capacities.shards, config=kinesis)
+        # Flow-scoped service names carry the flow id into every metric
+        # dimension, event and scorecard of a multi-flow region run.
+        prefix = f"{flow_id}-" if flow_id else ""
+        self.stream = SimKinesisStream(
+            name=f"{prefix}clickstream", shards=self.capacities.shards, config=kinesis
+        )
         self.fleet = SimEC2Fleet(
             config=ec2 or EC2Config(instance_type=self.flow.analytics.resource),
             initial_instances=self.capacities.vms,
         )
         self.table = SimDynamoDBTable(
+            name=f"{prefix}page-aggregates",
             write_units=self.capacities.write_units,
             read_units=self.capacities.read_units,
             config=dynamodb,
@@ -722,9 +737,17 @@ class FlowElasticityManager:
             self.fleet,
             config=storm,
             rng=derive_rng(seed, "storm.cpu"),
+            name=f"{prefix}clickstream-topology",
             distinct_estimator=self.generator.expected_distinct,
             topology=topology,
         )
+        if region is not None:
+            if flow_id is None:
+                raise ConfigurationError("a region-attached flow needs a flow_id")
+            self.fleet.attach_region(region, flow_id)
+            self.stream.attach_region(region, flow_id)
+            self.table.attach_region(region, flow_id)
+            self.cluster.attach_region(region)
 
         self.cost_meters = {
             "ingestion": CostMeter(self.price_book, self.flow.ingestion.resource),
@@ -751,10 +774,18 @@ class FlowElasticityManager:
             self.cluster.attach_bus(recorder.bus, "analytics")
             self.table.attach_bus(recorder.bus, "storage")
 
-        self.engine = SimulationEngine(
-            clock=SimClock(tick_seconds=tick_seconds), span_execution=span_execution
-        )
-        if recorder is not None:
+        if engine is not None:
+            # Shared engine (multi-flow region run): the caller owns the
+            # clock, span mode and run loop; this manager only registers
+            # its components and tasks on it.
+            self.engine = engine
+            self._owns_engine = False
+        else:
+            self.engine = SimulationEngine(
+                clock=SimClock(tick_seconds=tick_seconds), span_execution=span_execution
+            )
+            self._owns_engine = True
+        if recorder is not None and self._owns_engine:
             self.engine.profiler = recorder.profiler
         self._pipeline = _FlowPipeline(
             self.generator,
@@ -798,20 +829,24 @@ class FlowElasticityManager:
                 event_bus=self.recorder.bus if self.recorder else None,
                 telemetry=self.telemetry,
             )
-            self.engine.every(self.read_loop.period, self.read_loop.step, name="control.reads")
+            self.engine.every(
+                self.read_loop.period, self.read_loop.step, name=f"{prefix}control.reads"
+            )
 
         self.loops = self._build_loops()
         for kind, loop in self.loops.items():
-            self.engine.every(loop.period, loop.step, name=f"control.{kind.name.lower()}")
+            self.engine.every(
+                loop.period, loop.step, name=f"{prefix}control.{kind.name.lower()}"
+            )
         if self.share_schedule is not None and self.loops:
             self.engine.every(
-                snapshot_period, self._apply_scheduled_bounds, name="share-schedule"
+                snapshot_period, self._apply_scheduled_bounds, name=f"{prefix}share-schedule"
             )
 
         self.collector = self._build_collector()
         # Keep the task name the tests and profiler reports know; the
         # wrapper adds the telemetry gauge sample at the same boundary.
-        self.engine.every(snapshot_period, self._snapshot, name="snapshots")
+        self.engine.every(snapshot_period, self._snapshot, name=f"{prefix}snapshots")
 
         # Component order matters: pipeline → invariant checker → chaos
         # injector. The checker audits each boundary's *pre-injection*
@@ -829,7 +864,9 @@ class FlowElasticityManager:
                 table=self.table,
                 cost_meters=self.cost_meters,
                 loops=self.loops,
-                check_controller_bounds=self.share_schedule is None,
+                # Runtime-retargeted bounds (a share schedule or a fleet
+                # coordinator) make the static bound check meaningless.
+                check_controller_bounds=self.share_schedule is None and not coordinated,
                 bus=recorder.bus if recorder is not None else None,
             )
             self.engine.add_component(self.invariant_checker)
@@ -1009,7 +1046,14 @@ class FlowElasticityManager:
         """Advance the simulation and return the analysed result."""
         started = perf_counter()
         self.engine.run(duration_seconds)
-        wall_seconds = perf_counter() - started
+        return self._build_result(perf_counter() - started)
+
+    def _build_result(self, wall_seconds: float = 0.0) -> FlowRunResult:
+        """Assemble the run result from current state.
+
+        Split out of :meth:`run` so a region fleet manager can run the
+        *shared* engine once and then collect each flow's result.
+        """
         return FlowRunResult(
             duration_seconds=self.engine.clock.now,
             flow=self.flow,

@@ -141,6 +141,19 @@ class SimulationEngine:
         """Register a component; components run in registration order."""
         self._components.append(component)
 
+    def sort_components(self, key: Callable[[TickComponent], int]) -> None:
+        """Stable-reorder the registered components by ``key``.
+
+        Multi-flow runs group components by *phase* (all data pipelines,
+        then all auditors, then all fault injectors) instead of by flow:
+        a fault one flow injects at tick T must become visible to every
+        flow's data path only from T+1 — in both per-tick and span
+        execution — which requires no injector to run before another
+        flow's pipeline within a tick. The sort is stable, so each
+        flow's internal order is preserved.
+        """
+        self._components.sort(key=key)
+
     def add_task(self, task: PeriodicTask) -> None:
         """Register a periodic task.
 

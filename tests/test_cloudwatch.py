@@ -231,6 +231,21 @@ class TestStatisticValidation:
             with pytest.raises(MonitoringError):
                 validate_statistic(stat)
 
+    def test_malformed_percentiles_rejected(self):
+        """Regression: ``float()`` accepts far more than CloudWatch's
+        ``pNN[.N]`` grammar — whitespace, signs, underscores, exponents
+        and ``nan`` must all be rejected, not parsed."""
+        for stat in (
+            "p 50", "p50 ", "p+50", "p-0", "p1_0", "p1e1", "pnan", "pinf",
+            "p0x10", "p50.", "p.5", "p50.5.5", "p1234", "p100.1",
+        ):
+            with pytest.raises(MonitoringError):
+                validate_statistic(stat)
+
+    def test_percentile_boundaries_accepted(self):
+        for stat in ("p0", "p0.0", "p100", "p100.0", "p99.999"):
+            assert validate_statistic(stat) == stat
+
     def test_get_metric_statistics_rejects_unknown_statistic(self, cw):
         _fill(cw, [1.0])
         with pytest.raises(MonitoringError, match="unsupported statistic"):

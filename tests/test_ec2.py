@@ -62,6 +62,20 @@ class TestSimEC2Fleet:
         fleet.set_desired(1, now=20)
         assert fleet.billable_count(20) == 1
 
+    def test_billing_starts_at_launch_not_before(self):
+        """Regression: an instance launched at t=100 must not be
+        billable at earlier times — a cost meter integrating backwards
+        (or a span hoist reading ``billable_count`` at an earlier tick)
+        would overcharge."""
+        fleet = SimEC2Fleet(initial_instances=1)
+        fleet.set_desired(2, now=100)
+        late = fleet.instances(100)[-1]
+        assert late.launched_at == 100
+        assert not late.billable(50)
+        assert late.billable(100)
+        assert fleet.billable_count(50) == 1
+        assert fleet.billable_count(100) == 2
+
     def test_pending_instances_listed_by_state(self):
         fleet = SimEC2Fleet(config=EC2Config(boot_seconds=60), initial_instances=1)
         fleet.set_desired(2, now=10)

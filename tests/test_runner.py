@@ -35,6 +35,16 @@ def explode():
     raise ValueError("scenario failure")
 
 
+def slow_sentinel(path, delay):
+    """Sleep, then leave a marker file (module-level: workers pickle it)."""
+    import time
+
+    time.sleep(delay)
+    with open(path, "w") as handle:
+        handle.write("ran")
+    return path
+
+
 def scenarios_for(base_seed, count=5):
     return [
         Scenario(
@@ -109,3 +119,22 @@ class TestValidation:
             run_scenarios(scenarios, jobs=2)
         with pytest.raises(ValueError, match="scenario failure"):
             run_scenarios(scenarios, jobs=1)
+
+    def test_failure_cancels_queued_scenarios(self, tmp_path):
+        """Regression: a failing scenario must fail the sweep *fast* —
+        queued scenarios are cancelled, not silently run to completion
+        by the executor's shutdown. With 2 workers, at most the two
+        in-flight sentinels can run; the other eight must be cancelled
+        before they ever start."""
+        scenarios = [Scenario(name="boom", fn=explode)] + [
+            Scenario(
+                name=f"queued-{i}",
+                fn=slow_sentinel,
+                kwargs=dict(path=str(tmp_path / f"queued-{i}"), delay=0.2),
+            )
+            for i in range(10)
+        ]
+        with pytest.raises(ValueError, match="scenario failure"):
+            run_scenarios(scenarios, jobs=2)
+        ran = sorted(p.name for p in tmp_path.iterdir())
+        assert len(ran) <= 2, f"queued scenarios were not cancelled: {ran}"

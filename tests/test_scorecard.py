@@ -10,6 +10,7 @@ import pytest
 from repro.analysis.scorecard import (
     SMOKE_SCENARIOS,
     WALL_CLOCK_FIELDS,
+    FleetScorecard,
     RunScorecard,
     run_smoke_scenario,
 )
@@ -67,7 +68,7 @@ class TestSmokeScenarios:
         assert chaos.causal_chains > steady_chains_lower_bound(chaos)
 
     def test_scenario_registry_matches_baselines(self):
-        assert SMOKE_SCENARIOS == ("steady", "chaos")
+        assert SMOKE_SCENARIOS == ("steady", "chaos", "fleet")
 
 
 def steady_chains_lower_bound(chaos: RunScorecard) -> int:
@@ -163,3 +164,72 @@ class TestCompare:
         mttr[key] = None
         drifted = dataclasses.replace(chaos, mttr_by_fault=mttr)
         assert any(key in m for m in chaos.compare(drifted))
+
+
+# ----------------------------------------------------------------------
+# Fleet scorecards
+# ----------------------------------------------------------------------
+class TestFleetScorecard:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return run_smoke_scenario("fleet", duration=DURATION)
+
+    def test_fields_populated(self, fleet):
+        assert fleet.name == "fleet"
+        assert fleet.duration_seconds == DURATION
+        assert sorted(fleet.flows) == ["flow0", "flow1", "flow2"]
+        assert fleet.coordinator_passes == DURATION // 300
+        assert fleet.total_cost == pytest.approx(
+            sum(card.total_cost for card in fleet.flows.values()), rel=1e-6
+        )
+        for card in fleet.flows.values():
+            assert card.invariants_ok
+
+    def test_json_round_trip_is_lossless(self, fleet):
+        clone = FleetScorecard.from_dict(json.loads(fleet.to_json()))
+        assert clone == fleet
+
+    def test_from_json_file(self, fleet, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(fleet.to_json())
+        assert FleetScorecard.from_json_file(path) == fleet
+
+    def test_identical_cards_pass(self, fleet):
+        assert fleet.compare(fleet) == []
+
+    def test_fleet_level_drift_is_named(self, fleet):
+        drifted = dataclasses.replace(fleet, cap_retargets=fleet.cap_retargets + 1)
+        messages = drifted.compare(fleet)
+        assert any("cap_retargets" in m for m in messages)
+
+    def test_per_flow_drift_is_prefixed(self, fleet):
+        flows = dict(fleet.flows)
+        flows["flow1"] = dataclasses.replace(
+            flows["flow1"], retry_attempts=flows["flow1"].retry_attempts + 5
+        )
+        drifted = dataclasses.replace(fleet, flows=flows)
+        messages = drifted.compare(fleet)
+        assert any(m.startswith("flow1.retry_attempts") for m in messages)
+
+    def test_missing_flow_is_drift(self, fleet):
+        flows = dict(fleet.flows)
+        flows.pop("flow2")
+        drifted = dataclasses.replace(fleet, flows=flows)
+        messages = drifted.compare(fleet)
+        assert any("flows.flow2" in m for m in messages)
+
+    def test_denial_drift_is_named(self, fleet):
+        denials = {**fleet.denials, "flow0": {"instances": 999}}
+        drifted = dataclasses.replace(fleet, denials=denials)
+        messages = drifted.compare(fleet)
+        assert any(m.startswith("denials.flow0.instances") for m in messages)
+
+    def test_wall_clock_exempt(self, fleet):
+        drifted = dataclasses.replace(fleet, wall_seconds=fleet.wall_seconds + 100)
+        assert drifted.compare(fleet) == []
+
+    def test_committed_baseline_loads_and_has_expected_shape(self):
+        card = FleetScorecard.from_json_file("results/SCORECARD_fleet_smoke.json")
+        assert card.name == "fleet"
+        assert sorted(card.flows) == ["flow0", "flow1", "flow2"]
+        assert card.coordinator_passes > 0

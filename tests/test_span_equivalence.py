@@ -299,3 +299,115 @@ class TestChaosEquivalence:
         assert spanned.chaos_events == reference.chaos_events
         injected = {e.fault for e in spanned.chaos_events if e.phase == "inject"}
         assert injected == {k.value for k in FaultKind}
+
+
+class TestFleetEquivalence:
+    """Span-vs-tick bit-equivalence for a multi-flow region run.
+
+    The multi-flow hazards on top of the single-flow ones: the shared
+    EC2 pool's contention factor (a pure function of *all* flows'
+    committed instances, hoisted per span), region admission denials
+    landing at the exact same control boundaries in both modes, and the
+    coordinator's grants being identical — one flow's chaos or scaling
+    must perturb its neighbors from exactly the same tick either way.
+    """
+
+    @staticmethod
+    def _fleet(span_execution, coordinate, chaos=False):
+        from repro.chaos import ChaosSchedule as Schedule
+        from repro.cloud.region import RegionLimits
+        from repro.cloud.storm import StormConfig
+        from repro.core.config import LayerControlConfig, default_adaptive_controller
+        from repro.core.fleet import FleetFlowSpec, RegionFleetManager
+
+        def controls():
+            return {
+                kind: LayerControlConfig(
+                    controller=default_adaptive_controller(kind), period=30
+                )
+                for kind in LayerKind
+            }
+
+        flows = []
+        for i in range(2):
+            schedule = None
+            if chaos and i == 0:
+                schedule = Schedule(
+                    faults=(
+                        FaultSpec(kind=FaultKind.WORKER_CRASH, start=400, intensity=1),
+                        FaultSpec(kind=FaultKind.THROTTLE_STORM, start=600,
+                                  duration=200, intensity=0.6),
+                    ),
+                    seed=13,
+                )
+            flows.append(
+                FleetFlowSpec(
+                    name=f"flow{i}",
+                    workload=SinusoidalRate(
+                        mean=1500 + 500 * i, amplitude=1000, period=900
+                    ),
+                    controls=controls(),
+                    # Overcommitted: both flows believe they may take
+                    # nearly the whole account, so one of them hits the
+                    # account limit mid-run and is denied.
+                    share_bounds={
+                        LayerKind.INGESTION: 5,
+                        LayerKind.ANALYTICS: 5,
+                        LayerKind.STORAGE: 800,
+                    },
+                    storm=StormConfig(records_per_vm_per_second=700),
+                    chaos=schedule,
+                )
+            )
+        return RegionFleetManager(
+            flows,
+            limits=RegionLimits(
+                max_instances=6,
+                max_total_shards=7,
+                max_total_write_units=1200,
+                # A low threshold so the shared pool is contended for
+                # most of the run, exercising the span-hoisted factor.
+                contention_threshold=0.5,
+                contention_slope=0.4,
+            ),
+            seed=11,
+            span_execution=span_execution,
+            coordinate_period=300 if coordinate else None,
+        )
+
+    def _run_fleet_pair(self, coordinate, chaos=False):
+        results = []
+        for spans in (False, True):
+            fleet = self._fleet(spans, coordinate, chaos)
+            results.append((fleet, fleet.run(1200)))
+        (ref_fleet, reference), (span_fleet, spanned) = results
+        assert not ref_fleet.engine.last_run_used_spans
+        assert span_fleet.engine.last_run_used_spans
+        return reference, spanned
+
+    @pytest.mark.parametrize("coordinate", [False, True])
+    def test_two_flow_region_bit_identical(self, coordinate):
+        reference, spanned = self._run_fleet_pair(coordinate)
+        assert sorted(reference.flows) == sorted(spanned.flows)
+        denied = reference.region.total_denials()
+        assert denied > 0, "scenario must actually hit the account limit"
+        for flow_id in reference.flows:
+            assert_equivalent(reference.flows[flow_id], spanned.flows[flow_id])
+            assert reference.flows[flow_id].invariants.ok
+            assert spanned.flows[flow_id].invariants.ok
+        # Region accounting and denial history identical tick-for-tick.
+        assert spanned.region.denial_counts == reference.region.denial_counts
+        if coordinate:
+            assert spanned.coordinator.records == reference.coordinator.records
+
+    def test_cross_flow_chaos_visibility(self):
+        """Flow0's worker crash changes the shared pool, hence flow1's
+        contention factor — from exactly the same tick in both modes."""
+        reference, spanned = self._run_fleet_pair(coordinate=True, chaos=True)
+        assert reference.flows["flow0"].chaos_events
+        assert (
+            spanned.flows["flow0"].chaos_events
+            == reference.flows["flow0"].chaos_events
+        )
+        for flow_id in reference.flows:
+            assert_equivalent(reference.flows[flow_id], spanned.flows[flow_id])
