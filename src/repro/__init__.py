@@ -29,6 +29,7 @@ from repro.core import (
     DEFAULT_REFERENCE,
     FleetFlowSpec,
     FleetRunResult,
+    FleetScenarioSpec,
     FlowBuilder,
     FlowElasticityManager,
     FlowRunResult,
@@ -41,6 +42,8 @@ from repro.core import (
     ServiceCapacities,
     clickstream_flow_spec,
     make_controller,
+    run_fleet_scenario,
+    sweep_fleet_scenarios,
 )
 from repro.observability import FlightRecorder
 
@@ -59,6 +62,9 @@ __all__ = [
     "FleetFlowSpec",
     "RegionFleetManager",
     "FleetRunResult",
+    "FleetScenarioSpec",
+    "run_fleet_scenario",
+    "sweep_fleet_scenarios",
     "LayerControlConfig",
     "make_controller",
     "DEFAULT_REFERENCE",

@@ -14,7 +14,9 @@ results **indistinguishable from a serial run**:
   others;
 * ``jobs=1`` runs in-process with no executor, and the parallel path
   must produce byte-identical results (the test suite pickles both and
-  compares).
+  compares);
+* the worker start method is pinned (see :data:`START_METHOD`), so the
+  same sweep launches the same kind of worker on every platform.
 
 Scenario callables must be module-level functions (picklable by
 reference); their keyword arguments must be picklable values.
@@ -22,12 +24,47 @@ reference); their keyword arguments must be picklable values.
 
 from __future__ import annotations
 
+import multiprocessing
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.core.errors import FlowerError
+
+#: Pinned worker start method for every sweep pool.
+#:
+#: ``fork`` is deliberately excluded even where it is the platform
+#: default: a forked worker inherits the parent's full mutable state —
+#: warmed caches, monkeypatched modules, open handles — so a sweep's
+#: behaviour could depend on what the parent process happened to have
+#: done first, and ``fork`` does not exist on Windows (or survive as
+#: the macOS default). ``forkserver`` (POSIX) and ``spawn`` (everywhere)
+#: both hand every scenario an import-fresh interpreter, which is what
+#: makes jobs=1 and jobs=N byte-identical by construction rather than
+#: by luck. ``forkserver`` is preferred where available because the
+#: server process imports ``repro`` once (see :func:`pool_context`) and
+#: each worker is then a cheap fork *of that clean server*, not of the
+#: arbitrary parent.
+START_METHOD = (
+    "forkserver"
+    if "forkserver" in multiprocessing.get_all_start_methods()
+    else "spawn"
+)
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every sweep pool must use.
+
+    Warm-up: under ``forkserver`` the package is preloaded into the
+    fork server, so the per-worker cost is one fork instead of a full
+    interpreter boot + import of numpy and repro per process. (The
+    preload call is a no-op once the server is running.)
+    """
+    context = multiprocessing.get_context(START_METHOD)
+    if START_METHOD == "forkserver":
+        context.set_forkserver_preload(["repro"])
+    return context
 
 
 class RunnerError(FlowerError):
@@ -81,7 +118,9 @@ def run_scenarios(scenarios: Sequence[Scenario], jobs: int = 1) -> list[Any]:
     scenarios = list(scenarios)
     if jobs == 1 or len(scenarios) <= 1:
         return [_call(scenario) for scenario in scenarios]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(scenarios))) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(scenarios)), mp_context=pool_context()
+    ) as pool:
         futures = [pool.submit(_call, scenario) for scenario in scenarios]
         try:
             return [future.result() for future in futures]

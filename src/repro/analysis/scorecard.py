@@ -63,6 +63,9 @@ class RunScorecard:
     dropped_records: int = 0
     dropped_writes: int = 0
     invariants_ok: bool = True
+    #: Whether the run used the bit-exact workload path. Approximate
+    #: (``exact=False``) cards refuse to compare against exact ones.
+    exact: bool = True
     #: Wall-clock fields — informational, excluded from the gate.
     wall_seconds: float = 0.0
     ticks_per_second: float = 0.0
@@ -141,6 +144,7 @@ class RunScorecard:
             dropped_records=result.dropped_records,
             dropped_writes=result.dropped_writes,
             invariants_ok=(result.invariants.ok if result.invariants else True),
+            exact=bool(getattr(result, "exact", True)),
             wall_seconds=round(wall, 4),
             ticks_per_second=(
                 round(result.duration_seconds / wall, 1) if wall > 0 else 0.0
@@ -169,6 +173,7 @@ class RunScorecard:
             "dropped_records": self.dropped_records,
             "dropped_writes": self.dropped_writes,
             "invariants_ok": self.invariants_ok,
+            "exact": self.exact,
             "wall_seconds": self.wall_seconds,
             "ticks_per_second": self.ticks_per_second,
         }
@@ -203,6 +208,7 @@ class RunScorecard:
             dropped_records=int(data.get("dropped_records", 0)),
             dropped_writes=int(data.get("dropped_writes", 0)),
             invariants_ok=bool(data.get("invariants_ok", True)),
+            exact=bool(data.get("exact", True)),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
             ticks_per_second=float(data.get("ticks_per_second", 0.0)),
         )
@@ -226,7 +232,14 @@ class RunScorecard:
         only one side (schema additions, hand-edited baselines) is
         drift, not silence. Wall-clock fields
         (:data:`WALL_CLOCK_FIELDS`) are skipped.
+
+        Raises :class:`ConfigurationError` when the cards' workload
+        exactness differs: the approximate fast path is statistically
+        equivalent but not bit-comparable to the exact reference, so a
+        fast card gating (or being gated by) an exact baseline is
+        always a configuration mistake, never a tolerable drift.
         """
+        _require_same_exactness(self, baseline)
         drifts: list[str] = []
         mine, theirs = self.to_dict(), baseline.to_dict()
         for key in sorted(set(theirs) | set(mine)):
@@ -247,9 +260,10 @@ class RunScorecard:
 
     def summary(self) -> str:
         """One-screen text rendering (the CLI's default output)."""
+        exactness = "" if self.exact else ", APPROXIMATE fast workload path"
         lines = [
             f"scorecard {self.name} (seed {self.seed}, "
-            f"{self.duration_seconds}s simulated)",
+            f"{self.duration_seconds}s simulated{exactness})",
             f"  cost            ${self.total_cost:.4f}  "
             + " ".join(f"{k}=${v:.4f}" for k, v in sorted(self.cost_by_layer.items())),
         ]
@@ -293,6 +307,17 @@ class RunScorecard:
         return "\n".join(lines)
 
 
+def _require_same_exactness(mine, baseline) -> None:
+    """Refuse to compare cards from different workload paths."""
+    if bool(mine.exact) != bool(baseline.exact):
+        raise ConfigurationError(
+            f"cannot compare scorecard {mine.name!r} (exact={mine.exact}) "
+            f"against baseline {baseline.name!r} (exact={baseline.exact}): "
+            "the approximate fast path is not bit-comparable to the exact "
+            "reference — regenerate the baseline on the same workload path"
+        )
+
+
 def _close(expected, actual, rel_tol: float) -> bool:
     if isinstance(expected, float) or isinstance(actual, float):
         if expected is None or actual is None:
@@ -321,6 +346,8 @@ class FleetScorecard:
     denials: dict[str, dict[str, int]] = field(default_factory=dict)
     coordinator_passes: int = 0
     cap_retargets: int = 0
+    #: Whether the fleet ran on the bit-exact workload path.
+    exact: bool = True
     #: Wall-clock — informational, excluded from the gate.
     wall_seconds: float = 0.0
 
@@ -340,6 +367,7 @@ class FleetScorecard:
             denials=result.denials_by_flow(),
             coordinator_passes=len(coordinator.records) if coordinator else 0,
             cap_retargets=coordinator.retargets if coordinator else 0,
+            exact=bool(getattr(result, "exact", True)),
             wall_seconds=round(float(result.wall_seconds), 4),
         )
 
@@ -359,6 +387,7 @@ class FleetScorecard:
             },
             "coordinator_passes": self.coordinator_passes,
             "cap_retargets": self.cap_retargets,
+            "exact": self.exact,
             "flows": {
                 flow_id: card.to_dict() for flow_id, card in sorted(self.flows.items())
             },
@@ -385,6 +414,7 @@ class FleetScorecard:
             },
             coordinator_passes=int(data.get("coordinator_passes", 0)),
             cap_retargets=int(data.get("cap_retargets", 0)),
+            exact=bool(data.get("exact", True)),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
         )
 
@@ -401,8 +431,10 @@ class FleetScorecard:
 
         Fleet-level fields first, then each flow's card through the
         single-run comparison with the flow id prefixed. A flow present
-        on only one side is drift, not silence.
+        on only one side is drift, not silence. Mixed exact/approximate
+        comparisons raise, as for :meth:`RunScorecard.compare`.
         """
+        _require_same_exactness(self, baseline)
         drifts: list[str] = []
         for key in ("duration_seconds", "total_cost", "coordinator_passes", "cap_retargets"):
             want, got = getattr(baseline, key), getattr(self, key)
@@ -433,9 +465,10 @@ class FleetScorecard:
     def summary(self) -> str:
         """One-screen text rendering (the CLI's default output)."""
         denied = sum(sum(counts.values()) for counts in self.denials.values())
+        exactness = "" if self.exact else ", APPROXIMATE fast workload path"
         lines = [
             f"fleet scorecard {self.name} (seed {self.seed}, "
-            f"{len(self.flows)} flows, {self.duration_seconds}s simulated)",
+            f"{len(self.flows)} flows, {self.duration_seconds}s simulated{exactness})",
             f"  total cost      ${self.total_cost:.4f}",
             f"  region          denials={denied} "
             f"coordinator_passes={self.coordinator_passes} "

@@ -63,6 +63,7 @@ def _managed_run(
     style: str,
     reference: float,
     recorder: FlightRecorder | None = None,
+    exact: bool = True,
 ):
     workload = SinusoidalRate(
         mean=1500.0, amplitude=1200.0, period=duration, phase=-duration // 4
@@ -74,18 +75,30 @@ def _managed_run(
         .storage(write_units=300)
         .workload(workload)
         .control_all(style=style, reference=reference, period=60)
+        .exact(exact)
     )
     if recorder is not None:
         builder.observe(recorder=recorder)
     return builder.build().run(duration)
 
 
+def _fast_banner(exact: bool) -> None:
+    """The one-line marker every --fast run prints before its output."""
+    if not exact:
+        print(
+            "workload path: APPROXIMATE (--fast / exact=False) — "
+            "statistically equivalent, not bit-comparable to exact runs"
+        )
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     if args.trace:
         _ensure_writable(args.trace)
     recorder = FlightRecorder() if args.trace else None
+    _fast_banner(not args.fast)
     result = _managed_run(
-        args.duration, args.seed, args.style, args.reference, recorder=recorder
+        args.duration, args.seed, args.style, args.reference,
+        recorder=recorder, exact=not args.fast,
     )
     print(result.dashboard())
     print()
@@ -200,7 +213,9 @@ def cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
-def _shootout_style(style: str, duration: int, seed: int, reference: float) -> list[float | None]:
+def _shootout_style(
+    style: str, duration: int, seed: int, reference: float, exact: bool = True
+) -> list[float | None]:
     """One controller style's shootout row (module-level: sweep workers pickle it)."""
     crowd_at = duration // 4
     workload = ConstantRate(700.0) + FlashCrowdRate(
@@ -213,6 +228,7 @@ def _shootout_style(style: str, duration: int, seed: int, reference: float) -> l
         .storage(write_units=200)
         .workload(workload)
         .control_all(style=style, reference=reference, period=60)
+        .exact(exact)
         .build()
     )
     result = manager.run(duration)
@@ -227,6 +243,7 @@ def _shootout_style(style: str, duration: int, seed: int, reference: float) -> l
 
 def cmd_shootout(args: argparse.Namespace) -> int:
     columns = ["violations_%", "settle_s", "cost_$"]
+    _fast_banner(not args.fast)
     report = ComparisonReport(
         "controller comparison under a flash crowd", columns
     )
@@ -236,7 +253,8 @@ def cmd_shootout(args: argparse.Namespace) -> int:
             name=style,
             fn=_shootout_style,
             kwargs=dict(
-                style=style, duration=args.duration, seed=args.seed, reference=args.reference
+                style=style, duration=args.duration, seed=args.seed,
+                reference=args.reference, exact=not args.fast,
             ),
         )
         for style in styles
@@ -330,7 +348,12 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.cloud.region import RegionLimits
     from repro.cloud.storm import StormConfig
     from repro.core.config import LayerControlConfig, default_adaptive_controller
-    from repro.core.fleet import FleetFlowSpec, RegionFleetManager
+    from repro.core.fleet import (
+        FleetFlowSpec,
+        FleetScenarioSpec,
+        RegionFleetManager,
+        sweep_fleet_scenarios,
+    )
 
     def controls():
         return {
@@ -362,11 +385,36 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         contention_threshold=0.7,
         contention_slope=0.3,
     )
+    _fast_banner(not args.fast)
+    if args.sweep > 1:
+        # Process-parallel policy sweep: the same region squeeze as
+        # independent scenario cases (name-derived seeds), fanned over
+        # the runner's pinned-context pool.
+        spec_cases = [
+            FleetScenarioSpec(
+                name=f"fleet-case{i}",
+                flows=tuple(flows),
+                limits=limits,
+                duration=args.duration,
+                coordinate_period=(
+                    None if args.no_coordinator else args.coordinate_period
+                ),
+                exact=not args.fast,
+            )
+            for i in range(args.sweep)
+        ]
+        cards = sweep_fleet_scenarios(spec_cases, base_seed=args.seed, jobs=args.jobs)
+        for card in cards.values():
+            print(card.summary())
+            print()
+        print(f"{len(cards)} fleet cases swept with jobs={args.jobs}")
+        return 0
     fleet = RegionFleetManager(
         flows,
         limits=limits,
         seed=args.seed,
         coordinate_period=None if args.no_coordinator else args.coordinate_period,
+        exact=not args.fast,
     )
     result = fleet.run(args.duration)
     print(result.summary())
@@ -466,6 +514,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--style", choices=sorted(CONTROLLER_FACTORIES), default="adaptive")
     demo.add_argument("--reference", type=float, default=60.0,
                       help="desired utilisation (the wizard's reference value)")
+    demo.add_argument("--fast", action="store_true",
+                      help="approximate (exact=False) workload path: statistically "
+                           "equivalent, several times faster, not bit-comparable")
     demo.add_argument("--trace", default=None, metavar="PATH",
                       help="record a flight-recorder trace and write it as JSONL")
     demo.set_defaults(func=cmd_demo)
@@ -514,6 +565,8 @@ def build_parser() -> argparse.ArgumentParser:
     shootout.add_argument("--duration", type=int, default=2 * 3600)
     shootout.add_argument("--seed", type=int, default=5)
     shootout.add_argument("--reference", type=float, default=60.0)
+    shootout.add_argument("--fast", action="store_true",
+                          help="approximate (exact=False) workload path")
     shootout.add_argument("--jobs", type=int, default=1,
                           help="worker processes for the style sweep "
                                "(results are identical to a serial run)")
@@ -550,6 +603,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="account-wide DynamoDB write-unit limit")
     fleet.add_argument("--coordinate-period", type=int, default=300,
                        help="seconds between coordinator arbitration passes")
+    fleet.add_argument("--fast", action="store_true",
+                       help="approximate (exact=False) workload path for every flow")
+    fleet.add_argument("--sweep", type=int, default=1, metavar="N",
+                       help="run the fleet as N independent scenario cases "
+                            "(name-derived seeds) instead of one run")
+    fleet.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --sweep (byte-identical to jobs=1)")
     fleet.add_argument("--no-coordinator", action="store_true",
                        help="disable arbitration; region admission alone "
                             "polices the limits")

@@ -69,6 +69,7 @@ class FlowBuilder:
         self._chaos = None
         self._invariants = True
         self._telemetry = True
+        self._exact = True
 
     # ------------------------------------------------------------------
     # Layers (the drag-and-drop step)
@@ -232,6 +233,21 @@ class FlowBuilder:
         self._span_execution = enabled
         return self
 
+    def exact(self, enabled: bool = True) -> "FlowBuilder":
+        """Choose the workload path: bit-exact reference (default) or
+        the block-vectorized approximate fast path.
+
+        ``exact(False)`` swaps in the fast click-stream generator:
+        statistically identical arrivals, payload bytes and distinct
+        pages, drawn in numpy blocks instead of per-tick — several times
+        faster, but *not* bit-comparable to exact runs. The flag is
+        carried through the run result and scorecards, and mixed
+        exact/fast scorecard comparisons raise. See the approximation
+        contract in DESIGN.md.
+        """
+        self._exact = enabled
+        return self
+
     def observe(
         self, profile: bool = False, recorder: FlightRecorder | None = None
     ) -> "FlowBuilder":
@@ -311,4 +327,5 @@ class FlowBuilder:
             chaos=self._chaos,
             invariants=self._invariants,
             telemetry=self._telemetry,
+            exact=self._exact,
         )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Sequence
 
 from repro.analysis.runner import derive_scenario_seed
 from repro.chaos.injector import ChaosInjector
@@ -249,6 +250,8 @@ class FleetRunResult:
     region: RegionContext
     coordinator: FleetCoordinator | None
     wall_seconds: float = 0.0
+    #: Whether every flow ran on the bit-exact workload path.
+    exact: bool = True
 
     @property
     def total_cost(self) -> float:
@@ -313,6 +316,7 @@ class RegionFleetManager:
         price_book: PriceBook | None = None,
         telemetry: bool = True,
         invariants: bool = True,
+        exact: bool = True,
     ) -> None:
         if not flows:
             raise ConfigurationError("a region fleet needs at least one flow")
@@ -333,12 +337,23 @@ class RegionFleetManager:
                         "build one per flow"
                     )
         self.seed = seed
+        #: Workload-path exactness, applied to every flow uniformly (a
+        #: fleet mixing exact and fast flows would produce a result
+        #: that is neither comparable to exact baselines nor honestly
+        #: flagged as approximate).
+        self.exact = bool(exact)
         self.region = RegionContext(limits=limits)
         self.engine = SimulationEngine(
             clock=SimClock(tick_seconds=tick_seconds), span_execution=span_execution
         )
         self.managers: dict[str, FlowElasticityManager] = {}
         for spec in flows:
+            if "exact" in spec.manager_kwargs:
+                raise ConfigurationError(
+                    f"flow {spec.name!r} sets exact= in manager_kwargs; "
+                    "workload exactness is a fleet-level choice — pass "
+                    "exact= to RegionFleetManager instead"
+                )
             # Name-derived seeds: adding/removing/reordering flows never
             # reshuffles the randomness of the others (the same contract
             # the scenario runner gives sweeps).
@@ -367,6 +382,7 @@ class RegionFleetManager:
                 region=self.region,
                 flow_id=spec.name,
                 coordinated=coordinate_period is not None,
+                exact=self.exact,
                 **spec.manager_kwargs,
             )
         # Group components by phase (pipelines, auditors, injectors) so
@@ -424,4 +440,96 @@ class RegionFleetManager:
             region=self.region,
             coordinator=self.coordinator,
             wall_seconds=wall_seconds,
+            exact=self.exact,
         )
+
+
+# ----------------------------------------------------------------------
+# Process-parallel fleet sweeps
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetScenarioSpec:
+    """One picklable fleet-sweep case: a whole region fleet run.
+
+    Everything :func:`run_fleet_scenario` needs to build and run a
+    :class:`RegionFleetManager` and score it. The spec must stay
+    picklable (its flows, chaos schedules and controllers are), because
+    :func:`sweep_fleet_scenarios` ships specs to worker processes.
+    """
+
+    name: str
+    flows: tuple[FleetFlowSpec, ...]
+    limits: RegionLimits | None = None
+    duration: int = 7200
+    tick_seconds: int = 1
+    snapshot_period: int = 60
+    span_execution: bool = True
+    coordinate_period: int | None = 300
+    pressure_gain: float = 2.0
+    exact: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("fleet scenario name must be non-empty")
+        if self.duration <= 0:
+            raise ConfigurationError("fleet scenario duration must be positive")
+        # Tuples keep the frozen spec hashable-by-structure and stop
+        # callers mutating a shared flow list between sweep cases.
+        object.__setattr__(self, "flows", tuple(self.flows))
+
+
+def run_fleet_scenario(spec: FleetScenarioSpec, seed: int):
+    """Run one fleet scenario; return its pickle-stable scorecard.
+
+    Module-level on purpose: sweep workers pickle this function by
+    reference. The spec is deep-copied before the fleet is built, so
+    in-process (``jobs=1``) execution gets the same fresh controller
+    and chaos state a worker gets from pickling — without the copy, a
+    serial sweep would mutate the caller's controllers and diverge
+    from the parallel run on the second use of a spec.
+    """
+    from copy import deepcopy
+
+    from repro.analysis.scorecard import FleetScorecard
+
+    spec = deepcopy(spec)
+    fleet = RegionFleetManager(
+        list(spec.flows),
+        limits=spec.limits,
+        seed=seed,
+        tick_seconds=spec.tick_seconds,
+        snapshot_period=spec.snapshot_period,
+        span_execution=spec.span_execution,
+        coordinate_period=spec.coordinate_period,
+        pressure_gain=spec.pressure_gain,
+        exact=spec.exact,
+    )
+    result = fleet.run(spec.duration)
+    return FleetScorecard.from_fleet_result(spec.name, result, seed=seed)
+
+
+def sweep_fleet_scenarios(
+    specs: "Sequence[FleetScenarioSpec]", base_seed: int = 0, jobs: int = 1
+):
+    """Run many fleet scenarios, optionally across worker processes.
+
+    The process-parallel counterpart of :meth:`RegionFleetManager.run`
+    for policy sweeps: each scenario is a whole fleet run with a seed
+    derived from ``base_seed`` and the scenario *name* (the scenario
+    runner's contract), fanned over the runner's pinned-context pool.
+    Returns ``{name: FleetScorecard}`` in submission order; any
+    ``jobs`` value yields byte-identical scorecards.
+    """
+    from repro.analysis.runner import Scenario, run_scenarios_dict
+
+    scenarios = [
+        Scenario(
+            name=spec.name,
+            fn=run_fleet_scenario,
+            kwargs=dict(spec=spec, seed=derive_scenario_seed(base_seed, spec.name)),
+        )
+        for spec in specs
+    ]
+    return run_scenarios_dict(scenarios, jobs=jobs)

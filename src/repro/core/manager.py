@@ -46,7 +46,11 @@ from repro.observability.telemetry import Telemetry
 from repro.simulation.clock import SimClock
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import derive_rng
-from repro.workload.clickstream import ClickStreamConfig, ClickStreamGenerator
+from repro.workload.clickstream import (
+    ClickStreamConfig,
+    ClickStreamGenerator,
+    FastClickStreamGenerator,
+)
 from repro.workload.generators import RateGrid, RatePattern
 from repro.workload.traces import Trace
 
@@ -593,6 +597,10 @@ class FlowRunResult:
     telemetry: Telemetry | None = None
     #: Wall-clock seconds the engine run took (real time, not simulated).
     wall_seconds: float = 0.0
+    #: Whether the run used the bit-exact workload path. ``False`` marks
+    #: the block-vectorized approximate (fast) path — statistically
+    #: equivalent, never bit-comparable to exact runs.
+    exact: bool = True
 
     # ------------------------------------------------------------------
     # Traces
@@ -682,6 +690,7 @@ class FlowElasticityManager:
         region=None,
         flow_id: str | None = None,
         coordinated: bool = False,
+        exact: bool = True,
     ) -> None:
         self.flow = flow or clickstream_flow_spec()
         #: Identifies this flow inside a multi-flow region run; None for
@@ -730,7 +739,15 @@ class FlowElasticityManager:
             read_units=self.capacities.read_units,
             config=dynamodb,
         )
-        self.generator = ClickStreamGenerator(
+        #: Workload-path exactness. ``exact=True`` (the default) is the
+        #: bit-exact reference; ``exact=False`` swaps in the
+        #: block-vectorized approximate generator (see the approximation
+        #: contract in DESIGN.md). The flag rides through the run result
+        #: and scorecards so approximate numbers can never masquerade as
+        #: exact ones.
+        self.exact = bool(exact)
+        generator_cls = ClickStreamGenerator if self.exact else FastClickStreamGenerator
+        self.generator = generator_cls(
             workload, rng=derive_rng(seed, "clickstream"), config=clickstream
         )
         self.cluster = SimStormCluster(
@@ -1073,4 +1090,5 @@ class FlowElasticityManager:
             ),
             telemetry=self.telemetry,
             wall_seconds=wall_seconds,
+            exact=self.exact,
         )

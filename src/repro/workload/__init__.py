@@ -6,7 +6,12 @@ click-stream source whose arrival rate is shaped by composable rate
 patterns (diurnal cycles, bursts, flash crowds, steps, replays).
 """
 
-from repro.workload.clickstream import ClickBatch, ClickStreamConfig, ClickStreamGenerator
+from repro.workload.clickstream import (
+    ClickBatch,
+    ClickStreamConfig,
+    ClickStreamGenerator,
+    FastClickStreamGenerator,
+)
 from repro.workload.generators import (
     BurstyRate,
     CompositeRate,
@@ -39,6 +44,7 @@ __all__ = [
     "ReplayRate",
     "RateGrid",
     "ClickStreamGenerator",
+    "FastClickStreamGenerator",
     "ClickStreamConfig",
     "ClickBatch",
     "Trace",

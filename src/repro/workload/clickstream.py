@@ -18,10 +18,21 @@ only logarithmically with volume under Zipf, storage-layer writes stay
 nearly flat while click volume swings — reproducing the paper's
 observation (Sec. 3.1) that Kinesis write volume and DynamoDB write
 capacity were *uncorrelated* for the click-stream flow.
+
+Two implementations share this module:
+
+* :class:`ClickStreamGenerator` — the bit-exact reference. Draws
+  interleave per tick on one RNG stream; every batched execution path
+  (span mode, the metric pipeline) is bit-identical to it.
+* :class:`FastClickStreamGenerator` — the opt-in ``exact=False`` path.
+  Statistically identical, block-vectorized, roughly an order of
+  magnitude cheaper per tick. See its docstring for the approximation
+  contract.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -75,6 +86,15 @@ class ClickStreamConfig:
 class ClickStreamGenerator:
     """Seeded click-event source driven by a rate pattern."""
 
+    #: Whether this source is the bit-exact reference. The fast
+    #: subclass flips it; managers and scorecards surface the flag so
+    #: approximate runs can never masquerade as exact ones.
+    exact = True
+
+    #: Batches above this size summarise the per-record size draws by
+    #: their expectation, keeping the per-tick cost constant.
+    LARGE_BATCH = 10_000
+
     def __init__(
         self,
         pattern: RatePattern,
@@ -88,6 +108,11 @@ class ClickStreamGenerator:
         ranks = np.arange(1, self.config.catalog_pages + 1, dtype=float)
         weights = ranks ** -self.config.zipf_exponent
         self._page_probs = weights / weights.sum()
+        # Log-normal location parameter for the configured mean size.
+        sigma = self.config.record_bytes_sigma
+        self._payload_mu = float(
+            np.log(self.config.mean_record_bytes) - 0.5 * sigma * sigma
+        )
         self._total_records = 0
         self._total_bytes = 0
         self._grid: RateGrid | None = None
@@ -109,7 +134,7 @@ class ClickStreamGenerator:
         if grid is None or grid.step != clock.tick_seconds:
             grid = self._grid = RateGrid(self.pattern, clock.tick_seconds)
         expected = grid.rate_at(clock.now) * clock.tick_seconds
-        records = int(self._rng.poisson(expected)) if expected > 0 else 0
+        records = self._poisson_count(expected)
         if records == 0:
             return ClickBatch(0, 0, 0)
         payload = self._sample_payload(records)
@@ -127,8 +152,8 @@ class ClickStreamGenerator:
         The click stream's RNG draws interleave *within* each tick
         (arrival Poisson, then per-record size log-normals, then the
         distinct-page Poisson, all on one stream), so the draws stay a
-        per-tick loop — what the span path saves is the per-tick method
-        dispatch, config lookups and ``ClickBatch`` allocation. Returns
+        per-tick loop — what the span path saves is the per-tick grid
+        refill, config lookups and ``ClickBatch`` allocation. Returns
         the ``(records, payload_bytes, distinct_keys)`` columns,
         bit-identical to ``count`` :meth:`generate` calls.
         """
@@ -136,35 +161,22 @@ class ClickStreamGenerator:
         if grid is None or grid.step != tick_seconds:
             grid = self._grid = RateGrid(self.pattern, tick_seconds)
         rates = grid.rates_span(start, count)
-        poisson = self._rng.poisson
-        lognormal = self._rng.lognormal
-        sigma = self.config.record_bytes_sigma
-        mean = self.config.mean_record_bytes
-        mu = np.log(mean) - 0.5 * sigma * sigma
-        catalog_pages = self.config.catalog_pages
-        expected_distinct = self.expected_distinct
-        distinct_cache = self._distinct_cache
+        poisson_count = self._poisson_count
+        sample_payload = self._sample_payload
+        distinct_pages = self._expected_distinct_pages
         records_col: list[int] = []
         payload_col: list[int] = []
         distinct_col: list[int] = []
         span_records = 0
         span_bytes = 0
         for rate in rates:
-            expected = rate * tick_seconds
-            records = int(poisson(expected)) if expected > 0 else 0
+            records = poisson_count(rate * tick_seconds)
             if records == 0:
                 payload = 0
                 distinct = 0
             else:
-                if sigma == 0.0 or records > 10000:
-                    payload = int(records * mean)
-                else:
-                    payload = int(lognormal(mu, sigma, size=records).sum())
-                expected_pages = distinct_cache.get(records)
-                if expected_pages is None:
-                    expected_pages = expected_distinct(records)
-                jittered = poisson(expected_pages) if expected_pages > 0 else 0
-                distinct = int(min(catalog_pages, jittered))
+                payload = sample_payload(records)
+                distinct = distinct_pages(records)
                 span_records += records
                 span_bytes += payload
             records_col.append(records)
@@ -174,6 +186,17 @@ class ClickStreamGenerator:
         self._total_bytes += span_bytes
         return records_col, payload_col, distinct_col
 
+    def _poisson_count(self, expected: float) -> int:
+        """One guarded Poisson draw.
+
+        Every count in the generator — tick arrivals and distinct-page
+        jitter alike — goes through this single seam: the ``expected >
+        0`` guard keeps zero- and negative-rate ticks off the RNG
+        stream, and :class:`FastClickStreamGenerator` replaces the
+        whole per-draw scheme around it with aligned block draws.
+        """
+        return int(self._rng.poisson(expected)) if expected > 0 else 0
+
     def _sample_payload(self, records: int) -> int:
         """Total bytes for ``records`` events, log-normal per-record sizes.
 
@@ -181,11 +204,9 @@ class ClickStreamGenerator:
         expectation to keep the per-tick cost constant.
         """
         sigma = self.config.record_bytes_sigma
-        mean = self.config.mean_record_bytes
-        if sigma == 0.0 or records > 10000:
-            return int(records * mean)
-        mu = np.log(mean) - 0.5 * sigma * sigma
-        sizes = self._rng.lognormal(mu, sigma, size=records)
+        if sigma == 0.0 or records > self.LARGE_BATCH:
+            return int(records * self.config.mean_record_bytes)
+        sizes = self._rng.lognormal(self._payload_mu, sigma, size=records)
         return int(sizes.sum())
 
     def expected_distinct(self, records: int) -> float:
@@ -211,8 +232,7 @@ class ClickStreamGenerator:
 
     def _expected_distinct_pages(self, records: int) -> int:
         """Per-tick distinct page count with Poisson jitter."""
-        expected = self.expected_distinct(records)
-        jittered = self._rng.poisson(expected) if expected > 0 else 0
+        jittered = self._poisson_count(self.expected_distinct(records))
         return int(min(self.config.catalog_pages, jittered))
 
     @property
@@ -223,3 +243,233 @@ class ClickStreamGenerator:
     @property
     def total_bytes(self) -> int:
         return self._total_bytes
+
+
+class FastClickStreamGenerator(ClickStreamGenerator):
+    """Block-vectorized approximate click source — the ``exact=False`` path.
+
+    Draws the same three quantities as the reference, but in
+    :data:`BLOCK`-sized numpy batches instead of per-tick interleaved
+    scalar draws:
+
+    * **arrivals** — one vectorized ``poisson(rate * dt)`` over the
+      whole block;
+    * **payload bytes** — the log-normal-sum moment approximation: one
+      block of standard normals scaled to the exact sum moments. For
+      ``n`` records of per-record mean ``m`` and shape ``sigma``, the
+      sum has mean ``n * m`` and standard deviation
+      ``m * sqrt(n * (e^{sigma^2} - 1))``; the normal approximation is
+      the CLT limit the exact path converges to. The reference path's
+      deterministic summaries are mirrored exactly (``sigma == 0`` and
+      ``records > LARGE_BATCH`` ticks get ``records * mean``);
+    * **distinct pages** — the occupancy expectation evaluated for all
+      of the block's unique record counts in one matrix operation
+      (sharing the memoization cache), then one block ``poisson``
+      jitter draw clipped to the catalogue size.
+
+    The approximation contract (see DESIGN.md):
+
+    * marginal distributions match the reference — validated by the
+      seeded moment/KS tests in ``tests/test_fast_workload.py``;
+    * determinism per seed is preserved: same seed, same pattern, same
+      tick length ⇒ same stream;
+    * draw blocks are aligned to the *absolute tick index*, never to
+      span boundaries, so fast span runs are bit-identical to fast
+      per-tick runs — the span-equivalence property the exact path has,
+      preserved within the fast path;
+    * what is given up is bit-equality with the exact path: the RNG
+      stream is consumed in a different order, so ``exact=False``
+      results must never be compared against exact ones (scorecard
+      comparisons enforce this by raising).
+
+    Simulated time must advance monotonically (it does, under the
+    engine): blocks behind the read cursor are evicted and cannot be
+    re-drawn.
+    """
+
+    exact = False
+
+    #: Draw-block length in ticks. Big enough to amortize the numpy
+    #: call overhead, small enough that short runs don't over-draw.
+    BLOCK = 1024
+
+    def __init__(
+        self,
+        pattern: RatePattern,
+        rng: np.random.Generator,
+        config: ClickStreamConfig | None = None,
+    ) -> None:
+        super().__init__(pattern, rng, config=config)
+        # Per-record size sd factor: sd(sum of n) = mean * sqrt(n) * _payload_sd1.
+        sigma = self.config.record_bytes_sigma
+        self._payload_sd1 = float(
+            self.config.mean_record_bytes * math.sqrt(math.expm1(sigma * sigma))
+        )
+        # log(1 - p_k) per page: occupancy survival factors become one
+        # exp() instead of the reference's np.power — cheaper, and both
+        # the scalar and block fills below use it so the shared
+        # memoization cache stays bit-consistent within a fast run no
+        # matter which fill path reaches a count first.
+        self._log_survival = np.log1p(-self._page_probs)
+        self._blocks: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._blocks_drawn = 0
+        self._block_step: int | None = None
+
+    def generate(self, clock: SimClock) -> ClickBatch:
+        index = self._tick_index(clock.now, clock.tick_seconds)
+        block, offset = divmod(index, self.BLOCK)
+        records_col, payload_col, distinct_col = self._block(
+            block, block, clock.tick_seconds
+        )
+        records = int(records_col[offset])
+        payload = int(payload_col[offset])
+        distinct = int(distinct_col[offset])
+        self._total_records += records
+        self._total_bytes += payload
+        return ClickBatch(records=records, payload_bytes=payload, distinct_keys=distinct)
+
+    def generate_span(
+        self, start: int, count: int, tick_seconds: int
+    ) -> tuple[list[int], list[int], list[int]]:
+        if count <= 0:
+            return [], [], []
+        first = self._tick_index(start, tick_seconds)
+        first_block, offset = divmod(first, self.BLOCK)
+        last_block = (first + count - 1) // self.BLOCK
+        columns = self._block(first_block, last_block, tick_seconds)
+        if first_block == last_block:
+            sliced = tuple(col[offset : offset + count] for col in columns)
+        else:
+            tails = [
+                self._blocks[b] for b in range(first_block + 1, last_block + 1)
+            ]
+            sliced = tuple(
+                np.concatenate([col, *(t[i] for t in tails)])[offset : offset + count]
+                for i, col in enumerate(columns)
+            )
+        records_col, payload_col, distinct_col = sliced
+        self._total_records += int(records_col.sum())
+        self._total_bytes += int(payload_col.sum())
+        return records_col.tolist(), payload_col.tolist(), distinct_col.tolist()
+
+    def _tick_index(self, now: int, tick_seconds: int) -> int:
+        """Absolute 0-based tick index for the tick ending at ``now``.
+
+        The engine advances the clock before generating, so the first
+        tick of a run ends at ``t = tick_seconds`` — index 0. Block
+        alignment on this index is what makes fast span and fast
+        per-tick runs consume identical draw streams.
+        """
+        index = now // tick_seconds - 1
+        if index < 0:
+            raise ConfigurationError(
+                "fast click-stream ticks start at t = tick_seconds"
+            )
+        return index
+
+    def _block(
+        self, first: int, last: int, step: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Ensure blocks ``first..last`` are drawn; return block ``first``.
+
+        Blocks are always drawn in index order — that *is* the fast
+        path's RNG stream — and blocks behind ``first`` are evicted
+        (time is monotone under the engine).
+        """
+        if self._block_step is None:
+            self._block_step = int(step)
+            self._grid = RateGrid(self.pattern, step)
+        elif step != self._block_step:
+            raise ConfigurationError(
+                "fast click-stream generator cannot change tick length "
+                f"mid-stream ({self._block_step}s -> {step}s)"
+            )
+        blocks = self._blocks
+        if first < self._blocks_drawn and first not in blocks:
+            raise ConfigurationError(
+                "fast click-stream ticks must be requested in "
+                "non-decreasing time order"
+            )
+        while self._blocks_drawn <= last:
+            blocks[self._blocks_drawn] = self._draw_block(self._blocks_drawn)
+            self._blocks_drawn += 1
+        for stale in [b for b in blocks if b < first]:
+            del blocks[stale]
+        return blocks[first]
+
+    def _draw_block(self, index: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized draws for ticks ``index*BLOCK .. +BLOCK-1``."""
+        block = self.BLOCK
+        step = self._block_step
+        assert self._grid is not None and step is not None
+        first_time = (index * block + 1) * step
+        lam = self._grid.rates_array(first_time, block) * float(step)
+        # The scalar path's `expected > 0` guard, vectorized: negative
+        # pattern excursions draw a zero-rate Poisson instead of dying.
+        np.clip(lam, 0.0, None, out=lam)
+        records = self._rng.poisson(lam)
+        normals = self._rng.standard_normal(block)
+        mean = self.config.mean_record_bytes
+        sigma = self.config.record_bytes_sigma
+        if sigma == 0.0:
+            payload = records * mean
+        else:
+            approx = records * float(mean) + np.sqrt(records) * (
+                self._payload_sd1 * normals
+            )
+            payload = np.maximum(approx, 0.0).astype(np.int64)
+            large = records > self.LARGE_BATCH
+            if large.any():
+                # Mirror the reference path's deterministic summary for
+                # very large batches.
+                payload[large] = records[large] * mean
+        expected_pages = self._expected_distinct_block(records)
+        jitter = self._rng.poisson(expected_pages)
+        distinct = np.minimum(jitter, self.config.catalog_pages)
+        return records, payload, distinct
+
+    def expected_distinct(self, records: int) -> float:
+        """The occupancy expectation via ``exp(n * log(1 - p))``.
+
+        Same quantity as the reference's ``(1 - p) ** n`` form up to
+        floating-point association, evaluated the same way the block
+        fill evaluates it: the scalar path (the Storm cluster's
+        distinct estimator probes it at control boundaries) and
+        :meth:`_expected_distinct_block` may reach a given count in
+        either order depending on span scheduling, and the shared cache
+        must hold the same bits regardless — that is what keeps fast
+        span runs bit-identical to fast per-tick runs.
+        """
+        if records < 0:
+            raise ConfigurationError("records must be non-negative")
+        if records == 0:
+            return 0.0
+        cached = self._distinct_cache.get(records)
+        if cached is None:
+            cached = float(np.sum(1.0 - np.exp(records * self._log_survival)))
+            self._distinct_cache[records] = cached
+        return cached
+
+    def _expected_distinct_block(self, records: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`expected_distinct` over a block of counts.
+
+        All of the block's unique counts missing from the memoization
+        cache are filled from one broadcasted survival matrix; each
+        cache entry is reduced from its own contiguous row with the
+        exact expression the scalar path uses, so both fills produce
+        identical bits for identical counts.
+        """
+        cache = self._distinct_cache
+        missing = [
+            n
+            for n in map(int, np.unique(records))
+            if n > 0 and n not in cache
+        ]
+        if missing:
+            counts = np.asarray(missing, dtype=float)
+            survival = np.exp(counts[:, None] * self._log_survival[None, :])
+            for n, row in zip(missing, survival):
+                cache[n] = float(np.sum(1.0 - row))
+        return np.asarray(
+            [cache[n] if n > 0 else 0.0 for n in map(int, records)], dtype=float
+        )

@@ -393,10 +393,20 @@ class RateGrid:
         values regardless of how chunk refills would have fallen. The
         cached chunk is left untouched for interleaved ``rate_at`` use.
         """
+        return self.rates_array(start, count).tolist()
+
+    def rates_array(self, start: int, count: int) -> np.ndarray:
+        """:meth:`rates_span` as an ndarray, for vectorized consumers.
+
+        The fast (``exact=False``) workload path feeds these rates
+        straight into batched Poisson draws, so it wants the array
+        without the ``tolist()`` round-trip the per-tick span loop
+        prefers for scalar indexing.
+        """
         if count <= 0:
-            return []
+            return np.empty(0)
         step = self.step
-        return self.pattern.values(start, start + count * step, step).tolist()
+        return self.pattern.values(start, start + count * step, step)
 
 
 class ReplayRate(RatePattern):

@@ -1,0 +1,401 @@
+"""Tests for the approximate (``exact=False``) fast workload path.
+
+The approximation contract (DESIGN.md) in executable form:
+
+* **distributional equivalence** — at a fixed seed grid, the fast
+  generator's arrivals, payload bytes and distinct pages match the
+  exact generator's in mean, variance and two-sample KS distance;
+* **determinism per seed** — same seed, same pattern, same tick length
+  give the same fast stream;
+* **span/tick identity within the fast path** — block draws align to
+  the absolute tick index, so fast span runs are bit-identical to fast
+  per-tick runs (generator- and manager-level), however unevenly the
+  spans fall;
+* **exactness flagging end-to-end** — the flag rides from
+  ``FlowBuilder.exact()`` through results to scorecards, fast cards
+  refuse to compare against exact baselines, and fleet sweeps stay
+  byte-identical across jobs counts.
+"""
+
+import dataclasses
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import FleetScenarioSpec, FlowBuilder, LayerKind, sweep_fleet_scenarios
+from repro.analysis.scorecard import FleetScorecard, RunScorecard
+from repro.cloud.region import RegionLimits
+from repro.cloud.storm import StormConfig
+from repro.core.config import LayerControlConfig, default_adaptive_controller
+from repro.core.errors import ConfigurationError
+from repro.core.fleet import FleetFlowSpec, RegionFleetManager
+from repro.simulation import SimClock, derive_rng
+from repro.workload import (
+    ClickStreamConfig,
+    ClickStreamGenerator,
+    ConstantRate,
+    FastClickStreamGenerator,
+    SinusoidalRate,
+)
+
+#: The fixed seed grid every distributional test runs on (>= 3 seeds,
+#: per the acceptance criteria).
+SEEDS = (3, 17, 401)
+TICKS = 4000
+
+
+def span_columns(generator, ticks=TICKS):
+    """``(records, payload, distinct)`` as float arrays."""
+    columns = generator.generate_span(1, ticks, 1)
+    return [np.asarray(column, dtype=float) for column in columns]
+
+
+def tick_columns(generator, ticks):
+    clock = SimClock(tick_seconds=1)
+    columns = ([], [], [])
+    for _ in range(ticks):
+        clock.advance()
+        batch = generator.generate(clock)
+        columns[0].append(batch.records)
+        columns[1].append(batch.payload_bytes)
+        columns[2].append(batch.distinct_keys)
+    return columns
+
+
+def ks_statistic(a, b) -> float:
+    """Two-sample Kolmogorov-Smirnov distance."""
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / len(a)
+    cdf_b = np.searchsorted(b, grid, side="right") / len(b)
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+#: KS acceptance threshold at alpha ~= 0.001 for two samples of TICKS
+#: draws each. The seeds are fixed, so this never flakes — it documents
+#: how close the distributions are required to be.
+KS_THRESHOLD = 1.949 * math.sqrt(2.0 / TICKS)
+
+
+def generator_pair(seed, rate=1500.0, config=None, pattern=None):
+    pattern = pattern or ConstantRate(rate)
+    exact = ClickStreamGenerator(
+        pattern, rng=derive_rng(seed, "exact"), config=config
+    )
+    fast = FastClickStreamGenerator(
+        pattern, rng=derive_rng(seed, "fast"), config=config
+    )
+    return exact, fast
+
+
+class TestDistributionalEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_arrivals_match(self, seed):
+        exact, fast = generator_pair(seed)
+        e, f = span_columns(exact)[0], span_columns(fast)[0]
+        assert f.mean() == pytest.approx(e.mean(), rel=0.02)
+        # Poisson: variance tracks the mean on both paths.
+        assert f.var() / f.mean() == pytest.approx(1.0, abs=0.1)
+        assert e.var() / e.mean() == pytest.approx(1.0, abs=0.1)
+        assert ks_statistic(e, f) < KS_THRESHOLD
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_payload_bytes_match(self, seed):
+        exact, fast = generator_pair(seed)
+        e, f = span_columns(exact)[1], span_columns(fast)[1]
+        assert f.mean() == pytest.approx(e.mean(), rel=0.02)
+        assert f.std() == pytest.approx(e.std(), rel=0.05)
+        assert ks_statistic(e, f) < KS_THRESHOLD
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_distinct_pages_match(self, seed):
+        exact, fast = generator_pair(seed)
+        e, f = span_columns(exact)[2], span_columns(fast)[2]
+        assert f.mean() == pytest.approx(e.mean(), rel=0.02)
+        assert f.std() == pytest.approx(e.std(), rel=0.08)
+        assert ks_statistic(e, f) < KS_THRESHOLD
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_low_rate_payload_moments(self, seed):
+        """At low arrival rates the lognormal-sum CLT is weakest, so the
+        fast path is held to moment tolerances there (KS would compare
+        a mildly skewed sum against its normal approximation)."""
+        exact, fast = generator_pair(seed, rate=8.0)
+        e, f = span_columns(exact)[1], span_columns(fast)[1]
+        assert f.mean() == pytest.approx(e.mean(), rel=0.05)
+        assert f.std() == pytest.approx(e.std(), rel=0.15)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_varying_rate_totals_match(self, seed):
+        pattern = SinusoidalRate(mean=1200.0, amplitude=900.0, period=TICKS)
+        exact, fast = generator_pair(seed, pattern=pattern)
+        e = span_columns(exact)
+        f = span_columns(fast)
+        for e_col, f_col in zip(e, f):
+            assert f_col.sum() == pytest.approx(e_col.sum(), rel=0.02)
+        assert fast.total_records == pytest.approx(exact.total_records, rel=0.02)
+        assert fast.total_bytes == pytest.approx(exact.total_bytes, rel=0.02)
+
+    def test_sigma_zero_payload_is_deterministic(self):
+        config = ClickStreamConfig(record_bytes_sigma=0.0, mean_record_bytes=200)
+        _exact, fast = generator_pair(11, config=config)
+        records, payload, _distinct = span_columns(fast)
+        assert np.array_equal(payload, records * 200)
+
+    def test_large_batch_summary_mirrors_reference(self):
+        """Ticks above LARGE_BATCH records get the reference path's
+        deterministic ``records * mean`` summary, not a normal draw."""
+        _exact, fast = generator_pair(5, rate=float(2 * FastClickStreamGenerator.LARGE_BATCH))
+        records, payload, _distinct = span_columns(fast, ticks=64)
+        assert (records > FastClickStreamGenerator.LARGE_BATCH).all()
+        assert np.array_equal(payload, records * 350)
+
+
+class TestFastDeterminism:
+    def test_same_seed_same_stream(self):
+        a = span_columns(generator_pair(9)[1])
+        b = span_columns(generator_pair(9)[1])
+        for col_a, col_b in zip(a, b):
+            assert np.array_equal(col_a, col_b)
+
+    def test_span_and_tick_bit_identical(self):
+        _, by_span = generator_pair(9)
+        _, by_tick = generator_pair(9)
+        ticks = 3000  # crosses a block boundary
+        spanned = by_span.generate_span(1, ticks, 1)
+        ticked = tick_columns(by_tick, ticks)
+        assert spanned == tuple(ticked)
+        assert by_span.total_records == by_tick.total_records
+        assert by_span.total_bytes == by_tick.total_bytes
+
+    def test_uneven_span_boundaries_identical(self):
+        """Block draws align to the absolute tick index, so how the
+        engine happens to slice spans cannot change the stream."""
+        _, reference = generator_pair(9)
+        _, uneven = generator_pair(9)
+        whole = reference.generate_span(1, 3000, 1)
+        pieces = ([], [], [])
+        start = 1
+        for count in (7, 1000, 13, 1024, 956):
+            part = uneven.generate_span(start, count, 1)
+            for column, piece in zip(pieces, part):
+                column.extend(piece)
+            start += count
+        assert tuple(pieces) == whole
+
+    def test_time_must_be_monotonic(self):
+        block = FastClickStreamGenerator.BLOCK
+        _, fast = generator_pair(9)
+        fast.generate_span(1, block, 1)
+        # Advancing into the next block evicts the one behind it …
+        fast.generate_span(block + 1, block, 1)
+        # … so rewinding to evicted ticks is an error, not a re-draw.
+        with pytest.raises(ConfigurationError, match="non-decreasing"):
+            fast.generate_span(1, 8, 1)
+
+    def test_tick_length_cannot_change_mid_stream(self):
+        _, fast = generator_pair(9)
+        fast.generate_span(1, 8, 1)
+        with pytest.raises(ConfigurationError, match="tick length"):
+            fast.generate_span(60, 8, 60)
+
+    def test_exact_flags(self):
+        exact, fast = generator_pair(9)
+        assert exact.exact is True
+        assert fast.exact is False
+
+
+def _flow(duration, spans, exact, seed=7):
+    return (
+        FlowBuilder("fastflow", seed=seed)
+        .ingestion(shards=2)
+        .analytics(vms=2)
+        .storage(write_units=300)
+        .workload(SinusoidalRate(mean=1500.0, amplitude=900.0, period=duration))
+        .control_all(style="adaptive", reference=60.0, period=30)
+        .spans(spans)
+        .exact(exact)
+        .build()
+    )
+
+
+def _result_fingerprint(result):
+    lines = []
+    for kind in LayerKind:
+        for label, trace in (
+            ("util", result.utilization_trace(kind)),
+            ("cap", result.capacity_trace(kind, period=300)),
+            ("throttle", result.throttle_trace(kind)),
+        ):
+            lines.append(
+                f"{kind.name}.{label} {list(trace.times)!r} "
+                f"{[repr(v) for v in trace.values]!r}"
+            )
+    lines.append(f"cost={[(k, repr(v)) for k, v in sorted(result.cost_by_layer.items())]!r}")
+    lines.append(f"drops={result.dropped_records},{result.dropped_writes}")
+    return "\n".join(lines)
+
+
+class TestManagerFastPath:
+    def test_fast_span_equals_fast_per_tick_end_to_end(self):
+        duration = 1800
+        spanned = _flow(duration, spans=True, exact=False).run(duration)
+        ticked = _flow(duration, spans=False, exact=False).run(duration)
+        assert _result_fingerprint(spanned) == _result_fingerprint(ticked)
+
+    def test_result_carries_exactness(self):
+        assert _flow(120, spans=True, exact=False).run(120).exact is False
+        assert _flow(120, spans=True, exact=True).run(120).exact is True
+
+    def test_builder_defaults_to_exact(self):
+        manager = (
+            FlowBuilder("default", seed=1)
+            .workload(ConstantRate(100.0))
+            .build()
+        )
+        assert manager.exact is True
+        assert isinstance(manager.generator, ClickStreamGenerator)
+        assert not isinstance(manager.generator, FastClickStreamGenerator)
+
+    def test_fast_manager_uses_fast_generator(self):
+        manager = _flow(120, spans=True, exact=False)
+        assert isinstance(manager.generator, FastClickStreamGenerator)
+
+    def test_fast_run_is_deterministic(self):
+        duration = 900
+        a = _flow(duration, spans=True, exact=False).run(duration)
+        b = _flow(duration, spans=True, exact=False).run(duration)
+        assert _result_fingerprint(a) == _result_fingerprint(b)
+
+
+class TestExactnessGuardrails:
+    def _card(self, exact):
+        return RunScorecard(
+            name="guard", seed=1, duration_seconds=60, total_cost=1.0, exact=exact
+        )
+
+    def test_scorecard_carries_exactness(self):
+        result = _flow(120, spans=True, exact=False).run(120)
+        card = RunScorecard.from_result("fast", result)
+        assert card.exact is False
+        assert "APPROXIMATE" in card.summary()
+        assert RunScorecard.from_dict(card.to_dict()).exact is False
+
+    def test_mixed_exactness_comparison_raises(self):
+        fast, exact = self._card(False), self._card(True)
+        with pytest.raises(ConfigurationError, match="not bit-comparable"):
+            fast.compare(exact)
+        with pytest.raises(ConfigurationError, match="not bit-comparable"):
+            exact.compare(fast)
+
+    def test_same_exactness_comparison_allowed(self):
+        assert self._card(False).compare(self._card(False)) == []
+        assert self._card(True).compare(self._card(True)) == []
+
+    def test_fleet_mixed_exactness_comparison_raises(self):
+        fast = FleetScorecard(name="f", seed=1, duration_seconds=60, exact=False)
+        exact = FleetScorecard(name="f", seed=1, duration_seconds=60, exact=True)
+        with pytest.raises(ConfigurationError, match="not bit-comparable"):
+            fast.compare(exact)
+
+    def test_legacy_cards_default_to_exact(self):
+        card = self._card(True)
+        data = card.to_dict()
+        del data["exact"]
+        assert RunScorecard.from_dict(data).exact is True
+
+
+def _fleet_specs(n_flows=3, duration=1800):
+    return tuple(
+        FleetFlowSpec(
+            name=f"flow{i}",
+            workload=SinusoidalRate(
+                mean=1800.0 + 400.0 * i,
+                amplitude=1400.0,
+                period=duration,
+                phase=duration // 4,
+            ),
+            controls={
+                kind: LayerControlConfig(
+                    controller=default_adaptive_controller(kind), period=60
+                )
+                for kind in LayerKind
+            },
+            storm=StormConfig(records_per_vm_per_second=800),
+        )
+        for i in range(n_flows)
+    )
+
+
+def _fleet_limits():
+    return RegionLimits(
+        max_instances=10,
+        max_total_shards=12,
+        max_total_write_units=2400,
+        contention_threshold=0.7,
+        contention_slope=0.3,
+    )
+
+
+def _fast_fleet_cases(n_cases=2, duration=1800):
+    return [
+        FleetScenarioSpec(
+            name=f"fast-fleet{i}",
+            flows=_fleet_specs(duration=duration),
+            limits=_fleet_limits(),
+            duration=duration,
+            exact=False,
+        )
+        for i in range(n_cases)
+    ]
+
+
+class TestFleetFastPath:
+    def test_fleet_result_carries_exactness(self):
+        fleet = RegionFleetManager(
+            list(_fleet_specs(duration=900)),
+            limits=_fleet_limits(),
+            seed=7,
+            exact=False,
+        )
+        result = fleet.run(900)
+        assert result.exact is False
+        assert all(flow.exact is False for flow in result.flows.values())
+        card = FleetScorecard.from_fleet_result("fast-fleet", result, seed=7)
+        assert card.exact is False
+        assert all(flow_card.exact is False for flow_card in card.flows.values())
+        assert "APPROXIMATE" in card.summary()
+
+    def test_manager_kwargs_cannot_override_exactness(self):
+        spec = _fleet_specs(n_flows=1)[0]
+        spec = dataclasses.replace(spec, manager_kwargs={"exact": False})
+        with pytest.raises(ConfigurationError, match="fleet-level"):
+            RegionFleetManager([spec])
+
+    @staticmethod
+    def _strip_wall(card):
+        """Wall-clock fields are informational and vary run to run."""
+        return dataclasses.replace(
+            card,
+            wall_seconds=0.0,
+            flows={
+                name: dataclasses.replace(
+                    flow_card, wall_seconds=0.0, ticks_per_second=0.0
+                )
+                for name, flow_card in card.flows.items()
+            },
+        )
+
+    def test_fast_sweep_jobs2_pickle_identical_to_jobs1(self):
+        cases = _fast_fleet_cases()
+        serial = sweep_fleet_scenarios(cases, base_seed=11, jobs=1)
+        parallel = sweep_fleet_scenarios(_fast_fleet_cases(), base_seed=11, jobs=2)
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert pickle.dumps(self._strip_wall(serial[name])) == pickle.dumps(
+                self._strip_wall(parallel[name])
+            )
+            assert serial[name].exact is False

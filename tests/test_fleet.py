@@ -21,7 +21,9 @@ from repro.core.flow import LayerKind, clickstream_flow_spec
 from repro.core.fleet import (
     COORDINATED_LAYERS,
     FleetFlowSpec,
+    FleetScenarioSpec,
     RegionFleetManager,
+    sweep_fleet_scenarios,
 )
 from repro.optimization.fleet_shares import (
     FLEET_LAYER_ORDER,
@@ -253,6 +255,44 @@ class TestParallelFleetSweeps:
         parallel = run_scenarios(scenarios, jobs=2)
         for a, b in zip(serial, parallel, strict=True):
             assert pickle.dumps(a) == pickle.dumps(b)
+
+    def test_fleet_scenario_sweep_jobs4_byte_identical_to_serial(self):
+        """Regression for the pinned start method: a 3-flow fleet sweep
+        at jobs=4 is byte-identical to the serial sweep — each worker
+        gets a fresh interpreter (forkserver/spawn, never fork), so no
+        parent-process state can leak into the scenario results."""
+        import dataclasses
+
+        def cases():
+            return [
+                FleetScenarioSpec(
+                    name=f"fleet-case{i}",
+                    flows=_flow_specs(duration=1800),
+                    limits=_tight_limits(),
+                    duration=1800,
+                )
+                for i in range(4)
+            ]
+
+        def strip_wall(card):
+            return dataclasses.replace(
+                card,
+                wall_seconds=0.0,
+                flows={
+                    name: dataclasses.replace(
+                        flow, wall_seconds=0.0, ticks_per_second=0.0
+                    )
+                    for name, flow in card.flows.items()
+                },
+            )
+
+        serial = sweep_fleet_scenarios(cases(), base_seed=11, jobs=1)
+        parallel = sweep_fleet_scenarios(cases(), base_seed=11, jobs=4)
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert pickle.dumps(strip_wall(serial[name])) == pickle.dumps(
+                strip_wall(parallel[name])
+            )
 
 
 class TestFleetShareAnalyzer:

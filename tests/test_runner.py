@@ -138,3 +138,21 @@ class TestValidation:
             run_scenarios(scenarios, jobs=2)
         ran = sorted(p.name for p in tmp_path.iterdir())
         assert len(ran) <= 2, f"queued scenarios were not cancelled: {ran}"
+
+
+class TestStartMethodPin:
+    """The pool's start method is pinned, never inherited from the
+    platform default — ``fork`` would hand workers a copy of the
+    parent's mutable module state, which is exactly the kind of
+    accidental coupling the deterministic runner exists to prevent."""
+
+    def test_start_method_is_pinned_and_never_fork(self):
+        from repro.analysis.runner import START_METHOD
+
+        assert START_METHOD in ("forkserver", "spawn")
+        assert START_METHOD != "fork"
+
+    def test_pool_context_uses_pinned_method(self):
+        from repro.analysis.runner import START_METHOD, pool_context
+
+        assert pool_context().get_start_method() == START_METHOD
