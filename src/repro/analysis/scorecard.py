@@ -27,7 +27,9 @@ from repro.core.flow import LayerKind
 
 #: Fields whose values depend on the machine, not the simulation; they
 #: are reported for information but never gated on.
-WALL_CLOCK_FIELDS = frozenset({"wall_seconds", "ticks_per_second"})
+WALL_CLOCK_FIELDS = frozenset(
+    {"wall_seconds", "ticks_per_second", "flow_wall_seconds"}
+)
 
 
 def _unwrap(actuator):
@@ -350,6 +352,10 @@ class FleetScorecard:
     exact: bool = True
     #: Wall-clock — informational, excluded from the gate.
     wall_seconds: float = 0.0
+    #: Per-flow wall-clock attribution from the fleet executor's
+    #: profiler hook (empty when profiling was off) — informational,
+    #: excluded from the gate like every ``WALL_CLOCK_FIELDS`` entry.
+    flow_wall_seconds: dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_fleet_result(cls, name: str, result, *, seed: int = 0) -> "FleetScorecard":
@@ -369,6 +375,12 @@ class FleetScorecard:
             cap_retargets=coordinator.retargets if coordinator else 0,
             exact=bool(getattr(result, "exact", True)),
             wall_seconds=round(float(result.wall_seconds), 4),
+            flow_wall_seconds={
+                flow_id: round(float(seconds), 4)
+                for flow_id, seconds in sorted(
+                    getattr(result, "flow_wall_seconds", {}).items()
+                )
+            },
         )
 
     # ------------------------------------------------------------------
@@ -392,6 +404,7 @@ class FleetScorecard:
                 flow_id: card.to_dict() for flow_id, card in sorted(self.flows.items())
             },
             "wall_seconds": self.wall_seconds,
+            "flow_wall_seconds": dict(sorted(self.flow_wall_seconds.items())),
         }
 
     def to_json(self) -> str:
@@ -416,6 +429,10 @@ class FleetScorecard:
             cap_retargets=int(data.get("cap_retargets", 0)),
             exact=bool(data.get("exact", True)),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
+            flow_wall_seconds={
+                str(flow_id): float(seconds)
+                for flow_id, seconds in data.get("flow_wall_seconds", {}).items()
+            },
         )
 
     @classmethod
@@ -475,6 +492,11 @@ class FleetScorecard:
             f"cap_retargets={self.cap_retargets}",
         ]
         for flow_id, card in sorted(self.flows.items()):
+            wall = (
+                f" wall={self.flow_wall_seconds[flow_id]:.3f}s"
+                if flow_id in self.flow_wall_seconds
+                else ""
+            )
             lines.append(
                 f"  {flow_id}: ${card.total_cost:.4f} "
                 f"acted={sum(card.actuations.values())} "
@@ -482,6 +504,7 @@ class FleetScorecard:
                 f"retries={card.retry_attempts} "
                 f"breakers={card.breaker_openings} "
                 f"invariants={'ok' if card.invariants_ok else 'VIOLATED'}"
+                f"{wall}"
             )
         return "\n".join(lines)
 

@@ -400,6 +400,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                     None if args.no_coordinator else args.coordinate_period
                 ),
                 exact=not args.fast,
+                batch_execution=not args.no_batch,
             )
             for i in range(args.sweep)
         ]
@@ -415,6 +416,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         seed=args.seed,
         coordinate_period=None if args.no_coordinator else args.coordinate_period,
         exact=not args.fast,
+        batch_execution=not args.no_batch,
     )
     result = fleet.run(args.duration)
     print(result.summary())
@@ -610,6 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(name-derived seeds) instead of one run")
     fleet.add_argument("--jobs", type=int, default=1,
                        help="worker processes for --sweep (byte-identical to jobs=1)")
+    fleet.add_argument("--no-batch", action="store_true",
+                       help="disable the fleet-batched span executor and run "
+                            "the N flow pipelines sequentially (bit-identical "
+                            "per flow, slower; for perf A/B and debugging)")
     fleet.add_argument("--no-coordinator", action="store_true",
                        help="disable arbitration; region admission alone "
                             "polices the limits")

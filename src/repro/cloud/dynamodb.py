@@ -74,6 +74,7 @@ class SimDynamoDBTable:
         # Metric dimensions are immutable for the table's lifetime;
         # built once instead of per emit call.
         self._dims = {"TableName": name}
+        self._dims_key = (("TableName", name),)
         self.config = config or DynamoDBConfig()
         if not self.config.min_write_units <= write_units <= self.config.max_write_units:
             raise CapacityError(
@@ -290,6 +291,8 @@ class SimDynamoDBTable:
             self._region.admit_read_units(self._region_flow_id, self, target, now)
         self._pending_read_target = target
         self._pending_read_ready_at = now + self.config.update_delay_seconds
+        if self._region is not None:
+            self._region.note_capacity_change()
         if self._bus is not None:
             self._pending_read_trace = self._bus.active_trace
             self._bus.publish(
@@ -335,6 +338,8 @@ class SimDynamoDBTable:
             self._region.admit_write_units(self._region_flow_id, self, target, now)
         self._pending_write_target = target
         self._pending_ready_at = now + self.config.update_delay_seconds
+        if self._region is not None:
+            self._region.note_capacity_change()
         if self._bus is not None:
             self._pending_write_trace = self._bus.active_trace
             self._bus.publish(
@@ -417,7 +422,7 @@ class SimDynamoDBTable:
     # ------------------------------------------------------------------
     def emit_metrics(self, cloudwatch, clock: SimClock) -> None:
         now = clock.now
-        dims = self._dims
+        dims = self._dims_key
         # Utilization runs off the effective rate so the sensed signal
         # saturates when a throttling storm shrinks usable capacity —
         # exactly what pushes an adaptive controller to scale up.
@@ -476,7 +481,7 @@ class SimDynamoDBTable:
         by tick — write then read per tick, matching the per-tick loop —
         when a bus is attached.
         """
-        dims = self._dims
+        dims = self._dims_key
         batch = cloudwatch.put_metric_data_batch
         count = len(times)
         batch(NAMESPACE, "ConsumedWriteCapacityUnits", times, consumed, dims)
@@ -489,10 +494,19 @@ class SimDynamoDBTable:
         batch(NAMESPACE, "ProvisionedReadCapacityUnits", times, [read_capacity] * count, dims)
         batch(NAMESPACE, "ReadUtilization", times, read_utilization, dims)
         if self._bus is not None:
+            # A fully quiet span with no episode open in either
+            # dimension replays to nothing — skip the per-tick loop.
+            if (
+                self._throttle_since["write"] is None
+                and self._throttle_since["read"] is None
+                and not any(throttled)
+                and not any(read_throttled)
+            ):
+                return
             track = self._track_throttle_episode
             for t, tick_throttled, tick_read_throttled in zip(times, throttled, read_throttled):
-                track(t, "write", tick_throttled)
-                track(t, "read", tick_read_throttled)
+                track(int(t), "write", int(tick_throttled))
+                track(int(t), "read", int(tick_read_throttled))
 
     def _track_throttle_episode(self, now: int, dimension: str, throttled: int) -> None:
         """Coalesce per-tick throttling into start/end events per

@@ -173,6 +173,8 @@ class SimEC2Fleet:
                 if instance.state(now) == InstanceState.TERMINATED:
                     return False
                 instance.terminated_at = now
+                if self._region is not None:
+                    self._region.note_capacity_change()
                 return True
         return False
 
@@ -195,10 +197,14 @@ class SimEC2Fleet:
                 self._instances.append(
                     self._new_instance(launched_at=now, ready_at=now + self.config.boot_seconds)
                 )
+            if self._region is not None:
+                self._region.note_capacity_change()
         elif desired < current:
             victims = sorted(
                 self.instances(now), key=lambda i: i.launched_at, reverse=True
             )[: current - desired]
             for victim in victims:
                 victim.terminated_at = now
+            if self._region is not None:
+                self._region.note_capacity_change()
         return desired

@@ -99,6 +99,7 @@ class SimKinesisStream:
         # Metric dimensions are immutable for the stream's lifetime;
         # built once instead of per emit call.
         self._dims = {"StreamName": name}
+        self._dims_key = (("StreamName", name),)
         self.config = config or KinesisConfig()
         if not self.config.min_shards <= shards <= self.config.max_shards:
             raise CapacityError(
@@ -258,6 +259,8 @@ class SimKinesisStream:
             duration = int(duration * self._reshard_stall_factor)
         self._reshard_target = target
         self._reshard_ready_at = now + duration
+        if self._region is not None:
+            self._region.note_capacity_change()
         if self._bus is not None:
             # The decision's trace context is active right now (the
             # actuator applied inside the control loop's step); capture
@@ -387,7 +390,7 @@ class SimKinesisStream:
     def emit_metrics(self, cloudwatch, clock: SimClock) -> None:
         """Flush this tick's counters to CloudWatch and reset them."""
         now = clock.now
-        dims = self._dims
+        dims = self._dims_key
         capacity = self.write_capacity_records(now) * clock.tick_seconds
         # Utilization is accepted/capacity — the saturating signal real
         # dashboards show; overload beyond 100% is visible through the
@@ -439,7 +442,7 @@ class SimKinesisStream:
         Tick counters are assumed already folded into the columns, so
         unlike :meth:`emit_metrics` there is nothing to reset here.
         """
-        dims = self._dims
+        dims = self._dims_key
         batch = cloudwatch.put_metric_data_batch
         batch(NAMESPACE, "IncomingRecords", times, accepted, dims)
         batch(NAMESPACE, "IncomingBytes", times, accepted_bytes, dims)
@@ -450,9 +453,14 @@ class SimKinesisStream:
         batch(NAMESPACE, "BacklogRecords", times, backlog, dims)
         batch(NAMESPACE, "MillisBehindLatest", times, lag_ms, dims)
         if self._bus is not None:
+            # A fully quiet span with no episode open replays to
+            # nothing: every track() call would be a no-op, so skip
+            # the per-tick loop entirely.
+            if self._throttle_since is None and not any(throttled):
+                return
             track = self._track_throttle_episode
             for t, tick_throttled in zip(times, throttled):
-                track(t, tick_throttled)
+                track(int(t), int(tick_throttled))
 
     def _track_throttle_episode(self, now: int, throttled: int) -> None:
         """Coalesce per-tick throttling into bounded start/end events.

@@ -109,6 +109,27 @@ class RegionContext:
         #: Denials per (flow_id, resource): resource is one of
         #: "instances", "shards", "write_units", "read_units".
         self.denial_counts: dict[tuple[str, str], int] = {}
+        #: Bumped by the services on every committed-capacity change;
+        #: keys the memoized accounting sums below.
+        self.capacity_version = 0
+        self._flow_ids_cache: list[str] | None = None
+        #: resource -> (capacity_version, value). Committed capacity is
+        #: time-independent between mutations — ``committed_*()`` take
+        #: no clock, and terminations stamp a past ``terminated_at`` —
+        #: and every mutation path bumps the version, so a version hit
+        #: is exact at any ``now``.
+        self._sum_cache: dict[str, tuple[int, int]] = {}
+
+    def note_capacity_change(self) -> None:
+        """Invalidate the memoized accounting sums.
+
+        Services call this from every path that changes *committed*
+        capacity: fleet scale/failure, reshard requests, and table
+        capacity updates. Ripening a pending target does not change the
+        committed value (the target already counted in full), so the
+        apply paths need no bump.
+        """
+        self.capacity_version += 1
 
     # ------------------------------------------------------------------
     # Registration (called by the services' attach_region methods)
@@ -117,41 +138,69 @@ class RegionContext:
         if flow_id in self._fleets:
             raise ConfigurationError(f"flow {flow_id!r} already registered an EC2 fleet")
         self._fleets[flow_id] = fleet
+        self._flow_ids_cache = None
+        self.note_capacity_change()
 
     def register_stream(self, flow_id: str, stream) -> None:
         if flow_id in self._streams:
             raise ConfigurationError(f"flow {flow_id!r} already registered a stream")
         self._streams[flow_id] = stream
+        self._flow_ids_cache = None
+        self.note_capacity_change()
 
     def register_table(self, flow_id: str, table) -> None:
         if flow_id in self._tables:
             raise ConfigurationError(f"flow {flow_id!r} already registered a table")
         self._tables[flow_id] = table
+        self._flow_ids_cache = None
+        self.note_capacity_change()
 
     @property
     def flow_ids(self) -> list[str]:
         """Every flow id that registered at least one service."""
-        ids = set(self._fleets) | set(self._streams) | set(self._tables)
-        return sorted(ids)
+        if self._flow_ids_cache is None:
+            ids = set(self._fleets) | set(self._streams) | set(self._tables)
+            self._flow_ids_cache = sorted(ids)
+        return self._flow_ids_cache
 
     # ------------------------------------------------------------------
     # Pure accounting queries
     # ------------------------------------------------------------------
     def instances_in_use(self, now: int) -> int:
         """Committed instances across all fleets (booting ones count)."""
-        return sum(fleet.provisioned_count(now) for fleet in self._fleets.values())
+        cached = self._sum_cache.get("instances")
+        if cached is not None and cached[0] == self.capacity_version:
+            return cached[1]
+        value = sum(fleet.provisioned_count(now) for fleet in self._fleets.values())
+        self._sum_cache["instances"] = (self.capacity_version, value)
+        return value
 
     def shards_in_use(self, now: int) -> int:
         """Committed shards across all streams (in-flight targets count)."""
-        return sum(stream.committed_shards() for stream in self._streams.values())
+        cached = self._sum_cache.get("shards")
+        if cached is not None and cached[0] == self.capacity_version:
+            return cached[1]
+        value = sum(stream.committed_shards() for stream in self._streams.values())
+        self._sum_cache["shards"] = (self.capacity_version, value)
+        return value
 
     def write_units_in_use(self, now: int) -> int:
         """Committed write units across all tables (pending targets count)."""
-        return sum(table.committed_write_units() for table in self._tables.values())
+        cached = self._sum_cache.get("write_units")
+        if cached is not None and cached[0] == self.capacity_version:
+            return cached[1]
+        value = sum(table.committed_write_units() for table in self._tables.values())
+        self._sum_cache["write_units"] = (self.capacity_version, value)
+        return value
 
     def read_units_in_use(self, now: int) -> int:
         """Committed read units across all tables (pending targets count)."""
-        return sum(table.committed_read_units() for table in self._tables.values())
+        cached = self._sum_cache.get("read_units")
+        if cached is not None and cached[0] == self.capacity_version:
+            return cached[1]
+        value = sum(table.committed_read_units() for table in self._tables.values())
+        self._sum_cache["read_units"] = (self.capacity_version, value)
+        return value
 
     def headroom(self, now: int) -> dict[str, int]:
         """Remaining account headroom per resource at ``now``."""

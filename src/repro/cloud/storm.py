@@ -161,6 +161,7 @@ class SimStormCluster:
         # Metric dimensions are immutable for the cluster's lifetime;
         # built once instead of per emit call.
         self._dims = {"Topology": name}
+        self._dims_key = (("Topology", name),)
         self.fleet = fleet
         self.config = config or StormConfig()
         self.topology = topology
@@ -385,7 +386,7 @@ class SimStormCluster:
     # ------------------------------------------------------------------
     def emit_metrics(self, cloudwatch, clock: SimClock) -> None:
         now = clock.now
-        dims = self._dims
+        dims = self._dims_key
         cloudwatch.put_metric_data(NAMESPACE, "CPUUtilization", self._tick_cpu, now, dims)
         cloudwatch.put_metric_data(NAMESPACE, "ProcessedRecords", self._tick_processed, now, dims)
         cloudwatch.put_metric_data(NAMESPACE, "PendingTuples", self._pending_records, now, dims)
@@ -409,7 +410,7 @@ class SimStormCluster:
         VM counts are constant inside a span (any change is a span
         boundary), so they arrive as scalars and broadcast per tick.
         """
-        dims = self._dims
+        dims = self._dims_key
         batch = cloudwatch.put_metric_data_batch
         count = len(times)
         batch(NAMESPACE, "CPUUtilization", times, cpu, dims)

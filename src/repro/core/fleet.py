@@ -44,6 +44,7 @@ from repro.cloud.storm import StormConfig
 from repro.control.bounded import BoundedActuator
 from repro.core.config import LayerControlConfig
 from repro.core.errors import ConfigurationError
+from repro.core.fleet_exec import FleetSpanExecutor
 from repro.core.flow import LayerKind
 from repro.core.manager import (
     FlowElasticityManager,
@@ -252,6 +253,11 @@ class FleetRunResult:
     wall_seconds: float = 0.0
     #: Whether every flow ran on the bit-exact workload path.
     exact: bool = True
+    #: Per-flow wall-clock attribution from the engine's
+    #: :class:`~repro.observability.profiler.TickProfiler` (batched
+    #: executor only; empty when profiling is off). Informational —
+    #: machine-dependent, never gated on.
+    flow_wall_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_cost(self) -> float:
@@ -311,6 +317,7 @@ class RegionFleetManager:
         tick_seconds: int = 1,
         snapshot_period: int = 60,
         span_execution: bool = True,
+        batch_execution: bool = True,
         coordinate_period: int | None = 300,
         pressure_gain: float = 2.0,
         price_book: PriceBook | None = None,
@@ -391,6 +398,29 @@ class RegionFleetManager:
         self.engine.sort_components(
             lambda component: _COMPONENT_PHASE.get(type(component), 3)
         )
+        #: Whether the N flow pipelines were collapsed into one
+        #: :class:`FleetSpanExecutor` (span mode only — per-tick runs
+        #: keep the sequential pipelines as the reference path).
+        self.batch_execution = bool(batch_execution) and span_execution
+        if self.batch_execution:
+            executor = FleetSpanExecutor(
+                [(spec.name, self.managers[spec.name]._pipeline) for spec in flows],
+                engine=self.engine,
+                checkers={
+                    spec.name: checker
+                    for spec in flows
+                    if (checker := self.managers[spec.name].invariant_checker)
+                    is not None
+                },
+            )
+            self.engine.replace_components(
+                [executor]
+                + [
+                    component
+                    for component in self.engine._components
+                    if not isinstance(component, _FlowPipeline)
+                ]
+            )
         self.coordinator: FleetCoordinator | None = None
         if coordinate_period is not None:
             self.coordinator = FleetCoordinator(
@@ -431,6 +461,11 @@ class RegionFleetManager:
         started = perf_counter()
         self.engine.run(duration_seconds)
         wall_seconds = perf_counter() - started
+        if self.batch_execution:
+            # Batched spans buffer metric columns in the store; results
+            # must read a fully-materialised series set.
+            for manager in self.managers.values():
+                manager.cloudwatch.flush_pending()
         return FleetRunResult(
             duration_seconds=self.engine.clock.now,
             flows={
@@ -441,6 +476,11 @@ class RegionFleetManager:
             coordinator=self.coordinator,
             wall_seconds=wall_seconds,
             exact=self.exact,
+            flow_wall_seconds=(
+                dict(self.engine.profiler.flow_seconds)
+                if self.engine.profiler is not None
+                else {}
+            ),
         )
 
 
@@ -466,6 +506,7 @@ class FleetScenarioSpec:
     tick_seconds: int = 1
     snapshot_period: int = 60
     span_execution: bool = True
+    batch_execution: bool = True
     coordinate_period: int | None = 300
     pressure_gain: float = 2.0
     exact: bool = True
@@ -502,6 +543,7 @@ def run_fleet_scenario(spec: FleetScenarioSpec, seed: int):
         tick_seconds=spec.tick_seconds,
         snapshot_period=spec.snapshot_period,
         span_execution=spec.span_execution,
+        batch_execution=spec.batch_execution,
         coordinate_period=spec.coordinate_period,
         pressure_gain=spec.pressure_gain,
         exact=spec.exact,

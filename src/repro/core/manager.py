@@ -236,7 +236,7 @@ class _FlowPipeline:
                 horizon = bound
         return horizon
 
-    def run_span(self, clock: SimClock, span_end: int) -> None:
+    def run_span(self, clock: SimClock, span_end: int, _precomputed=None) -> None:
         """Execute the ticks ``(clock.now, span_end]`` as one batch.
 
         Bit-identical to calling :meth:`on_tick` once per tick: the
@@ -246,6 +246,12 @@ class _FlowPipeline:
         are batched per stream in bitstream order, the backlog/throttle
         recurrence runs over plain locals, and the per-tick metric
         values land as columnar batch appends at the end of the span.
+
+        ``_precomputed`` lets the fleet executor hand in workload
+        columns it already drew (its batched path draws before deciding
+        whether the sub-span needs this scalar reference); the columns
+        are exactly what ``generate_span`` would have returned, so the
+        generator's RNG stream is consumed identically either way.
         """
         dt = clock.tick_seconds
         now = clock.now
@@ -257,9 +263,12 @@ class _FlowPipeline:
 
         # Workload draws first, as in the per-tick loop (the generator
         # touches no service state, so its batch can lead the span).
-        records_col, payload_col, distinct_col = self.generator.generate_span(
-            first_tick, count, dt
-        )
+        if _precomputed is None:
+            records_col, payload_col, distinct_col = self.generator.generate_span(
+                first_tick, count, dt
+            )
+        else:
+            records_col, payload_col, distinct_col = _precomputed
 
         # Capacity hoist, in the per-tick loop's call order so pending
         # changes ripe at the first tick apply — and publish their bus

@@ -43,6 +43,11 @@ class TickProfiler:
         self.component_calls: dict[str, int] = {}
         self.task_seconds: dict[str, float] = {}
         self.task_calls: dict[str, int] = {}
+        #: Per-flow attribution in fleet runs: which flow's spans
+        #: consume the batched executor's time. Empty outside fleet
+        #: batching (the single-flow pipeline is already one component).
+        self.flow_seconds: dict[str, float] = {}
+        self.flow_calls: dict[str, int] = {}
         self.tick_count = 0
         #: Batched spans executed (0 on a pure per-tick run) — the
         #: marker that distinguishes span-batched from per-tick
@@ -62,6 +67,16 @@ class TickProfiler:
     def record_task(self, name: str, elapsed: float) -> None:
         self.task_seconds[name] = self.task_seconds.get(name, 0.0) + elapsed
         self.task_calls[name] = self.task_calls.get(name, 0) + 1
+
+    def record_flow(self, name: str, elapsed: float) -> None:
+        """Attribute a slice of a fleet executor's span to one flow.
+
+        Flow time is a *breakdown* of the executor component's time,
+        not an addition to it: ``instrumented_seconds`` intentionally
+        excludes it, or the executor's work would count twice.
+        """
+        self.flow_seconds[name] = self.flow_seconds.get(name, 0.0) + elapsed
+        self.flow_calls[name] = self.flow_calls.get(name, 0) + 1
 
     def record_tick(self, elapsed: float) -> None:
         self.tick_count += 1
@@ -121,6 +136,10 @@ class TickProfiler:
                 name: {"seconds": seconds, "calls": self.task_calls[name]}
                 for name, seconds in self.task_seconds.items()
             },
+            "flows": {
+                name: {"seconds": seconds, "calls": self.flow_calls[name]}
+                for name, seconds in self.flow_seconds.items()
+            },
             "histogram_bounds": list(HISTOGRAM_BOUNDS),
             "histogram": list(self.histogram),
         }
@@ -139,6 +158,9 @@ class TickProfiler:
         ] + [
             ("task", name, seconds, self.task_calls[name])
             for name, seconds in self.task_seconds.items()
+        ] + [
+            ("flow", name, seconds, self.flow_calls[name])
+            for name, seconds in self.flow_seconds.items()
         ]
         for kind, name, seconds, calls in sorted(entries, key=lambda e: -e[2]):
             share = 100.0 * seconds / self.tick_seconds_total if self.tick_seconds_total else 0.0
@@ -172,6 +194,9 @@ class TickProfiler:
         for name, entry in dict(data.get("tasks", {})).items():
             profiler.task_seconds[name] = float(entry["seconds"])
             profiler.task_calls[name] = int(entry["calls"])
+        for name, entry in dict(data.get("flows", {})).items():
+            profiler.flow_seconds[name] = float(entry["seconds"])
+            profiler.flow_calls[name] = int(entry["calls"])
         histogram = list(data.get("histogram", []))
         if histogram:
             # A snapshot from a different bucket layout cannot be

@@ -121,6 +121,30 @@ class ClickStreamGenerator:
         # same values constantly, so the occupancy sum is memoized.
         self._distinct_cache: dict[int, float] = {}
 
+    def adopt_distinct_cache(self, other: "ClickStreamGenerator") -> bool:
+        """Pool the expected-distinct memo with ``other``'s.
+
+        The occupancy sum is a pure function of the record count and
+        the (class-specific) popularity-law formula, so generators of
+        the same class and distinct-law config can share one memo: the
+        fill values are bit-identical no matter which generator
+        computes them first. Exact and fast generators never share —
+        their formulas round differently — hence the exact type check.
+        Returns whether sharing happened.
+        """
+        if type(other) is not type(self):
+            return False
+        if (
+            other.config.catalog_pages != self.config.catalog_pages
+            or other.config.zipf_exponent != self.config.zipf_exponent
+        ):
+            return False
+        if other._distinct_cache is self._distinct_cache:
+            return True
+        other._distinct_cache.update(self._distinct_cache)
+        self._distinct_cache = other._distinct_cache
+        return True
+
     def generate(self, clock: SimClock) -> ClickBatch:
         """Produce the click events arriving during the current tick.
 
@@ -460,16 +484,16 @@ class FastClickStreamGenerator(ClickStreamGenerator):
         identical bits for identical counts.
         """
         cache = self._distinct_cache
-        missing = [
-            n
-            for n in map(int, np.unique(records))
-            if n > 0 and n not in cache
-        ]
+        uniques = np.unique(records)
+        missing = [n for n in map(int, uniques) if n > 0 and n not in cache]
         if missing:
             counts = np.asarray(missing, dtype=float)
             survival = np.exp(counts[:, None] * self._log_survival[None, :])
             for n, row in zip(missing, survival):
                 cache[n] = float(np.sum(1.0 - row))
-        return np.asarray(
-            [cache[n] if n > 0 else 0.0 for n in map(int, records)], dtype=float
+        # Gather through the sorted uniques: one cache probe per
+        # distinct count instead of one per tick.
+        lut = np.asarray(
+            [cache[n] if n > 0 else 0.0 for n in map(int, uniques)], dtype=float
         )
+        return lut[np.searchsorted(uniques, records)]

@@ -156,7 +156,9 @@ class TestCompare:
             steady, wall_seconds=steady.wall_seconds + 100.0, ticks_per_second=1.0
         )
         assert steady.compare(drifted) == []
-        assert WALL_CLOCK_FIELDS == {"wall_seconds", "ticks_per_second"}
+        assert WALL_CLOCK_FIELDS == {
+            "wall_seconds", "ticks_per_second", "flow_wall_seconds"
+        }
 
     def test_mttr_none_vs_number_is_drift(self, chaos):
         mttr = dict(chaos.mttr_by_fault)
