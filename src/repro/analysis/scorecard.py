@@ -153,6 +153,17 @@ class RunScorecard:
             ),
         )
 
+    def without_wall_clock(self) -> "RunScorecard":
+        """A copy with the machine-dependent fields zeroed.
+
+        The catalog matrix commits cards byte-for-byte, so everything
+        in the file must be deterministic; zeroing (rather than
+        omitting) keeps the schema identical to live cards.
+        """
+        import dataclasses
+
+        return dataclasses.replace(self, wall_seconds=0.0, ticks_per_second=0.0)
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------

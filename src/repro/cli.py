@@ -11,8 +11,10 @@ is the terminal version::
     python -m repro.cli shootout   # controller comparison (Sec. 3.3)
     python -m repro.cli chaos      # fault injection + invariant audit + MTTR
     python -m repro.cli scorecard  # run health digest + baseline regression gate
+    python -m repro.cli scenario   # scenario catalog: list / show / run / gate
 
-Every command accepts ``--seed`` and prints deterministic output.
+Every command prints deterministic output; run commands accept
+``--seed`` (``scenario`` carries its seeds inside the specs).
 """
 
 from __future__ import annotations
@@ -503,6 +505,98 @@ def cmd_scorecard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        CATALOG_NAMES,
+        CatalogMatrix,
+        catalog,
+        catalog_scenario,
+        run_catalog,
+    )
+
+    if args.action == "list":
+        scenarios = catalog(args.variant)
+        print(f"scenario catalog [{args.variant}] — {len(scenarios)} scenarios")
+        for name, scenario in scenarios.items():
+            faults = len(scenario.chaos.faults) if scenario.chaos else 0
+            budget = (
+                f"${scenario.budget_usd_per_hour:.2f}/h"
+                if scenario.budget_usd_per_hour is not None else "none"
+            )
+            print(f"  {name:<28} {scenario.controller:<9} "
+                  f"{scenario.duration:>7}s  faults={faults}  budget={budget}")
+            print(f"    {scenario.description}")
+        return 0
+
+    if args.action == "show":
+        if not args.name:
+            raise SystemExit("scenario show: a scenario NAME is required")
+        print(catalog_scenario(args.name[0], args.variant).to_json(), end="")
+        return 0
+
+    # run
+    out_path = Path(args.out) if args.out else None
+    baseline_path = Path(args.baseline)
+    if args.check and out_path and out_path.resolve() == baseline_path.resolve():
+        raise SystemExit(
+            f"--out and --baseline both resolve to {baseline_path.resolve()}; "
+            "the gate would overwrite the committed baseline with the very "
+            "matrix it is checking and compare it against itself. Write "
+            "artifacts elsewhere (e.g. --out artifacts/SCORECARD_catalog.json), "
+            "or regenerate the baseline deliberately with --out and no --check."
+        )
+    scenarios = catalog(args.variant)
+    if args.name:
+        unknown = sorted(set(args.name) - set(scenarios))
+        if unknown:
+            raise SystemExit(
+                f"unknown catalog scenario {unknown[0]!r}; one of: "
+                + ", ".join(CATALOG_NAMES)
+            )
+        scenarios = {name: scenarios[name] for name in args.name}
+    _fast_banner(not args.fast)
+    matrix = run_catalog(
+        scenarios, variant=args.variant, jobs=args.jobs, fast=args.fast
+    )
+    print(matrix.summary())
+    failures: list[str] = []
+    # Gate before writing, mirroring the scorecard command: the
+    # baseline is read before --out touches the filesystem.
+    if args.check:
+        if not baseline_path.exists():
+            failures.append(f"no committed baseline at {baseline_path}")
+            print(f"\ngate: MISSING BASELINE ({baseline_path})")
+        else:
+            baseline = CatalogMatrix.from_json_file(baseline_path)
+            if args.name:
+                # A partial run gates against the baseline restricted
+                # to the same names, so unrun scenarios are not drift.
+                baseline = baseline.restrict(args.name)
+            try:
+                drifts = matrix.compare(baseline)
+            except FlowerError as exc:
+                raise SystemExit(f"catalog gate: {exc}")
+            if drifts:
+                failures.append(f"{len(drifts)} drifted fields")
+                print(f"\ngate: DRIFT vs {baseline_path}:")
+                for drift in drifts:
+                    print(f"  {drift}")
+            else:
+                print(f"\ngate: ok (matches {baseline_path})")
+    if out_path:
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(matrix.to_json())
+        print(f"written: {out_path}")
+    if failures:
+        print("catalog gate FAILED: " + "; ".join(failures))
+        print(
+            "if the change is intentional, regenerate the baseline with: "
+            f"python -m repro.cli scenario run --out {args.baseline}"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -640,6 +734,37 @@ def build_parser() -> argparse.ArgumentParser:
     scorecard.add_argument("--baseline-dir", default="results", metavar="DIR",
                            help="where committed baselines live (default: results)")
     scorecard.set_defaults(func=cmd_scorecard)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="list, inspect, or run the declarative scenario catalog "
+             "and gate its scorecard matrix",
+    )
+    scenario.add_argument("action", choices=("list", "show", "run"),
+                          help="list the catalog, show one spec as JSON, "
+                               "or run scenarios and score them")
+    scenario.add_argument("name", nargs="*", metavar="NAME",
+                          help="catalog scenario name(s); default for run: all")
+    scenario.add_argument("--variant", choices=("smoke", "full"), default="smoke",
+                          help="horizon variant (smoke: 2 h, the CI gate; "
+                               "full: a day or more)")
+    scenario.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the run "
+                               "(matrix is byte-identical at any value)")
+    scenario.add_argument("--fast", action="store_true",
+                          help="approximate (exact=False) workload path for every "
+                               "scenario; the matrix then refuses to gate against "
+                               "the exact committed baseline")
+    scenario.add_argument("--out", default=None, metavar="PATH",
+                          help="write the scorecard matrix JSON here")
+    scenario.add_argument("--check", action="store_true",
+                          help="fail (exit 1) if any scenario's card drifts from "
+                               "the committed baseline matrix")
+    scenario.add_argument("--baseline", default="results/SCORECARD_catalog.json",
+                          metavar="PATH",
+                          help="committed baseline matrix "
+                               "(default: results/SCORECARD_catalog.json)")
+    scenario.set_defaults(func=cmd_scenario)
 
     return parser
 

@@ -25,6 +25,7 @@ from repro.workload.generators import (
     ReplayRate,
     SinusoidalRate,
     StepRate,
+    TracePattern,
     WeeklyRate,
 )
 from repro.workload.traces import Trace
@@ -42,6 +43,7 @@ __all__ = [
     "NoisyRate",
     "CompositeRate",
     "ReplayRate",
+    "TracePattern",
     "RateGrid",
     "ClickStreamGenerator",
     "FastClickStreamGenerator",

@@ -420,3 +420,59 @@ class ReplayRate(RatePattern):
 
     def rate(self, t: int) -> float:
         return max(0.0, self.trace.value_at(max(t, self._first_time)))
+
+
+class TracePattern(RatePattern):
+    """Replays any :class:`Trace` through the grid API, bit-exactly.
+
+    The scenario catalog's trace-replay adapter: external traces (CSV
+    importable via :meth:`from_csv`) become first-class workloads with
+    step-hold semantics — the rate at ``t`` is the value of the most
+    recent trace point at or before ``t``, times before the first point
+    hold the first value, and times past the end (and inside recording
+    gaps) hold the last value seen. ``scale`` rescales a recorded trace
+    onto a different fleet size.
+
+    Unlike :class:`ReplayRate`, the :meth:`values` override serves grid
+    reads with one ``searchsorted`` per chunk while preserving the
+    elementwise-equality contract with per-tick ``rate(t)`` calls, so
+    span-batched runs replay a trace bit-identically to the per-tick
+    reference loop (pinned by ``tests/test_trace_replay.py``).
+    """
+
+    def __init__(self, trace: Trace, scale: float = 1.0) -> None:
+        if len(trace) == 0:
+            raise ConfigurationError("cannot replay an empty trace")
+        if not math.isfinite(scale) or scale <= 0:
+            raise ConfigurationError(f"scale must be positive and finite, got {scale}")
+        for t, v in trace:
+            if not math.isfinite(v):
+                raise ConfigurationError(
+                    f"trace {trace.name!r}: non-finite value {v!r} at t={t} "
+                    "cannot be replayed as a rate"
+                )
+        self.trace = trace
+        self.scale = float(scale)
+        self._times = np.asarray(trace.times, dtype=np.int64)
+        self._values = np.asarray(trace.values, dtype=float)
+
+    def rate(self, t: int) -> float:
+        index = int(np.searchsorted(self._times, t, side="right")) - 1
+        if index < 0:
+            index = 0
+        return max(0.0, float(self._values[index]) * self.scale)
+
+    def values(self, start: int, end: int, step: int = 1) -> np.ndarray:
+        # Hold-last lookup for the whole grid in one searchsorted; the
+        # per-element multiply and floor are the same IEEE operations
+        # as the scalar path, so equality holds to the last ULP.
+        t = self._grid_times(start, end, step)
+        index = np.searchsorted(self._times, t, side="right") - 1
+        np.clip(index, 0, None, out=index)
+        return np.maximum(0.0, self._values[index] * self.scale)
+
+    @classmethod
+    def from_csv(cls, path, name: str = "", scale: float = 1.0) -> "TracePattern":
+        """Load a ``time,value`` CSV (see :meth:`Trace.from_csv`) and
+        replay it."""
+        return cls(Trace.from_csv(path, name=name), scale=scale)

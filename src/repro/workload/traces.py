@@ -174,14 +174,51 @@ class Trace:
 
     @classmethod
     def from_csv(cls, path: str | Path, name: str = "") -> "Trace":
+        """Load a ``time,value`` CSV, validating every row.
+
+        Malformed input — wrong column count, non-numeric cells,
+        duplicate or decreasing timestamps — is rejected with the file
+        and line number named, so an imported external trace fails at
+        the offending row instead of deep inside :meth:`append`.
+        Blank lines (e.g. a trailing newline) are skipped.
+        """
         trace = cls(name or Path(path).stem)
         with open(path, newline="") as f:
             reader = csv.reader(f)
             header = next(reader, None)
             if header != ["time", "value"]:
                 raise ConfigurationError(f"{path}: expected header ['time', 'value'], got {header}")
-            for row in reader:
-                trace.append(int(row[0]), float(row[1]))
+            last: int | None = None
+            for lineno, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                if len(row) != 2:
+                    raise ConfigurationError(
+                        f"{path}, line {lineno}: expected 2 columns (time, value), got {len(row)}"
+                    )
+                try:
+                    t = int(row[0])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{path}, line {lineno}: time {row[0]!r} is not an integer"
+                    ) from None
+                try:
+                    value = float(row[1])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{path}, line {lineno}: value {row[1]!r} is not a number"
+                    ) from None
+                if last is not None and t <= last:
+                    problem = (
+                        "duplicate timestamp"
+                        if t == last
+                        else "timestamps must be strictly increasing"
+                    )
+                    raise ConfigurationError(
+                        f"{path}, line {lineno}: {problem} ({t} after {last})"
+                    )
+                trace.append(t, value)
+                last = t
         return trace
 
     def __repr__(self) -> str:

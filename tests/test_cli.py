@@ -140,6 +140,96 @@ class TestCommands:
         assert "DRIFT" in out
         assert "regenerate baselines" in out
 
+    def test_scenario_list_prints_catalog(self, capsys):
+        from repro.scenarios import CATALOG_NAMES
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in CATALOG_NAMES:
+            assert name in out
+
+    def test_scenario_show_emits_loadable_json(self, capsys):
+        from repro.scenarios import Scenario, catalog_scenario
+
+        assert main(["scenario", "show", "seasonal-drift"]) == 0
+        out = capsys.readouterr().out
+        assert Scenario.from_json(out) == catalog_scenario("seasonal-drift")
+
+    def test_scenario_show_requires_a_name(self):
+        with pytest.raises(SystemExit, match="NAME is required"):
+            main(["scenario", "show"])
+
+    def test_scenario_run_unknown_name_exits(self):
+        with pytest.raises(SystemExit, match="unknown catalog scenario"):
+            main(["scenario", "run", "no-such-scenario"])
+
+    def test_scenario_run_writes_matrix_identically_at_any_jobs(
+            self, capsys, tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(["scenario", "run", "step-surge-worker-crash",
+                     "--out", str(serial)]) == 0
+        assert main(["scenario", "run", "step-surge-worker-crash",
+                     "--jobs", "2", "--out", str(parallel)]) == 0
+        out = capsys.readouterr().out
+        assert "step-surge-worker-crash" in out
+        assert serial.read_text() == parallel.read_text()
+
+    def test_scenario_check_refuses_out_into_baseline(self, tmp_path):
+        # Mirrors the scorecard gate: writing the fresh matrix over the
+        # baseline while gating would compare it against itself.
+        baseline = tmp_path / "SCORECARD_catalog.json"
+        with pytest.raises(SystemExit, match="overwrite the committed baseline"):
+            main(["scenario", "run", "--check",
+                  "--out", str(baseline), "--baseline", str(baseline)])
+
+    def test_scenario_check_fails_without_baseline(self, capsys, tmp_path):
+        assert main(["scenario", "run", "step-surge-worker-crash", "--check",
+                     "--baseline", str(tmp_path / "missing.json")]) == 1
+        out = capsys.readouterr().out
+        assert "MISSING BASELINE" in out
+        assert "catalog gate FAILED" in out
+
+    def test_scenario_check_reports_drift_and_keeps_baseline(
+            self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "artifacts" / "matrix.json"
+        assert main(["scenario", "run", "step-surge-worker-crash",
+                     "--out", str(baseline)]) == 0
+        capsys.readouterr()
+        # Corrupt one deterministic field; the gate must name it, fail,
+        # and leave the committed baseline untouched while the fresh
+        # matrix lands in artifacts/.
+        data = json.loads(baseline.read_text())
+        data["scenarios"]["step-surge-worker-crash"]["card"]["total_cost"] *= 2
+        baseline.write_text(json.dumps(data))
+        committed = baseline.read_text()
+        assert main(["scenario", "run", "step-surge-worker-crash", "--check",
+                     "--out", str(fresh), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+        assert "total_cost" in out
+        assert "regenerate the baseline" in out
+        assert baseline.read_text() == committed
+        assert fresh.exists()
+
+    def test_scenario_check_passes_against_committed_baseline(self, capsys):
+        # The real CI gate at test scale: one scenario against the
+        # committed matrix must match byte-for-byte.
+        assert main(["scenario", "run", "step-surge-worker-crash",
+                     "--check"]) == 0
+        assert "gate: ok" in capsys.readouterr().out
+
+    def test_scenario_fast_refuses_exact_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(["scenario", "run", "step-surge-worker-crash",
+                     "--out", str(baseline)]) == 0
+        with pytest.raises(SystemExit, match="catalog gate"):
+            main(["scenario", "run", "step-surge-worker-crash", "--fast",
+                  "--check", "--baseline", str(baseline)])
+
     def test_fig2_prints_panels_and_model(self, capsys):
         assert main(["fig2", "--duration", "3600", "--seed", "3"]) == 0
         out = capsys.readouterr().out

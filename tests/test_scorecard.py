@@ -235,3 +235,44 @@ class TestFleetScorecard:
         assert card.name == "fleet"
         assert sorted(card.flows) == ["flow0", "flow1", "flow2"]
         assert card.coordinator_passes > 0
+
+
+# ----------------------------------------------------------------------
+# Scenario-catalog guardrails: the fast path runs clean, and the
+# exactness firewall extends to catalog cards and matrices.
+# ----------------------------------------------------------------------
+class TestCatalogExactness:
+    @pytest.fixture(scope="class")
+    def fast_matrix(self):
+        from repro.scenarios import catalog, run_catalog
+
+        return run_catalog(catalog("smoke"), variant="smoke", jobs=1, fast=True)
+
+    def test_every_catalog_scenario_runs_clean_under_fast(self, fast_matrix):
+        from repro.scenarios import CATALOG_NAMES
+
+        assert sorted(fast_matrix.entries) == sorted(CATALOG_NAMES)
+        assert fast_matrix.exact is False
+        for name, entry in fast_matrix.entries.items():
+            assert entry.card.exact is False, name
+            assert entry.card.invariants_ok, name
+            assert entry.card.total_cost > 0, name
+
+    def test_fast_card_refuses_exact_baseline(self, fast_matrix):
+        from repro.scenarios import catalog_scenario, run_scenario
+
+        exact_card = run_scenario(catalog_scenario("flash-crowd-throttle-storm"))
+        fast_card = fast_matrix.entries["flash-crowd-throttle-storm"].card
+        with pytest.raises(ConfigurationError, match="exact=False.*exact=True"):
+            fast_card.compare(exact_card)
+        with pytest.raises(ConfigurationError, match="exact=True.*exact=False"):
+            exact_card.compare(fast_card)
+
+    def test_fast_matrix_refuses_exact_baseline(self, fast_matrix):
+        from repro.scenarios import CatalogMatrix
+
+        baseline = CatalogMatrix.from_json_file("results/SCORECARD_catalog.json")
+        with pytest.raises(ConfigurationError, match="not bit-comparable"):
+            fast_matrix.compare(baseline)
+        with pytest.raises(ConfigurationError, match="not bit-comparable"):
+            baseline.compare(fast_matrix)

@@ -112,6 +112,46 @@ class TestPersistence:
             Trace.from_csv(path)
 
 
+class TestMalformedCsv:
+    """Imported traces fail at the offending row, with the file and
+    line number named — never deep inside ``append``."""
+
+    def _write(self, tmp_path, body):
+        path = tmp_path / "trace.csv"
+        path.write_text("time,value\n" + body)
+        return path
+
+    def test_decreasing_timestamp_names_the_line(self, tmp_path):
+        path = self._write(tmp_path, "0,1.0\n60,2.0\n30,3.0\n")
+        with pytest.raises(ConfigurationError, match=r"line 4.*strictly increasing.*30 after 60"):
+            Trace.from_csv(path)
+
+    def test_duplicate_timestamp_is_called_duplicate(self, tmp_path):
+        path = self._write(tmp_path, "0,1.0\n60,2.0\n60,3.0\n")
+        with pytest.raises(ConfigurationError, match=r"line 4.*duplicate timestamp"):
+            Trace.from_csv(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = self._write(tmp_path, "0,1.0\n60,2.0,9\n")
+        with pytest.raises(ConfigurationError, match=r"line 3.*expected 2 columns.*got 3"):
+            Trace.from_csv(path)
+
+    def test_non_integer_time(self, tmp_path):
+        path = self._write(tmp_path, "0,1.0\nsoon,2.0\n")
+        with pytest.raises(ConfigurationError, match=r"line 3.*'soon' is not an integer"):
+            Trace.from_csv(path)
+
+    def test_non_numeric_value(self, tmp_path):
+        path = self._write(tmp_path, "0,1.0\n60,lots\n")
+        with pytest.raises(ConfigurationError, match=r"line 3.*'lots' is not a number"):
+            Trace.from_csv(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = self._write(tmp_path, "0,1.0\n\n60,2.0\n\n")
+        trace = Trace.from_csv(path)
+        assert list(trace) == [(0, 1.0), (60, 2.0)]
+
+
 class TestProperties:
     @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=50))
     def test_percentile_bounded_by_extremes(self, values):
